@@ -1,0 +1,54 @@
+"""Section III-G's scale-out claim and the E2-Score (Equation 5).
+
+The paper reports that adding one RO node takes AWS RDS from 17 003 to
+36 198 TPS (its local-SSD replica owns a full copy), giving it the
+highest E2-Score (20), while shared-storage CDB replicas gain less
+(CDB1's E2 is 3).  This bench regenerates TPS versus the number of RO
+nodes for every SUT and the resulting E2 column of Table IX.
+"""
+
+from benchmarks.conftest import arch_display
+from repro.core.metrics import e2_score, scale_out_tps
+from repro.core.report import TextTable
+
+NODES = [0, 1, 2, 3]
+
+
+def run_scaleout(bench):
+    workload = bench.workload_mix("RW", 1)
+    data = {}
+    for arch in bench.architectures:
+        series = [scale_out_tps(arch, workload, 150, nodes) for nodes in NODES]
+        data[arch.name] = (series, e2_score(arch, workload))
+    return data
+
+
+def test_e2_scaleout(benchmark, bench_full):
+    data = benchmark.pedantic(run_scaleout, args=(bench_full,),
+                              rounds=1, iterations=1)
+
+    table = TextTable(
+        ["system", *[f"TPS +{n} RO" for n in NODES], "E2-Score"],
+        title="Scale-out: TPS vs added RO nodes (RW mix, con=150)",
+    )
+    for name, (series, e2) in data.items():
+        table.add_row(arch_display(name), *[round(v) for v in series], round(e2, 1))
+    table.print()
+
+    e2s = {name: e2 for name, (series, e2) in data.items()}
+    benchmark.extra_info["e2"] = {k: round(v, 1) for k, v in e2s.items()}
+
+    # paper: RDS highest E2, CDB1 lowest
+    assert max(e2s, key=e2s.get) == "aws_rds"
+    assert min(e2s, key=e2s.get) == "cdb1"
+
+    # paper: one RO node roughly doubles RDS's read-heavy throughput
+    rds_series, _ = data["aws_rds"]
+    gain = rds_series[1] / rds_series[0]
+    assert 1.7 < gain < 2.6  # paper: 36198 / 17003 = 2.13
+
+    # every SUT gains monotonically; shared-storage replicas gain less
+    for name, (series, _e2) in data.items():
+        assert all(b > a for a, b in zip(series, series[1:]))
+    cdb1_gain = data["cdb1"][0][1] / data["cdb1"][0][0]
+    assert cdb1_gain < gain

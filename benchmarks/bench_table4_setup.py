@@ -1,0 +1,53 @@
+"""Table IV: the experimental setting of the five SUTs.
+
+Dumps the architecture registry in the paper's Table IV layout and
+verifies the configuration invariants (engines, compute ranges,
+networks, serverless flags, buffer sizes).
+"""
+
+from benchmarks.conftest import arch_display
+from repro.cloud.architectures import all_architectures
+from repro.cloud.specs import NetworkKind
+from repro.core.report import TextTable
+
+GIB = 2**30
+MIB = 2**20
+
+
+def test_table4_setup(benchmark):
+    architectures = benchmark.pedantic(all_architectures, rounds=1, iterations=1)
+
+    table = TextTable(
+        ["database", "engine", "CPU & memory", "network", "serverless", "buffer"],
+        title="Table IV -- experimental setting of the SUTs",
+    )
+    for arch in architectures:
+        spec = arch.instance
+        if spec.serverless:
+            compute = (f"{spec.min_allocation.vcores:g} vCores, "
+                       f"{spec.min_allocation.memory_gb:g}GB - "
+                       f"{spec.max_allocation.vcores:g} vCores, "
+                       f"{spec.max_allocation.memory_gb:g}GB")
+        else:
+            compute = (f"{spec.max_allocation.vcores:g} vCores, "
+                       f"{spec.max_allocation.memory_gb:g}GB RAM")
+        if arch.remote_buffer_bytes:
+            compute += f" + {arch.remote_buffer_bytes // GIB}GB remote"
+        buffer = (f"{arch.buffer_bytes // GIB}GB" if arch.buffer_bytes >= GIB
+                  else f"{arch.buffer_bytes // MIB}MB")
+        table.add_row(
+            arch_display(arch.name), arch.engine, compute,
+            f"10 Gbps {arch.network.kind.value.upper()}",
+            "yes" if spec.serverless else "no", buffer,
+        )
+    table.print()
+
+    by_name = {arch.name: arch for arch in architectures}
+    assert by_name["aws_rds"].engine == "PostgreSQL 15"
+    assert by_name["cdb2"].engine == "SQL Server 12"
+    assert by_name["cdb4"].engine == "MySQL 8"
+    assert by_name["cdb2"].buffer_bytes == 44 * MIB
+    assert by_name["cdb4"].buffer_bytes == 10 * GIB
+    assert by_name["cdb4"].network.kind is NetworkKind.RDMA
+    serverless = {name for name, arch in by_name.items() if arch.instance.serverless}
+    assert serverless == {"cdb1", "cdb2", "cdb3"}

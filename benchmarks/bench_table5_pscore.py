@@ -1,0 +1,60 @@
+"""Table V: P-Score with the detailed resource cost breakdown.
+
+Regenerates the per-resource cost columns (CPU / memory / storage /
+IOPS / network per minute), the total deployment cost (1 RW + 1 RO
+node) and the P-Score per workload mode, and asserts:
+
+* AWS RDS has the highest P-Score across workloads (high TPS, lowest
+  cost);
+* CDB2 the lowest (bounded TPS);
+* CDB2's IOPS cost is orders of magnitude above RDS's (paper: 327x);
+* CDB4's network line is 3x the TCP systems (RDMA premium).
+"""
+
+from benchmarks.conftest import arch_display
+from repro.core.report import TextTable
+
+
+def test_table5_pscore(benchmark, bench_full):
+    rows = benchmark.pedantic(bench_full.run_pscore, rounds=1, iterations=1)
+
+    table = TextTable(
+        ["system", "cpu", "mem", "sto", "iops", "net", "total/min",
+         "P(RO)", "P(RW)", "P(WO)", "P(AVG)"],
+        title="Table V -- P-Score with detailed resource cost",
+    )
+    for row in rows:
+        b = row.cost_breakdown
+        table.add_row(
+            arch_display(row.arch_name),
+            round(b["cpu"], 4), round(b["memory"], 4), round(b["storage"], 4),
+            round(b["iops"], 6), round(b["network"], 4),
+            round(row.total_cost_per_minute, 4),
+            *[round(row.p_by_mode[mode]) for mode in ("RO", "RW", "WO")],
+            round(row.p_avg),
+        )
+    table.print()
+
+    by_name = {row.arch_name: row for row in rows}
+    benchmark.extra_info["p_avg"] = {
+        name: round(row.p_avg) for name, row in by_name.items()
+    }
+
+    p_avg = {name: row.p_avg for name, row in by_name.items()}
+    assert max(p_avg, key=p_avg.get) == "aws_rds"
+    assert min(p_avg, key=p_avg.get) == "cdb2"
+    # paper rank has cdb1 and cdb2 at the bottom among CDBs
+    assert p_avg["cdb3"] > p_avg["cdb1"] > p_avg["cdb2"]
+
+    # IOPS cost gap (paper: 327x)
+    iops_ratio = (by_name["cdb2"].cost_breakdown["iops"]
+                  / by_name["aws_rds"].cost_breakdown["iops"])
+    assert 100 < iops_ratio < 1000
+
+    # RDMA network premium is 3x
+    net_ratio = (by_name["cdb4"].cost_breakdown["network"]
+                 / by_name["aws_rds"].cost_breakdown["network"])
+    assert 2.5 < net_ratio < 3.5
+
+    # RDS total cost per minute ~ $0.0437 (paper's number)
+    assert abs(by_name["aws_rds"].total_cost_per_minute - 0.0437) < 0.005

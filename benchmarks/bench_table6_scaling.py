@@ -1,0 +1,81 @@
+"""Table VI: per-transition scaling times and scaling costs.
+
+For the three autoscaling SUTs (CDB1, CDB2, CDB3), regenerates the
+per-slot-transition scaling durations and the scaling cost attributed
+to each transition, and asserts the paper's observations:
+
+* CDB1 scales up fast (~14 s) but takes hundreds of seconds to scale
+  back down (gradual policy), making its down-scaling cost dominate;
+* CDB2 completes every transition within roughly one control period
+  (~30 s), in both directions;
+* CDB3 ignores the Single Valley's middle slot (no scale-down within
+  the stabilisation window) and pauses to zero on idle.
+"""
+
+from benchmarks.conftest import arch_display
+from repro.core.elasticity import ELASTIC_PATTERNS, ElasticityEvaluator
+from repro.core.report import TextTable
+
+
+def run_scaling(bench):
+    tau = bench.elastic_tau("RW")
+    workload = bench.workload_mix("RW", 1)
+    results = {}
+    for arch in bench.architectures:
+        if arch.name not in ("cdb1", "cdb2", "cdb3"):
+            continue
+        evaluator = ElasticityEvaluator(arch, workload, measure_window_s=600.0)
+        results[arch.name] = {
+            key: evaluator.run(pattern, tau)
+            for key, pattern in ELASTIC_PATTERNS.items()
+        }
+    return tau, results
+
+
+def test_table6_scaling(benchmark, bench_full):
+    tau, results = benchmark.pedantic(run_scaling, args=(bench_full,),
+                                      rounds=1, iterations=1)
+
+    table = TextTable(
+        ["system", "pattern", "transition", "scaling time (s)", "scaling cost ($)"],
+        title=f"Table VI -- autoscaling transitions (tau={tau})",
+    )
+    for arch_name, by_pattern in results.items():
+        for pattern_key, result in by_pattern.items():
+            for transition in result.transitions:
+                time_s = transition.scaling_time_s
+                table.add_row(
+                    arch_display(arch_name), pattern_key, transition.label,
+                    "never" if time_s is None else round(time_s),
+                    round(transition.scaling_cost, 4),
+                )
+    table.print()
+
+    def transition(name, pattern, index):
+        return results[name][pattern].transitions[index]
+
+    # CDB1: fast up, very slow down (paper: 14 s up, ~480 s down).
+    cdb1_up = transition("cdb1", "single_peak", 0).scaling_time_s
+    cdb1_down = transition("cdb1", "single_peak", 1).scaling_time_s
+    assert cdb1_up is not None and cdb1_up <= 40
+    assert cdb1_down is None or cdb1_down > 150
+    benchmark.extra_info["cdb1_up_s"] = cdb1_up
+
+    # CDB1's gradual scale-down dominates its scaling cost.
+    assert (transition("cdb1", "single_peak", 1).scaling_cost
+            > 3 * transition("cdb1", "single_peak", 0).scaling_cost)
+
+    # CDB2: every transition settles within ~2 control periods.
+    for pattern_key, result in results["cdb2"].items():
+        for tr in result.transitions:
+            assert tr.scaling_time_s is not None and tr.scaling_time_s <= 70
+
+    # CDB3: the Single Valley's mid-slot dip is not followed
+    # (stabilisation window longer than the slot).
+    valley = results["cdb3"]["single_valley"]
+    mid_down = valley.transitions[0]   # 44 -> 22
+    assert mid_down.scaling_time_s is None or mid_down.scaling_time_s > 55
+
+    # CDB3 pauses on the idle tail of the single peak.
+    peak = results["cdb3"]["single_peak"]
+    assert 0.0 in peak.collector.vcores.values

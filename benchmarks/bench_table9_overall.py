@@ -1,0 +1,55 @@
+"""Table IX: overall performance -- the PERFECT framework + O-Score.
+
+Composes all seven scores (P, E1, E2, R, F, C, T) per SUT, both under
+the resource unit cost and under the vendors' actual prices (the
+starred variants), and asserts the paper's headline results:
+
+* CDB4 wins the unified O-Score (fast recovery + millisecond lag);
+* CDB3 wins the actual-cost O-Score* (startup pricing);
+* AWS RDS has the highest P-Score and E2-Score but the slowest
+  recovery; CDB3 the highest E1; CDB4 the best R/F/C.
+"""
+
+from benchmarks.conftest import arch_display
+from repro.core.report import TextTable
+
+
+def test_table9_overall(benchmark, overall_scores):
+    scores = benchmark.pedantic(lambda: overall_scores, rounds=1, iterations=1)
+
+    table = TextTable(
+        ["system", "P", "P*", "E1", "E1*", "R", "F", "E2", "C(ms)",
+         "T", "T*", "O", "O*"],
+        title="Table IX -- overall performance (starred = vendor actual cost)",
+    )
+    for name, s in scores.items():
+        table.add_row(arch_display(name), *s.as_row()[1:])
+    table.print()
+
+    o = {name: s.o for name, s in scores.items()}
+    o_star = {name: s.o_star for name, s in scores.items()}
+    benchmark.extra_info["o_score"] = {k: round(v, 2) for k, v in o.items()}
+    benchmark.extra_info["o_star"] = {k: round(v, 2) for k, v in o_star.items()}
+
+    # headline winners
+    assert max(o, key=o.get) == "cdb4"            # paper: 17.7
+    assert max(o_star, key=o_star.get) == "cdb3"  # paper: 16.19
+
+    # per-dimension winners from the paper's narrative
+    assert max(scores, key=lambda n: scores[n].p) == "aws_rds"
+    assert max(scores, key=lambda n: scores[n].e1) == "cdb3"
+    assert max(scores, key=lambda n: scores[n].e2) == "aws_rds"
+    assert min(scores, key=lambda n: scores[n].r_s) == "cdb4"
+    assert min(scores, key=lambda n: scores[n].f_s) == "cdb4"
+    assert min(scores, key=lambda n: scores[n].c_ms) == "cdb4"
+    assert max(scores, key=lambda n: scores[n].f_s) == "aws_rds"
+
+    # the second tier of the unified metric: cdb3 and rds close together
+    order = sorted(o, key=o.get, reverse=True)
+    assert order[0] == "cdb4"
+    assert set(order[1:3]) == {"cdb3", "aws_rds"}
+
+    # actual cost reranks: every starred CDB3 score improves on its
+    # RUC-normalised value relative to RDS
+    rds, c3 = scores["aws_rds"], scores["cdb3"]
+    assert c3.p_star / rds.p_star > c3.p / rds.p

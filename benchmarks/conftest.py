@@ -1,0 +1,36 @@
+"""Shared fixtures for the CloudyBench reproduction benchmarks.
+
+Each bench regenerates one table or figure of the paper: it prints the
+rows/series in the paper's layout (run pytest with ``-s`` to see them)
+and asserts the paper's qualitative claims -- who wins, by roughly what
+factor, where the crossovers fall.  Measured numbers also land in
+``benchmark.extra_info`` so ``--benchmark-json`` output carries them.
+"""
+
+import pytest
+
+from repro.core.config import BenchConfig
+from repro.core.runner import CloudyBench
+
+
+@pytest.fixture(scope="session")
+def bench_full():
+    """The full paper configuration (all SUTs, SF1-100, con 50-200)."""
+    config = BenchConfig()
+    # Functional (engine-backed) evaluations use scaled-down rows.
+    config.row_scale = 0.002
+    config.lag_transactions = 240
+    return CloudyBench(config)
+
+
+@pytest.fixture(scope="session")
+def overall_scores(bench_full):
+    """Table IX scores, computed once and shared."""
+    return bench_full.overall()
+
+
+def arch_display(name: str) -> str:
+    return {
+        "aws_rds": "AWS RDS", "cdb1": "CDB1", "cdb2": "CDB2",
+        "cdb3": "CDB3", "cdb4": "CDB4",
+    }.get(name, name)

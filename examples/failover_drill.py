@@ -1,0 +1,54 @@
+#!/usr/bin/env python3
+"""Fail-over drill: inject a primary-node failure into every SUT.
+
+Reproduces the Section III-E methodology: a constant read-write
+workload at concurrency 150, a restart-model failure on the RW node,
+then the recovery pipeline plays out -- detection, promotion or ARIES
+restart, redo/undo -- followed by cache warm-up.  Prints each system's
+phase log, a TPS sparkline around the outage, and the F/R scores.
+
+Run with::
+
+    python examples/failover_drill.py
+"""
+
+from repro.cloud import all_architectures
+from repro.cloud.failure import FailoverSimulator
+from repro.core import READ_WRITE
+from repro.core.report import TextTable, sparkline
+
+
+def main() -> None:
+    workload = READ_WRITE.to_workload_mix(scale_factor=1)
+    summary = TextTable(
+        ["system", "steady TPS", "F-Score (s)", "R-Score (s)", "total (s)"],
+        title="RW-node fail-over at concurrency 150",
+    )
+
+    for arch in all_architectures():
+        simulator = FailoverSimulator(arch, workload, concurrency=150)
+        result = simulator.run(node="rw", inject_at_s=30.0)
+
+        print(f"-- {arch.display_name} ({arch.engine}) --")
+        for phase in result.phases:
+            print(f"   {phase.name:12s} {phase.start_s:6.1f}s -> {phase.end_s:6.1f}s  "
+                  f"{phase.description}")
+        tps = [value for _t, value in result.timeline]
+        print(f"   TPS  {sparkline(tps, width=60)}")
+        print(f"   service restored {result.f_score_s:.1f}s after injection, "
+              f"TPS back {result.r_score_s:.1f}s later\n")
+
+        summary.add_row(
+            arch.display_name, round(result.steady_tps),
+            round(result.f_score_s, 1), round(result.r_score_s, 1),
+            round(result.total_s, 1),
+        )
+
+    summary.print()
+    print("The memory-disaggregated design (CDB4) recovers in seconds: the")
+    print("remote buffer pool survives the failure, so the promoted node")
+    print("starts warm while the undo scan runs in the background.")
+
+
+if __name__ == "__main__":
+    main()

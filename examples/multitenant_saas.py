@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Multi-tenant SaaS scenario: picking a deployment model.
+
+A SaaS vendor has three tenants with very different traffic: a small
+always-on shop, a mid-size retailer, and a flash-sale platform whose
+load arrives in bursts.  Which cloud database -- isolated instances,
+an elastic pool, or copy-on-write branches -- serves them best?
+
+The script runs the paper's high-contention and staggered patterns for
+all five SUTs and prints per-tenant throughput, the billed bundle, and
+the T-Score, ending with a recommendation per traffic shape.
+
+Run with::
+
+    python examples/multitenant_saas.py
+"""
+
+from repro.cloud import all_architectures
+from repro.core import READ_WRITE
+from repro.core.multitenancy import (
+    TENANCY_PATTERNS,
+    MultiTenancyEvaluator,
+)
+from repro.core.report import TextTable
+
+
+def run_pattern(pattern_key: str, tau: int) -> dict:
+    workload = READ_WRITE.to_workload_mix(scale_factor=1)
+    pattern = TENANCY_PATTERNS[pattern_key]
+    print(f"pattern {pattern.name}: demand matrix "
+          f"{pattern.demand_matrix(tau)} (tenants x slots)")
+    results = {}
+    table = TextTable(
+        ["system", "tenancy model", "tenant TPS", "total TPS", "cost/min", "T-Score"],
+    )
+    for arch in all_architectures():
+        evaluator = MultiTenancyEvaluator(arch, workload)
+        result = evaluator.run(pattern, tau)
+        results[arch.name] = result
+        table.add_row(
+            arch.display_name,
+            arch.tenancy.kind.value,
+            "/".join(str(round(tps)) for tps in result.tenant_avg_tps),
+            round(result.total_tps),
+            round(result.cost_per_minute, 4),
+            round(result.t_score),
+        )
+    table.print()
+    return results
+
+
+def main() -> None:
+    print("== scenario 1: everyone busy at once (high contention) ==")
+    contended = run_pattern("high_contention", tau=330)
+
+    print("== scenario 2: tenants take turns (staggered bursts) ==")
+    staggered = run_pattern("staggered_high", tau=330)
+
+    best_contended = max(contended, key=lambda n: contended[n].total_tps)
+    best_staggered = max(staggered, key=lambda n: staggered[n].total_tps)
+    cheapest = min(contended, key=lambda n: contended[n].cost_per_minute)
+    print("recommendations:")
+    print(f"  steady heavy tenants  -> {best_contended} "
+          "(isolation protects against noisy neighbours)")
+    print(f"  bursty staggered load -> {best_staggered} "
+          "(a shared pool lends idle capacity to the active tenant)")
+    print(f"  tightest budget       -> {cheapest} "
+          "(shared storage + per-second compute)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""CloudyBench quickstart: load the sales microservice, run real
+transactions, then estimate cloud-scale throughput for every SUT.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro.cloud import CloudDatabase, all_architectures
+from repro.core import READ_WRITE, WorkloadManager, load_sales_database
+from repro.core.report import TextTable
+
+
+def functional_demo() -> None:
+    """Real SQL against the real storage engine (scaled-down rows)."""
+    print("== functional run: real engine, real SQL ==")
+    db, data = load_sales_database(scale_factor=1, row_scale=0.002)
+    print(f"loaded {data.total_rows} rows "
+          f"(scale factor {data.scale_factor}, row_scale {data.row_scale})")
+
+    manager = WorkloadManager(db, READ_WRITE, concurrency=4, record_latencies=True)
+    result = manager.run_transactions(2000)
+    print(f"executed {result.transactions} transactions in "
+          f"{result.elapsed_s:.2f}s -> {result.tps:.0f} TPS (engine wall clock)")
+    print(f"mix: {result.counts}, aborted: {result.aborted}")
+    print(f"p50 latency {result.latency_percentile(50) * 1e6:.0f}us, "
+          f"p99 {result.latency_percentile(99) * 1e6:.0f}us")
+
+    paid = db.query("SELECT COUNT(*) FROM orders WHERE O_STATUS = 'PAID'").scalar()
+    print(f"orders now marked PAID: {paid}\n")
+
+
+def modelled_demo() -> None:
+    """Cloud-scale throughput from the architectural model (Figure 5)."""
+    print("== modelled run: the five SUT architectures ==")
+    workload = READ_WRITE.to_workload_mix(scale_factor=10)
+    table = TextTable(
+        ["system", "engine", "TPS@50", "TPS@100", "TPS@200", "bottleneck"],
+        title="Read-write throughput at SF10 (modelled)",
+    )
+    for arch in all_architectures():
+        cloud_db = CloudDatabase(arch)
+        estimates = {con: cloud_db.estimate(workload, con) for con in (50, 100, 200)}
+        table.add_row(
+            arch.display_name, arch.engine,
+            *[round(estimates[con].tps) for con in (50, 100, 200)],
+            estimates[200].bottleneck,
+        )
+    table.print()
+
+
+if __name__ == "__main__":
+    functional_demo()
+    modelled_demo()

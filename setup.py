@@ -1,0 +1,11 @@
+"""Setup shim so `pip install -e .` works offline (legacy editable mode).
+
+The offline environment has setuptools but no `wheel` package, so the
+PEP 660 editable path (which shells out to `bdist_wheel`) fails; with a
+`setup.py` present, `pip install -e . --no-use-pep517` installs fine.
+All real metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,26 @@
+"""CloudyBench reproduction: a testbed for cloud-native databases.
+
+The package reproduces *CloudyBench: A Testbed for A Comprehensive
+Evaluation of Cloud-Native Databases* (ICDE 2025) as a self-contained
+Python library:
+
+* :mod:`repro.engine`    -- a miniature transactional storage engine.
+* :mod:`repro.sim`       -- the deterministic simulation kernel.
+* :mod:`repro.cloud`     -- architectural models of the five SUTs.
+* :mod:`repro.core`      -- the CloudyBench workloads, evaluators and
+  the PERFECT metric framework.
+* :mod:`repro.baselines` -- SysBench, TPC-C and YCSB comparators.
+
+Quickstart::
+
+    from repro import CloudyBench, BenchConfig
+    bench = CloudyBench(BenchConfig.quick())
+    for key, tps in bench.run_throughput().items():
+        print(key, round(tps))
+"""
+
+from repro.core import BenchConfig, CloudyBench
+
+__version__ = "1.0.0"
+
+__all__ = ["BenchConfig", "CloudyBench", "__version__"]

@@ -1,0 +1,27 @@
+"""Baseline benchmarks CloudyBench is compared against (Table I, Fig. 9).
+
+* :mod:`repro.baselines.sysbench` -- SysBench OLTP (point selects and
+  read-write mixes over ``sbtest`` tables).
+* :mod:`repro.baselines.tpcc`     -- a faithful TPC-C subset (all five
+  transactions over the nine-table schema).
+* :mod:`repro.baselines.ycsb`     -- YCSB core workloads A-F with
+  zipfian/latest/uniform request distributions.
+
+Each baseline provides (i) a functional executor against the real
+engine and (ii) a :class:`~repro.cloud.workload_model.WorkloadMix` so
+the same workload can drive the cloud model -- that is how Figure 9
+runs SysBench and TPC-C against CDB3's autoscaler.
+"""
+
+from repro.baselines.sysbench import SysbenchWorkload, sysbench_mix
+from repro.baselines.tpcc import TpccWorkload, tpcc_mix
+from repro.baselines.ycsb import YcsbWorkload, ycsb_mix
+
+__all__ = [
+    "SysbenchWorkload",
+    "TpccWorkload",
+    "YcsbWorkload",
+    "sysbench_mix",
+    "tpcc_mix",
+    "ycsb_mix",
+]

@@ -1,0 +1,57 @@
+"""Architectural simulator of cloud-native databases.
+
+This package models the five systems-under-test of the CloudyBench
+paper as parameterised *architectures* rather than as black boxes with
+hard-coded results: steady-state throughput emerges from a closed
+queueing network (:mod:`repro.cloud.mva_model`), and time-varying
+behaviour (autoscaling, tenancy scheduling, fail-over, replication)
+emerges from deterministic simulations layered on the same model.
+
+Entry points
+------------
+* :func:`repro.cloud.architectures.get` / ``all_architectures()`` --
+  the SUT registry (``aws_rds``, ``cdb1`` .. ``cdb4``).
+* :class:`repro.cloud.database.CloudDatabase` -- a provisioned instance
+  of an architecture that the CloudyBench evaluators drive.
+"""
+
+from repro.cloud.architectures import (
+    Architecture,
+    all_architectures,
+    get,
+    register,
+)
+from repro.cloud.database import CloudDatabase
+from repro.cloud.specs import (
+    ComputeAllocation,
+    InstanceSpec,
+    NetworkKind,
+    NetworkSpec,
+    PricingModel,
+    RecoveryProfile,
+    ScalingPolicySpec,
+    StorageProfile,
+    TenancyKind,
+    TenancySpec,
+)
+from repro.cloud.workload_model import TxnClass, WorkloadMix
+
+__all__ = [
+    "Architecture",
+    "CloudDatabase",
+    "ComputeAllocation",
+    "InstanceSpec",
+    "NetworkKind",
+    "NetworkSpec",
+    "PricingModel",
+    "RecoveryProfile",
+    "ScalingPolicySpec",
+    "StorageProfile",
+    "TenancyKind",
+    "TenancySpec",
+    "TxnClass",
+    "WorkloadMix",
+    "all_architectures",
+    "get",
+    "register",
+]

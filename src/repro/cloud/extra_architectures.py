@@ -1,0 +1,121 @@
+"""Optional extra SUTs beyond the paper's five.
+
+The paper's acknowledgements thank the GaussDB team, whose published
+design is a *multi-primary* cloud-native database with
+compute-memory-storage disaggregation (Li et al., VLDB'24).  This
+module models such a system as a sixth architecture to exercise the
+registry's extensibility -- it is **not** registered by default, so the
+paper-reproduction benches keep their exact five-SUT tables.  Opt in
+with::
+
+    from repro.cloud.extra_architectures import register_extras
+    register_extras()
+    bench = CloudyBench(BenchConfig(architectures=[..., "multi_primary"]))
+
+Architectural notes encoded below:
+
+* every compute node is a writer (multi-primary), so there is no
+  RW-failure promotion: surviving writers absorb the load after a
+  short membership change;
+* a shared remote memory pool (like CDB4) plus a global lock/timestamp
+  service on the write path (distributed concurrency control makes
+  updates pricier than CDB4's single-writer invalidation);
+* scale-out adds *write* capacity too, so its replica efficiency tops
+  the single-writer designs.
+"""
+
+from __future__ import annotations
+
+from repro.cloud.architectures import Architecture, register
+from repro.cloud.specs import (
+    GIB,
+    MIB,
+    ComputeAllocation,
+    InstanceSpec,
+    NetworkKind,
+    PricingModel,
+    ProvisionedPackage,
+    RDMA_10G,
+    RecoveryProfile,
+    ScalingKind,
+    ScalingPolicySpec,
+    StorageKind,
+    StorageProfile,
+    TenancyKind,
+    TenancySpec,
+)
+
+
+def multi_primary() -> Architecture:
+    """A GaussDB-style multi-primary, memory-disaggregated SUT."""
+    return Architecture(
+        name="multi_primary",
+        display_name="Multi-Primary",
+        engine="openGauss 5",
+        cpu_efficiency=1.35,
+        miss_cpu_s=18e-6,
+        buffer_bytes=8 * GIB,
+        second_cache_fraction=0.0,
+        remote_buffer_bytes=32 * GIB,
+        flush_coeff=0.15,
+        checkpoint_interval_s=60.0,
+        instance=InstanceSpec(
+            min_allocation=ComputeAllocation(4, 16),
+            max_allocation=ComputeAllocation(4, 16),
+            serverless=False,
+        ),
+        network=RDMA_10G,
+        storage=StorageProfile(
+            kind=StorageKind.MEMORY_DISAGGREGATED,
+            page_fetch_s=22e-6,
+            fetch_channels=32,
+            log_write_s=30e-6,
+            log_channels=8,
+            replication_factor=3,
+            redo_pushdown=False,
+            replay_parallelism=8,
+            replay_service_s={"insert": 35e-6, "update": 35e-6, "delete": 18e-6},
+            ship_hops=1,
+            replay_batch_interval_s=0.0015,
+            backing_fetch_s=340e-6,
+            backing_channels=12,
+            commit_delay_s=0.5e-3,     # global timestamp + lock service hop
+        ),
+        recovery=RecoveryProfile(
+            heartbeat_s=1.0,
+            prepare_s=0.5,
+            # no promotion: surviving writers take over after membership change
+            promote_s=1.0,
+            restart_s=1.0,
+            redo_rate_records_s=2_000_000,
+            undo_rate_txns_s=60,
+            remote_buffer_survives=True,
+            flush_before_restart=False,
+            warmup_tau_rw_s=1.0,
+            warmup_tau_ro_s=1.2,
+            ro_restart_s=1.0,
+        ),
+        scaling=ScalingPolicySpec(kind=ScalingKind.FIXED),
+        tenancy=TenancySpec(kind=TenancyKind.ISOLATED, isolation_cost_factor=3),
+        pricing=PricingModel(
+            vcore_hour=0.52,
+            memory_gb_hour=0.030,
+            storage_gb_hour=0.00015,
+            iops_100_hour=0.00012,
+            network_gbps_hour=0.95,
+            min_billing_s=60.0,
+        ),
+        provisioned=ProvisionedPackage(
+            vcores=4, memory_gb=48, storage_gb=63, iops=84_000,
+            network_gbps=10, network_kind=NetworkKind.RDMA,
+        ),
+        # distributed concurrency control: global locks on every update
+        update_overhead_s=2300e-6,
+        # added nodes also write: the best scale-out in the fleet
+        replica_efficiency=1.55,
+    )
+
+
+def register_extras() -> None:
+    """Register the optional architectures (idempotent)."""
+    register("multi_primary", multi_primary)

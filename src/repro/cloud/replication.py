@@ -1,0 +1,168 @@
+"""Log shipping and replay between the RW node and RO replicas.
+
+The pipeline is *real* at the data level and *simulated* at the timing
+level: committed transactions on the primary :class:`~repro.engine.
+database.Database` produce WAL record batches which are shipped over a
+modelled network, queued at the replica's replayer, and applied to a
+real replica database by :class:`~repro.engine.recovery.ReplicaApplier`.
+A probe can therefore poll the replica with real queries and observe
+exactly when a change becomes visible -- which is how the paper's
+lag-time evaluator works.
+
+Timing model per architecture (:class:`StorageProfile`):
+
+* ship delay      = ``ship_hops`` x (network latency + serialisation)
+* batching        = the replayer wakes every ``replay_batch_interval_s``
+  and drains what has arrived (sequential-replay systems use long
+  cadences; RDMA on-demand replay is sub-millisecond)
+* replay duration = sum of per-record service times divided by
+  ``replay_parallelism`` (parallel replay partitions by page)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.cloud.architectures import Architecture
+from repro.engine.database import Database
+from repro.engine.recovery import ReplicaApplier
+from repro.engine.wal import LogKind, LogRecord
+from repro.sim.events import Environment, Event
+
+
+@dataclass
+class ReplicationStats:
+    """Counters per replica."""
+
+    batches_shipped: int = 0
+    records_applied: int = 0
+    busy_s: float = 0.0
+    #: (commit_time, visible_time) pairs for every shipped transaction
+    applied_at: Dict[int, float] = field(default_factory=dict)
+
+
+class ReplicationPipeline:
+    """Connects one primary to ``n_replicas`` real replica databases."""
+
+    def __init__(
+        self,
+        env: Environment,
+        arch: Architecture,
+        primary: Database,
+        n_replicas: int = 1,
+    ):
+        if n_replicas < 1:
+            raise ValueError("need at least one replica")
+        self.env = env
+        self.arch = arch
+        self.primary = primary
+        self.replicas: List[Database] = [
+            primary.clone_full(f"{primary.name}-replica{i}")
+            for i in range(n_replicas)
+        ]
+        self.appliers = [ReplicaApplier(replica) for replica in self.replicas]
+        self.stats = [ReplicationStats() for _ in self.replicas]
+        self._queues: List[List[Tuple[float, int, List[LogRecord]]]] = [
+            [] for _ in self.replicas
+        ]
+        self._wakeups: List[Optional[Event]] = [None] * n_replicas
+        #: arrival time of the last shipped batch per replica: the log
+        #: is a FIFO stream, so batches may never overtake each other
+        self._last_arrival: List[float] = [0.0] * n_replicas
+        primary.add_commit_listener(self._on_commit)
+        for index in range(n_replicas):
+            env.process(self._replayer(index))
+
+    # -- shipping ------------------------------------------------------------
+
+    def _ship_delay_s(self, records: List[LogRecord]) -> float:
+        size = sum(record.byte_size() for record in records) + 64
+        per_hop = self.arch.network.transfer_time(size)
+        return self.arch.storage.ship_hops * per_hop
+
+    def _on_commit(self, txn_id: int, commit_lsn: int, records: List[LogRecord]) -> None:
+        if not records:
+            return
+        for index in range(len(self.replicas)):
+            # FIFO stream: a batch arrives after its own transfer delay
+            # but never before any batch committed earlier.
+            arrival = max(
+                self._last_arrival[index],
+                self.env.now + self._ship_delay_s(records),
+            )
+            self._last_arrival[index] = arrival
+            self.env.process(self._deliver(index, txn_id, list(records), arrival))
+
+    def _deliver(self, index: int, txn_id: int, records: List[LogRecord], arrival: float):
+        yield self.env.timeout(max(0.0, arrival - self.env.now))
+        self._queues[index].append((self.env.now, txn_id, records))
+        self.stats[index].batches_shipped += 1
+        wakeup = self._wakeups[index]
+        if wakeup is not None and not wakeup.triggered:
+            wakeup.succeed()
+
+    # -- replay ----------------------------------------------------------------
+
+    def _record_service_s(self, record: LogRecord) -> float:
+        service = self.arch.storage.replay_service_s
+        if record.kind is LogKind.INSERT:
+            return service.get("insert", 100e-6)
+        if record.kind is LogKind.UPDATE:
+            return service.get("update", 100e-6)
+        if record.kind is LogKind.DELETE:
+            return service.get("delete", 50e-6)
+        return 0.0
+
+    def _replayer(self, index: int):
+        storage = self.arch.storage
+        interval = storage.replay_batch_interval_s
+        queue = self._queues[index]
+        applier = self.appliers[index]
+        stats = self.stats[index]
+        while True:
+            if not queue:
+                wakeup = self.env.event()
+                self._wakeups[index] = wakeup
+                yield wakeup
+                self._wakeups[index] = None
+            # Batch cadence: wait for the next replay tick so that more
+            # records can coalesce (sequential-replay systems batch long).
+            yield self.env.timeout(interval)
+            drained, queue[:] = queue[:], []
+            total_service = sum(
+                self._record_service_s(record)
+                for _arrived, _txn, records in drained
+                for record in records
+            )
+            replay_s = total_service / max(1, storage.replay_parallelism)
+            if replay_s > 0:
+                yield self.env.timeout(replay_s)
+            stats.busy_s += replay_s
+            for _arrived, txn_id, records in drained:
+                applier.apply_batch(records)
+                stats.records_applied += sum(
+                    1 for record in records if record.kind is not LogKind.COMMIT
+                )
+                stats.applied_at[txn_id] = self.env.now
+
+    # -- observability -----------------------------------------------------------
+
+    def replica_lag_records(self, index: int = 0) -> int:
+        return self.appliers[index].lag_behind(self.primary.wal.last_lsn)
+
+    def visible_on_replica(self, index: int, sql: str, params=()) -> bool:
+        """Real read against the replica: is the probe row visible?"""
+        return bool(self.replicas[index].query(sql, params).rows)
+
+    def converged(self) -> bool:
+        """True when every replica's content equals the primary's.
+
+        This is the consistency check the paper's lag-time evaluator
+        performs ("until the data is consistent between the RW node and
+        RO nodes"), done with order-independent content hashes.
+        """
+        reference = self.primary.content_hash()
+        return all(
+            replica.content_hash() == reference for replica in self.replicas
+        )

@@ -1,0 +1,136 @@
+"""Workload abstraction consumed by the analytical throughput model.
+
+The CloudyBench workload layer (``repro.core.workload``) maps its
+transaction mixes (T1..T4 ratios, access distribution, scale factor)
+into a :class:`WorkloadMix`; the baselines (SysBench, TPC-C, YCSB) do
+the same, so every workload drives the cloud model through one
+interface.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class TxnClass:
+    """Resource footprint of one transaction type on a reference vCore."""
+
+    name: str
+    #: CPU seconds on one reference core (engine efficiency 1.0)
+    cpu_s: float
+    #: logical page reads (index + heap touches)
+    page_reads: float
+    #: pages dirtied
+    page_writes: float
+    #: bytes appended to the log per transaction
+    log_bytes: float
+    #: rows written (drives lock contention on hot keys)
+    rows_written: float = 0.0
+    #: rows updated in place (drives cache-invalidation / quorum overhead)
+    rows_updated: float = 0.0
+    #: client round trips (SQL statements) per transaction
+    statements: float = 1.0
+
+    def __post_init__(self) -> None:
+        if min(self.cpu_s, self.page_reads, self.page_writes, self.log_bytes) < 0:
+            raise ValueError(f"negative footprint in txn class {self.name!r}")
+
+
+@dataclass(frozen=True)
+class WorkloadMix:
+    """A weighted mix of transaction classes plus data-access shape."""
+
+    name: str
+    classes: Tuple[Tuple[TxnClass, float], ...]
+    #: total working set touched by the workload, bytes
+    working_set_bytes: float
+    #: fraction of accesses that go to the hot set (0 = uniform)
+    hot_fraction: float = 0.0
+    #: size of the hot set, bytes
+    hot_set_bytes: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not self.classes:
+            raise ValueError("a workload mix needs at least one class")
+        total = sum(weight for _cls, weight in self.classes)
+        if total <= 0:
+            raise ValueError("mix weights must sum to a positive number")
+        if not 0.0 <= self.hot_fraction <= 1.0:
+            raise ValueError("hot_fraction must be within [0, 1]")
+        if self.hot_fraction > 0 and self.hot_set_bytes <= 0:
+            raise ValueError("a skewed mix needs hot_set_bytes > 0")
+
+    def _weighted(self, attribute: str) -> float:
+        # Normalise weights before multiplying: dividing first keeps the
+        # average exact even for extreme weight magnitudes (a tiny weight
+        # times a tiny attribute would otherwise underflow to zero).
+        total = sum(weight for _cls, weight in self.classes)
+        return sum(
+            getattr(cls, attribute) * (weight / total)
+            for cls, weight in self.classes
+        )
+
+    @property
+    def cpu_s(self) -> float:
+        return self._weighted("cpu_s")
+
+    @property
+    def page_reads(self) -> float:
+        return self._weighted("page_reads")
+
+    @property
+    def page_writes(self) -> float:
+        return self._weighted("page_writes")
+
+    @property
+    def log_bytes(self) -> float:
+        return self._weighted("log_bytes")
+
+    @property
+    def rows_written(self) -> float:
+        return self._weighted("rows_written")
+
+    @property
+    def rows_updated(self) -> float:
+        return self._weighted("rows_updated")
+
+    @property
+    def statements(self) -> float:
+        return self._weighted("statements")
+
+    @property
+    def write_fraction(self) -> float:
+        """Fraction of transactions that write anything."""
+        total = sum(weight for _cls, weight in self.classes)
+        writers = sum(
+            weight for cls, weight in self.classes if cls.page_writes > 0
+        )
+        return writers / total
+
+
+def blend(name: str, mixes: Sequence[Tuple[WorkloadMix, float]]) -> WorkloadMix:
+    """Combine several mixes with weights (multi-tenant aggregate view)."""
+    if not mixes:
+        raise ValueError("blend() needs at least one mix")
+    classes: list[Tuple[TxnClass, float]] = []
+    total_weight = sum(weight for _mix, weight in mixes)
+    if total_weight <= 0:
+        raise ValueError("blend() weights must sum to a positive number")
+    for mix, weight in mixes:
+        share = weight / total_weight
+        mix_total = sum(w for _cls, w in mix.classes)
+        classes.extend(
+            (cls, w / mix_total * share) for cls, w in mix.classes
+        )
+    working_set = max(mix.working_set_bytes for mix, _w in mixes)
+    hot_fraction = sum(mix.hot_fraction * w for mix, w in mixes) / total_weight
+    hot_bytes = max(mix.hot_set_bytes for mix, _w in mixes)
+    return WorkloadMix(
+        name=name,
+        classes=tuple(classes),
+        working_set_bytes=working_set,
+        hot_fraction=hot_fraction,
+        hot_set_bytes=hot_bytes,
+    )

@@ -1,0 +1,165 @@
+"""``cloudybench`` command-line interface.
+
+Runs one evaluator (or the full PERFECT suite) against the configured
+architectures and prints paper-style tables::
+
+    cloudybench --eval throughput
+    cloudybench --config props.toml --eval elasticity
+    cloudybench --eval overall --quick
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.core.config import BenchConfig
+from repro.core.report import TextTable
+from repro.core.runner import CloudyBench
+
+EVALUATIONS = (
+    "throughput", "pscore", "elasticity", "multitenancy",
+    "failover", "lagtime", "overall", "report",
+)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="cloudybench",
+        description="CloudyBench: a testbed for cloud-native databases",
+    )
+    parser.add_argument("--config", help="props TOML file", default=None)
+    parser.add_argument(
+        "--eval", dest="evaluation", choices=EVALUATIONS, default="throughput",
+        help="which evaluator to run",
+    )
+    parser.add_argument(
+        "--arch", action="append", default=None,
+        help="architecture name (repeatable); defaults to all five SUTs",
+    )
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="fast preset: SF1 only, fewer concurrencies",
+    )
+    parser.add_argument(
+        "--out", default=None,
+        help="write the --eval report markdown to this file (default stdout)",
+    )
+    return parser
+
+
+def _config(args: argparse.Namespace) -> BenchConfig:
+    if args.config:
+        config = BenchConfig.from_toml(args.config)
+    elif args.quick:
+        config = BenchConfig.quick()
+    else:
+        config = BenchConfig()
+    if args.arch:
+        config.architectures = list(args.arch)
+    return config
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    bench = CloudyBench(_config(args))
+    evaluation = args.evaluation
+
+    if evaluation == "throughput":
+        table = TextTable(
+            ["arch", "SF", "mode", "concurrency", "TPS"],
+            title="Transaction processing throughput (Figure 5)",
+        )
+        for (arch, sf, mode, con), tps in bench.run_throughput().items():
+            table.add_row(arch, sf, mode, con, round(tps))
+        table.print()
+    elif evaluation == "pscore":
+        table = TextTable(
+            ["arch", "cost/min", *bench.config.modes, "AVG"],
+            title="P-Score (Table V)",
+        )
+        for row in bench.run_pscore():
+            table.add_row(
+                row.arch_name,
+                round(row.total_cost_per_minute, 4),
+                *[round(row.p_by_mode[mode]) for mode in bench.config.modes],
+                round(row.p_avg),
+            )
+        table.print()
+    elif evaluation == "elasticity":
+        table = TextTable(
+            ["arch", "pattern", "mode", "avg TPS", "total cost", "E1"],
+            title="Elasticity (Figure 6)",
+        )
+        for arch, by_pattern in bench.run_elasticity().items():
+            for pattern, by_mode in by_pattern.items():
+                for mode, result in by_mode.items():
+                    table.add_row(
+                        arch, pattern, mode, round(result.avg_tps),
+                        round(result.total_cost, 4), round(result.e1_score),
+                    )
+        table.print()
+    elif evaluation == "multitenancy":
+        table = TextTable(
+            ["arch", "pattern", "total TPS", "cost/min", "T-Score"],
+            title="Multi-tenancy (Table VII)",
+        )
+        for arch, by_pattern in bench.run_multitenancy().items():
+            for pattern, result in by_pattern.items():
+                table.add_row(
+                    arch, pattern, round(result.total_tps),
+                    round(result.cost_per_minute, 4), round(result.t_score),
+                )
+        table.print()
+    elif evaluation == "failover":
+        table = TextTable(
+            ["arch", "F(RW)", "F(RO)", "R(RW)", "R(RO)", "total"],
+            title="Fail-over (Table VIII), seconds",
+        )
+        for arch, scores in bench.run_failover().items():
+            table.add_row(
+                arch, round(scores.f_rw_s, 1), round(scores.f_ro_s, 1),
+                round(scores.r_rw_s, 1), round(scores.r_ro_s, 1),
+                round(scores.total_s, 1),
+            )
+        table.print()
+    elif evaluation == "lagtime":
+        table = TextTable(
+            ["arch", "pattern", "insert ms", "update ms", "delete ms", "C ms"],
+            title="Replication lag (Section III-F)",
+        )
+        for arch, by_pattern in bench.run_lagtime().items():
+            for pattern, result in by_pattern.items():
+                table.add_row(
+                    arch, pattern,
+                    round(result.insert_lag_s * 1000, 2),
+                    round(result.update_lag_s * 1000, 2),
+                    round(result.delete_lag_s * 1000, 2),
+                    round(result.c_score_s * 1000, 2),
+                )
+        table.print()
+    elif evaluation == "report":
+        from repro.core.summary import generate_report
+
+        markdown = generate_report(bench)
+        if args.out:
+            with open(args.out, "w") as handle:
+                handle.write(markdown)
+            print(f"report written to {args.out}")
+        else:
+            print(markdown)
+    elif evaluation == "overall":
+        table = TextTable(
+            ["arch", "P", "P*", "E1", "E1*", "R", "F", "E2", "C(ms)", "T", "T*",
+             "O", "O*"],
+            title="Overall performance (Table IX)",
+        )
+        for scores in bench.overall().values():
+            table.add_row(*scores.as_row())
+        table.print()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

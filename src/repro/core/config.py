@@ -1,0 +1,125 @@
+"""Benchmark configuration (the paper's *props* file).
+
+A :class:`BenchConfig` drives the whole testbed.  It can be built in
+code, from a dict, or from a TOML props file::
+
+    [workload]
+    scale_factors = [1, 10, 100]
+    concurrencies = [50, 100, 150, 200]
+    distribution = "uniform"
+
+    [elasticity]
+    elastic_test_time = 3          # slots per pattern
+    modes = ["RO", "RW", "WO"]
+
+    [elasticity.custom_patterns]   # extensibility: add new patterns
+    double_peak = [0.0, 1.0, 0.2, 1.0, 0.0]
+
+Unknown keys raise immediately -- a benchmark that silently ignores a
+typoed knob measures the wrong thing.
+"""
+
+from __future__ import annotations
+
+import tomllib
+from dataclasses import dataclass, field, fields
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+DEFAULT_ARCHITECTURES = ["aws_rds", "cdb1", "cdb2", "cdb3", "cdb4"]
+
+
+@dataclass
+class BenchConfig:
+    """All knobs of the CloudyBench testbed."""
+
+    # -- systems under test
+    architectures: List[str] = field(default_factory=lambda: list(DEFAULT_ARCHITECTURES))
+
+    # -- workload
+    scale_factors: List[int] = field(default_factory=lambda: [1, 10, 100])
+    concurrencies: List[int] = field(default_factory=lambda: [50, 100, 150, 200])
+    modes: List[str] = field(default_factory=lambda: ["RO", "RW", "WO"])
+    distribution: str = "uniform"
+    latest_k: int = 10
+    seed: int = 42
+
+    # -- functional data loading
+    row_scale: float = 0.002
+
+    # -- elasticity
+    elastic_test_time: int = 3            # slots per pattern
+    slot_seconds: float = 60.0
+    measure_window_s: float = 600.0
+    elastic_modes: List[str] = field(default_factory=lambda: ["RO", "RW", "WO"])
+    elastic_tau: Optional[int] = None     # None -> probe saturation, take max
+    custom_patterns: Dict[str, List[float]] = field(default_factory=dict)
+
+    # -- multi-tenancy
+    tenants: int = 3
+    tenant_slots: int = 3
+    tenancy_tau_high: Optional[int] = None
+    tenancy_tau_low: Optional[int] = None
+
+    # -- fail-over
+    failover_concurrency: int = 150
+    recovery_threshold: float = 0.95
+
+    # -- replication lag
+    lag_concurrency: int = 8
+    lag_transactions: int = 240
+    lag_replicas: int = 1
+
+    def __post_init__(self) -> None:
+        if not self.architectures:
+            raise ValueError("configure at least one architecture")
+        if any(sf < 1 for sf in self.scale_factors):
+            raise ValueError("scale factors must be >= 1")
+        if any(con < 1 for con in self.concurrencies):
+            raise ValueError("concurrencies must be >= 1")
+        bad_modes = set(self.modes) | set(self.elastic_modes)
+        if bad_modes - {"RO", "RW", "WO"}:
+            raise ValueError(f"modes must be RO/RW/WO, got {sorted(bad_modes)}")
+        if self.elastic_test_time < 1:
+            raise ValueError("elastic_test_time must be >= 1 slot")
+        if self.tenants < 1 or self.tenant_slots < 1:
+            raise ValueError("tenants and tenant_slots must be >= 1")
+
+    # -- construction ---------------------------------------------------------
+
+    @classmethod
+    def from_dict(cls, raw: Dict[str, Any]) -> "BenchConfig":
+        """Build from a (possibly nested) mapping; unknown keys raise."""
+        flat: Dict[str, Any] = {}
+        known = {f.name for f in fields(cls)}
+
+        def absorb(mapping: Dict[str, Any], path: str = "") -> None:
+            for key, value in mapping.items():
+                if isinstance(value, dict) and key not in known:
+                    absorb(value, f"{path}{key}.")
+                elif key in known:
+                    flat[key] = value
+                else:
+                    raise KeyError(f"unknown config key {path}{key!r}")
+
+        absorb(raw)
+        return cls(**flat)
+
+    @classmethod
+    def from_toml(cls, path: Path | str) -> "BenchConfig":
+        with open(path, "rb") as handle:
+            return cls.from_dict(tomllib.load(handle))
+
+    # -- convenience presets -----------------------------------------------------
+
+    @classmethod
+    def quick(cls) -> "BenchConfig":
+        """A fast preset for tests and smoke runs."""
+        return cls(
+            scale_factors=[1],
+            concurrencies=[50, 100],
+            elastic_modes=["RW"],
+            measure_window_s=180.0,
+            lag_transactions=60,
+            row_scale=0.001,
+        )

@@ -1,0 +1,127 @@
+"""Workload manager: spawns workers and drives functional OLTP runs.
+
+This is the testbed's *functional* execution path: real transactions
+against the real engine, used by the OLTP evaluator, the examples, and
+the tests.  Workers are cooperative (one OS thread): each worker is a
+round-robin slot executing its next transaction, which measures engine
+throughput honestly without GIL games.
+
+The *modelled* path (the paper's cloud-scale numbers) goes through
+:class:`repro.core.runner.CloudyBench` instead.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.core.workload import SalesWorkload, TransactionMix
+from repro.engine.database import Database
+
+
+@dataclass
+class OltpResult:
+    """Outcome of one functional OLTP run."""
+
+    transactions: int
+    elapsed_s: float
+    counts: Dict[str, int] = field(default_factory=dict)
+    aborted: int = 0
+    latencies_s: List[float] = field(default_factory=list)
+
+    @property
+    def tps(self) -> float:
+        return self.transactions / self.elapsed_s if self.elapsed_s > 0 else 0.0
+
+    def latency_percentile(self, percentile: float) -> float:
+        if not self.latencies_s:
+            return 0.0
+        ordered = sorted(self.latencies_s)
+        index = min(len(ordered) - 1, int(len(ordered) * percentile / 100.0))
+        return ordered[index]
+
+
+class WorkloadManager:
+    """Spawns ``concurrency`` workers over one database."""
+
+    def __init__(
+        self,
+        db: Database,
+        mix: TransactionMix,
+        concurrency: int = 4,
+        distribution: str = "uniform",
+        latest_k: int = 10,
+        seed: int = 42,
+        record_latencies: bool = False,
+    ):
+        if concurrency < 1:
+            raise ValueError("concurrency must be >= 1")
+        self.db = db
+        self.concurrency = concurrency
+        self.record_latencies = record_latencies
+        # One workload state per worker: separate RNG streams keep the
+        # run deterministic regardless of interleaving.
+        self.workers = [
+            SalesWorkload(
+                db, mix, distribution=distribution, latest_k=latest_k,
+                seed=seed + worker_id,
+            )
+            for worker_id in range(concurrency)
+        ]
+
+    def run_transactions(self, total: int) -> OltpResult:
+        """Execute ``total`` transactions round-robin across workers."""
+        if total < 1:
+            raise ValueError("total must be >= 1")
+        latencies: List[float] = []
+        started = time.perf_counter()
+        for index in range(total):
+            worker = self.workers[index % self.concurrency]
+            if self.record_latencies:
+                txn_start = time.perf_counter()
+                worker.run_one()
+                latencies.append(time.perf_counter() - txn_start)
+            else:
+                worker.run_one()
+        elapsed = time.perf_counter() - started
+        counts: Dict[str, int] = {}
+        aborted = 0
+        for worker in self.workers:
+            aborted += worker.aborted
+            for task, count in worker.executed.items():
+                counts[task] = counts.get(task, 0) + count
+        return OltpResult(
+            transactions=total,
+            elapsed_s=elapsed,
+            counts=counts,
+            aborted=aborted,
+            latencies_s=latencies,
+        )
+
+    def run_for(self, duration_s: float, batch: int = 64) -> OltpResult:
+        """Execute transactions until ``duration_s`` wall seconds pass."""
+        if duration_s <= 0:
+            raise ValueError("duration must be positive")
+        executed = 0
+        latencies: List[float] = []
+        started = time.perf_counter()
+        while time.perf_counter() - started < duration_s:
+            for _ in range(batch):
+                worker = self.workers[executed % self.concurrency]
+                worker.run_one()
+                executed += 1
+        elapsed = time.perf_counter() - started
+        counts: Dict[str, int] = {}
+        aborted = 0
+        for worker in self.workers:
+            aborted += worker.aborted
+            for task, count in worker.executed.items():
+                counts[task] = counts.get(task, 0) + count
+        return OltpResult(
+            transactions=executed,
+            elapsed_s=elapsed,
+            counts=counts,
+            aborted=aborted,
+            latencies_s=latencies,
+        )

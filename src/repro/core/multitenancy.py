@@ -1,0 +1,209 @@
+"""Multi-tenancy evaluator (paper Sections II-D and III-D).
+
+Four contention patterns over three tenants and three one-minute slots
+(CloudyBench supports arbitrary tenant/slot counts; the generation
+rule is the same):
+
+* (a) **high contention**: constant demands (10%, 30%, 60%+20%) x tau
+  -- the total exceeds the capacity threshold.
+* (b) **low contention**: constant (10%, 30%, 60%-20%) x tau -- total
+  stays below the threshold.
+* (c) **staggered high**: tenants take turns at (10/30/60% + 100%) tau.
+* (d) **staggered low**: tenants take turns at 10/20/30% of tau.
+
+tau is the *maximum* saturation concurrency among the SUTs for the high
+patterns and the *minimum* for the low ones, exactly as in the paper.
+
+The billed resource bundle depends on the tenancy model: isolated
+instances triple everything; the elastic pool shares network and IOPS;
+branches share storage (copy-on-write) but triple I/O.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.cloud.architectures import Architecture
+from repro.cloud.specs import ProvisionedPackage, TenancyKind
+from repro.cloud.tenancy import SlotResult, TenantScheduler
+from repro.cloud.workload_model import WorkloadMix
+from repro.core.pricing import package_cost_per_minute
+from dataclasses import replace as dc_replace
+
+
+@dataclass(frozen=True)
+class TenancyPattern:
+    key: str
+    name: str
+    #: demand matrix builder: (tau, n_tenants, n_slots) -> [[con per slot]]
+    staggered: bool
+    high: bool
+
+    def demand_matrix(
+        self, tau: int, n_tenants: int = 3, n_slots: int = 3
+    ) -> List[List[int]]:
+        ratios = _tenant_ratios(n_tenants, staggered=self.staggered)
+        matrix: List[List[int]] = []
+        if self.staggered:
+            boost = 1.0 if self.high else 0.0
+            for tenant in range(n_tenants):
+                row = [0] * n_slots
+                slot = tenant % n_slots
+                row[slot] = int(round((ratios[tenant] + boost) * tau))
+                matrix.append(row)
+            return matrix
+        delta = 0.2 if self.high else -0.2
+        adjusted = list(ratios)
+        adjusted[-1] = max(0.05, adjusted[-1] + delta)
+        for tenant in range(n_tenants):
+            level = int(round(adjusted[tenant] * tau))
+            matrix.append([level] * n_slots)
+        return matrix
+
+
+def _tenant_ratios(n_tenants: int, staggered: bool) -> List[float]:
+    """Demand ratios per tenant (paper defaults for three tenants)."""
+    if n_tenants == 3:
+        return [0.1, 0.2, 0.3] if staggered else [0.1, 0.3, 0.6]
+    # Generalisation: linearly increasing shares normalised to the
+    # three-tenant totals.
+    weights = [index + 1 for index in range(n_tenants)]
+    total = sum(weights)
+    scale = 0.6 if staggered else 1.0
+    return [weight / total * scale for weight in weights]
+
+
+TENANCY_PATTERNS: Dict[str, TenancyPattern] = {
+    "high_contention": TenancyPattern("high_contention", "(a) High Contention",
+                                      staggered=False, high=True),
+    "low_contention": TenancyPattern("low_contention", "(b) Low Contention",
+                                     staggered=False, high=False),
+    "staggered_high": TenancyPattern("staggered_high", "(c) Staggered High",
+                                     staggered=True, high=True),
+    "staggered_low": TenancyPattern("staggered_low", "(d) Staggered Low",
+                                    staggered=True, high=False),
+}
+
+
+def tenant_package(arch: Architecture, n_tenants: int) -> ProvisionedPackage:
+    """The billed bundle for an ``n_tenants`` deployment (Table VII)."""
+    base = arch.provisioned
+    kind = arch.tenancy.kind
+    if kind is TenancyKind.ISOLATED:
+        return dc_replace(
+            base,
+            vcores=base.vcores * n_tenants,
+            memory_gb=base.memory_gb * n_tenants,
+            storage_gb=base.storage_gb * n_tenants,
+            iops=base.iops * n_tenants,
+            network_gbps=base.network_gbps * n_tenants,
+        )
+    if kind is TenancyKind.ELASTIC_POOL:
+        pool_memory = arch.instance.max_allocation.memory_gb * n_tenants
+        return dc_replace(
+            base,
+            vcores=base.vcores * n_tenants,
+            memory_gb=pool_memory,
+            storage_gb=base.storage_gb * n_tenants,
+            # the pool shares the log service I/O and the network
+            iops=base.iops,
+            network_gbps=base.network_gbps,
+        )
+    # branches: compute per branch, storage shared copy-on-write
+    return dc_replace(
+        base,
+        vcores=base.vcores * n_tenants,
+        memory_gb=base.memory_gb * n_tenants,
+        storage_gb=base.storage_gb,
+        iops=base.iops * n_tenants,
+        network_gbps=base.network_gbps,
+    )
+
+
+@dataclass
+class TenancyResult:
+    """One architecture x one pattern."""
+
+    arch_name: str
+    pattern: TenancyPattern
+    demand_matrix: List[List[int]]
+    slot_results: List[SlotResult]
+    package: ProvisionedPackage
+    cost_per_minute: float
+
+    @property
+    def tenant_avg_tps(self) -> List[float]:
+        """Average TPS per tenant over its *active* slots."""
+        n_tenants = len(self.demand_matrix)
+        averages = []
+        for tenant in range(n_tenants):
+            samples = [
+                slot.tenants[tenant].tps
+                for slot_index, slot in enumerate(self.slot_results)
+                if self.demand_matrix[tenant][slot_index] > 0
+            ]
+            averages.append(sum(samples) / len(samples) if samples else 0.0)
+        return averages
+
+    @property
+    def total_tps(self) -> float:
+        """Average total TPS over all slots (the TPS column of Table VII)."""
+        if not self.slot_results:
+            return 0.0
+        return sum(slot.total_tps for slot in self.slot_results) / len(
+            self.slot_results
+        )
+
+    @property
+    def t_score(self) -> float:
+        """Geometric mean of tenants' TPS over the total resource cost."""
+        tps = [value for value in self.tenant_avg_tps if value > 0]
+        if not tps or self.cost_per_minute <= 0:
+            return 0.0
+        geo = math.prod(tps) ** (1.0 / len(tps))
+        return geo / self.cost_per_minute
+
+
+class MultiTenancyEvaluator:
+    """Runs the four patterns for one architecture."""
+
+    def __init__(
+        self,
+        arch: Architecture,
+        workload: WorkloadMix,
+        n_tenants: int = 3,
+        n_slots: int = 3,
+        slot_seconds: float = 60.0,
+    ):
+        self.arch = arch
+        self.workload = workload
+        self.n_tenants = n_tenants
+        self.n_slots = n_slots
+        self.slot_seconds = slot_seconds
+
+    def run(self, pattern: TenancyPattern, tau: int) -> TenancyResult:
+        matrix = pattern.demand_matrix(tau, self.n_tenants, self.n_slots)
+        scheduler = TenantScheduler(
+            self.arch, self.workload, self.n_tenants, self.slot_seconds
+        )
+        slot_results = scheduler.run_slots(matrix)
+        package = tenant_package(self.arch, self.n_tenants)
+        return TenancyResult(
+            arch_name=self.arch.name,
+            pattern=pattern,
+            demand_matrix=matrix,
+            slot_results=slot_results,
+            package=package,
+            cost_per_minute=package_cost_per_minute(package),
+        )
+
+    def run_all(
+        self, tau_high: int, tau_low: int
+    ) -> Dict[str, TenancyResult]:
+        results = {}
+        for key, pattern in TENANCY_PATTERNS.items():
+            tau = tau_high if pattern.high else tau_low
+            results[key] = self.run(pattern, tau)
+        return results

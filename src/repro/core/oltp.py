@@ -1,0 +1,134 @@
+"""OLTP evaluator (the throughput box of paper Figure 1).
+
+Two complementary measurements:
+
+* :meth:`OltpEvaluator.run_functional` -- real transactions against the
+  real engine, sweeping concurrency, reporting wall-clock TPS, latency
+  percentiles, the per-task mix and abort counts.  This is what CI and
+  the examples run; it validates the *benchmark machinery*.
+* :meth:`OltpEvaluator.run_modelled` -- the same sweep through the
+  cloud architecture model, reporting the paper-scale TPS of Figure 5.
+
+Both paths consume the same :class:`~repro.core.workload.TransactionMix`
+and access-distribution settings, so a workload definition is written
+once and measured twice.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.cloud.architectures import Architecture
+from repro.cloud.mva_model import estimate_throughput
+from repro.core.datagen import load_sales_database
+from repro.core.manager import OltpResult, WorkloadManager
+from repro.core.workload import TransactionMix
+
+
+@dataclass
+class FunctionalPoint:
+    """One functional measurement at a given concurrency."""
+
+    concurrency: int
+    result: OltpResult
+
+    @property
+    def tps(self) -> float:
+        return self.result.tps
+
+
+@dataclass
+class ModelledPoint:
+    """One modelled measurement at a given concurrency."""
+
+    concurrency: int
+    tps: float
+    latency_s: float
+    bottleneck: str
+
+
+@dataclass
+class OltpReport:
+    """Outcome of one evaluator run."""
+
+    mix_label: str
+    distribution: str
+    functional: List[FunctionalPoint] = field(default_factory=list)
+    modelled: List[ModelledPoint] = field(default_factory=list)
+
+    def functional_tps(self) -> Dict[int, float]:
+        return {point.concurrency: point.tps for point in self.functional}
+
+    def modelled_tps(self) -> Dict[int, float]:
+        return {point.concurrency: point.tps for point in self.modelled}
+
+
+class OltpEvaluator:
+    """Sweeps a transaction mix across concurrency levels."""
+
+    def __init__(
+        self,
+        mix: TransactionMix,
+        scale_factor: int = 1,
+        distribution: str = "uniform",
+        latest_k: int = 10,
+        row_scale: float = 0.002,
+        seed: int = 42,
+    ):
+        self.mix = mix
+        self.scale_factor = scale_factor
+        self.distribution = distribution
+        self.latest_k = latest_k
+        self.row_scale = row_scale
+        self.seed = seed
+
+    def run_functional(
+        self,
+        concurrencies: Optional[List[int]] = None,
+        transactions_per_level: int = 2000,
+    ) -> OltpReport:
+        """Real engine, real SQL; one fresh database per concurrency."""
+        report = OltpReport(self.mix.label, self.distribution)
+        for concurrency in concurrencies or [1, 4, 16]:
+            db, _data = load_sales_database(
+                scale_factor=self.scale_factor,
+                row_scale=self.row_scale,
+                seed=self.seed,
+            )
+            manager = WorkloadManager(
+                db,
+                self.mix,
+                concurrency=concurrency,
+                distribution=self.distribution,
+                latest_k=self.latest_k,
+                seed=self.seed,
+                record_latencies=True,
+            )
+            result = manager.run_transactions(transactions_per_level)
+            report.functional.append(FunctionalPoint(concurrency, result))
+        return report
+
+    def run_modelled(
+        self,
+        arch: Architecture,
+        concurrencies: Optional[List[int]] = None,
+    ) -> OltpReport:
+        """The cloud model's view of the same mix on one architecture."""
+        workload = self.mix.to_workload_mix(
+            self.scale_factor,
+            distribution=self.distribution,
+            latest_k=self.latest_k,
+        )
+        report = OltpReport(self.mix.label, self.distribution)
+        for concurrency in concurrencies or [50, 100, 150, 200]:
+            estimate = estimate_throughput(arch, workload, concurrency)
+            report.modelled.append(
+                ModelledPoint(
+                    concurrency=concurrency,
+                    tps=estimate.tps,
+                    latency_s=estimate.latency_s,
+                    bottleneck=estimate.bottleneck,
+                )
+            )
+        return report

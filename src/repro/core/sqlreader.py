@@ -1,0 +1,94 @@
+"""Decoupled SQL statement files (``stmt_db.toml``).
+
+CloudyBench keeps all workload SQL in a TOML file so new transactions
+can be added without touching the workload manager (paper Section II's
+extensibility story).  :class:`SqlReader` parses the file and
+:class:`SqlStmts` serves the statements by task id.
+"""
+
+from __future__ import annotations
+
+import tomllib
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+#: the statement file shipped with the benchmark
+DEFAULT_STMT_FILE = Path(__file__).with_name("stmt_db.toml")
+
+VALID_PATTERNS = ("read_only", "read_write", "write_only", "deletion")
+
+
+@dataclass(frozen=True)
+class TransactionSpec:
+    """One transaction as declared in the statement file."""
+
+    task: str          # "T1" .. "T4" (or any new id)
+    name: str          # human-readable ("Order Payment")
+    pattern: str       # read_only | read_write | write_only | deletion
+    statements: Tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if self.pattern not in VALID_PATTERNS:
+            raise ValueError(
+                f"transaction {self.task}: pattern must be one of "
+                f"{VALID_PATTERNS}, got {self.pattern!r}"
+            )
+        if not self.statements:
+            raise ValueError(f"transaction {self.task} has no statements")
+
+
+class SqlReader:
+    """Parses a statement TOML file into :class:`TransactionSpec` objects."""
+
+    def __init__(self, path: Optional[Path | str] = None):
+        self.path = Path(path) if path is not None else DEFAULT_STMT_FILE
+
+    def read(self) -> Dict[str, TransactionSpec]:
+        with open(self.path, "rb") as handle:
+            raw = tomllib.load(handle)
+        specs: Dict[str, TransactionSpec] = {}
+        for task, body in raw.items():
+            if not isinstance(body, dict):
+                raise ValueError(f"entry {task!r} is not a table")
+            specs[task] = TransactionSpec(
+                task=task,
+                name=body.get("name", task),
+                pattern=body["pattern"],
+                statements=tuple(body["statements"]),
+            )
+        if not specs:
+            raise ValueError(f"statement file {self.path} defines no transactions")
+        return specs
+
+
+class SqlStmts:
+    """Statement registry with task-id lookup."""
+
+    def __init__(self, specs: Optional[Dict[str, TransactionSpec]] = None):
+        self._specs = specs if specs is not None else SqlReader().read()
+
+    @classmethod
+    def from_file(cls, path: Path | str) -> "SqlStmts":
+        return cls(SqlReader(path).read())
+
+    @property
+    def tasks(self) -> List[str]:
+        return list(self._specs)
+
+    def spec(self, task: str) -> TransactionSpec:
+        try:
+            return self._specs[task]
+        except KeyError:
+            raise KeyError(
+                f"unknown transaction {task!r}; known: {self.tasks}"
+            ) from None
+
+    def statements(self, task: str) -> Tuple[str, ...]:
+        return self.spec(task).statements
+
+    def add(self, spec: TransactionSpec) -> None:
+        """Register a new transaction at runtime (extensibility hook)."""
+        if spec.task in self._specs:
+            raise ValueError(f"transaction {spec.task!r} already registered")
+        self._specs[spec.task] = spec

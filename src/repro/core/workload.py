@@ -1,0 +1,244 @@
+"""The CloudyBench OLTP workload (paper Table II).
+
+Four transactions against the sales microservice:
+
+* **T1 New Orderline** (write-only): insert one orderline.
+* **T2 Order Payment** (read-write): read an order, mark it paid,
+  credit the customer.
+* **T3 Order Status** (read-only): point-read an order.
+* **T4 Orderline Deletion**: delete one orderline.
+
+Each transaction exists in two forms that must stay in sync:
+
+* a **functional executor** that runs the real SQL from
+  ``stmt_db.toml`` against the engine (used by the lag-time evaluator,
+  the examples, and the tests), and
+* a **resource footprint** (:class:`~repro.cloud.workload_model.
+  TxnClass`) feeding the analytical throughput model (used by the
+  modelled evaluations: Figures 5/6/8, Tables V-IX).
+
+The footprint constants were calibrated once against the per-pattern
+average TPS implied by the paper's Table V (P-Score x cost); see
+EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.cloud.workload_model import TxnClass, WorkloadMix
+from repro.core.datagen import nominal_bytes
+from repro.core.distributions import KeyDistribution, UniformDistribution, make_distribution
+from repro.core.schema import BASE_ROWS
+from repro.core.sqlreader import SqlStmts
+from repro.engine.database import Database
+from repro.engine.errors import TransactionAborted
+
+#: calibrated resource footprints of the four transactions
+TXN_CLASSES: Dict[str, TxnClass] = {
+    "T1": TxnClass(
+        "T1", cpu_s=0.215e-3, page_reads=1, page_writes=1,
+        log_bytes=200, rows_written=1, statements=1,
+    ),
+    "T2": TxnClass(
+        "T2", cpu_s=1.6e-3, page_reads=3, page_writes=2,
+        log_bytes=400, rows_written=2, rows_updated=2, statements=3,
+    ),
+    "T3": TxnClass(
+        "T3", cpu_s=0.18e-3, page_reads=2, page_writes=0,
+        log_bytes=0, statements=1,
+    ),
+    "T4": TxnClass(
+        "T4", cpu_s=0.19e-3, page_reads=1, page_writes=1,
+        log_bytes=150, rows_written=1, statements=1,
+    ),
+}
+
+
+@dataclass(frozen=True)
+class TransactionMix:
+    """Percentages of T1:T2:T3:T4 (need not sum to 100; they are weights)."""
+
+    t1: float = 0.0
+    t2: float = 0.0
+    t3: float = 0.0
+    t4: float = 0.0
+
+    def __post_init__(self) -> None:
+        weights = (self.t1, self.t2, self.t3, self.t4)
+        if min(weights) < 0 or sum(weights) <= 0:
+            raise ValueError(f"invalid transaction mix {weights}")
+
+    @property
+    def weights(self) -> Tuple[Tuple[str, float], ...]:
+        return tuple(
+            (task, weight)
+            for task, weight in (
+                ("T1", self.t1), ("T2", self.t2), ("T3", self.t3), ("T4", self.t4)
+            )
+            if weight > 0
+        )
+
+    @property
+    def label(self) -> str:
+        return f"({self.t1:g}:{self.t2:g}:{self.t3:g})" + (
+            f"+d{self.t4:g}" if self.t4 else ""
+        )
+
+    def to_workload_mix(
+        self,
+        scale_factor: int = 1,
+        distribution: str = "uniform",
+        latest_k: int = 10,
+    ) -> WorkloadMix:
+        """Map this mix onto the analytical model's workload abstraction."""
+        working_set = nominal_bytes(scale_factor)
+        if distribution == "uniform":
+            hot_fraction, hot_bytes = 0.0, 0.0
+        else:
+            probe = make_distribution(
+                distribution, BASE_ROWS * scale_factor, random.Random(0), latest_k
+            )
+            hot_fraction = probe.hot_fraction
+            rows = BASE_ROWS * scale_factor
+            hot_bytes = max(1.0, probe.hot_keys / rows * working_set)
+        classes = tuple(
+            (TXN_CLASSES[task], weight) for task, weight in self.weights
+        )
+        return WorkloadMix(
+            name=f"sales{self.label}/{distribution}/SF{scale_factor}",
+            classes=classes,
+            working_set_bytes=working_set,
+            hot_fraction=hot_fraction,
+            hot_set_bytes=hot_bytes,
+        )
+
+
+#: the paper's three throughput patterns, (t1:t2:t3)
+READ_ONLY = TransactionMix(t3=100)
+READ_WRITE = TransactionMix(t1=15, t2=5, t3=80)
+WRITE_ONLY = TransactionMix(t1=100)
+THROUGHPUT_PATTERNS: Dict[str, TransactionMix] = {
+    "RO": READ_ONLY,
+    "RW": READ_WRITE,
+    "WO": WRITE_ONLY,
+}
+
+
+def iud_mix(insert: float, update: float, delete: float) -> TransactionMix:
+    """Lag-time mixes: insert -> T1, update -> T2, delete -> T4."""
+    return TransactionMix(t1=insert, t2=update, t4=delete)
+
+
+#: Section III-F lag-time patterns
+LAG_PATTERNS: Dict[str, TransactionMix] = {
+    "mixed": iud_mix(60, 30, 10),
+    "insert": iud_mix(100, 0, 0),
+    "update": iud_mix(0, 100, 0),
+    "delete": iud_mix(0, 0, 100),
+}
+
+
+class SalesWorkload:
+    """Functional executor of T1-T4 against a real engine database."""
+
+    def __init__(
+        self,
+        db: Database,
+        mix: TransactionMix,
+        distribution: str = "uniform",
+        latest_k: int = 10,
+        seed: int = 42,
+        stmts: Optional[SqlStmts] = None,
+    ):
+        self.db = db
+        self.mix = mix
+        self.stmts = stmts or SqlStmts()
+        self._rng = random.Random(seed)
+        order_rows = db.table("ORDERS").row_count
+        customer_rows = db.table("CUSTOMER").row_count
+        self._order_keys: KeyDistribution = make_distribution(
+            distribution, max(1, order_rows), self._rng, latest_k
+        )
+        self._customer_keys = UniformDistribution(max(1, customer_rows), self._rng)
+        self._orderline_high = db.table("ORDERLINE").row_count
+        self._clock = 1_700_000_000.0
+        self.executed: Dict[str, int] = {task: 0 for task in ("T1", "T2", "T3", "T4")}
+        self.aborted = 0
+
+    # -- transaction bodies -----------------------------------------------------
+
+    def _now(self) -> float:
+        self._clock += 0.001
+        return self._clock
+
+    def run_t1(self) -> Optional[int]:
+        """Insert a new orderline; returns nothing observable (autocommit)."""
+        (statement,) = self.stmts.statements("T1")
+        o_id = self._order_keys.next_key()
+        self.db.execute(
+            statement,
+            [o_id, self._rng.randint(1, 100_000), self._rng.randint(1, 10),
+             round(self._rng.uniform(1, 100), 2)],
+        )
+        self._orderline_high += 1
+        return self._orderline_high
+
+    def run_t2(self) -> Optional[Tuple[int, float]]:
+        """Order payment; returns ``(o_id, stamp)`` or ``None`` if the
+        target order vanished.  The stamp is the unique timestamp written
+        to ``O_UPDATEDDATE`` -- the lag prober matches on it.
+        """
+        select, update_order, update_customer = self.stmts.statements("T2")
+        o_id = self._order_keys.next_key()
+        with self.db.begin() as txn:
+            rows = self.db.execute(select, [o_id], txn=txn).rows
+            if not rows:
+                return None
+            _o_id, c_id, _total, _updated = rows[0]
+            now = self._now()
+            self.db.execute(update_order, [now, o_id], txn=txn)
+            self.db.execute(
+                update_customer,
+                [round(self._rng.uniform(1, 50), 2), now, c_id],
+                txn=txn,
+            )
+        return o_id, now
+
+    def run_t3(self) -> Optional[Tuple]:
+        (statement,) = self.stmts.statements("T3")
+        o_id = self._order_keys.next_key()
+        return self.db.query(statement, [o_id]).first()
+
+    def run_t4(self) -> bool:
+        """Delete an orderline; returns False when it was already gone."""
+        (statement,) = self.stmts.statements("T4")
+        ol_id = self._rng.randint(1, max(1, self._orderline_high))
+        return self.db.execute(statement, [ol_id]).rowcount > 0
+
+    # -- driver -------------------------------------------------------------------
+
+    def next_task(self) -> str:
+        tasks, weights = zip(*self.mix.weights)
+        return self._rng.choices(tasks, weights=weights, k=1)[0]
+
+    def run_one(self, task: Optional[str] = None) -> str:
+        """Execute one transaction (random task unless given); returns it."""
+        chosen = task or self.next_task()
+        runner = {
+            "T1": self.run_t1, "T2": self.run_t2,
+            "T3": self.run_t3, "T4": self.run_t4,
+        }[chosen]
+        try:
+            runner()
+            self.executed[chosen] += 1
+        except TransactionAborted:
+            self.aborted += 1
+        return chosen
+
+    def run_many(self, count: int) -> Dict[str, int]:
+        for _ in range(count):
+            self.run_one()
+        return dict(self.executed)

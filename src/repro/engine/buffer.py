@@ -1,0 +1,133 @@
+"""LRU buffer pool with hit/miss/write-back accounting.
+
+The engine's tables are memory-resident, so the pool does not move
+bytes; it tracks page *residency* so that accesses produce exactly the
+hit/miss/dirty-write-back pattern a disk-based engine with the same
+buffer size would produce.  Those counters feed the cloud cost model
+(misses become I/O and network demand) and the Figure 8 buffer-size
+experiment.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.engine.errors import EngineError
+from repro.engine.page import PAGE_SIZE_BYTES
+
+#: Key identifying a page across all tables of one database.
+PageKey = Tuple[str, int]
+
+
+@dataclass
+class BufferStats:
+    """Cumulative counters since the last :meth:`BufferPool.reset_stats`."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    dirty_writebacks: int = 0
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_ratio(self) -> float:
+        if self.accesses == 0:
+            return 1.0
+        return self.hits / self.accesses
+
+
+class BufferPool:
+    """Fixed-size LRU cache of page residency with dirty tracking."""
+
+    def __init__(self, size_bytes: int, page_size: int = PAGE_SIZE_BYTES):
+        if size_bytes <= 0:
+            raise EngineError("buffer pool size must be positive")
+        if page_size <= 0:
+            raise EngineError("page size must be positive")
+        self.page_size = page_size
+        self._capacity_pages = max(1, size_bytes // page_size)
+        #: OrderedDict preserves recency: the last key is the most recent.
+        #: The value is the page's dirty flag.
+        self._resident: "OrderedDict[PageKey, bool]" = OrderedDict()
+        self._dirty_count = 0
+        self.stats = BufferStats()
+
+    @property
+    def capacity_pages(self) -> int:
+        return self._capacity_pages
+
+    @property
+    def resident_pages(self) -> int:
+        return len(self._resident)
+
+    @property
+    def dirty_pages(self) -> int:
+        return self._dirty_count
+
+    def resize(self, size_bytes: int) -> None:
+        """Grow or shrink the pool; shrinking evicts LRU pages."""
+        if size_bytes <= 0:
+            raise EngineError("buffer pool size must be positive")
+        self._capacity_pages = max(1, size_bytes // self.page_size)
+        while len(self._resident) > self._capacity_pages:
+            self._evict_one()
+
+    def access(self, table: str, page_no: int, dirty: bool = False) -> bool:
+        """Touch a page; returns ``True`` on a hit, ``False`` on a miss."""
+        key = (table, page_no)
+        previous = self._resident.pop(key, None)
+        hit = previous is not None
+        if hit:
+            self.stats.hits += 1
+            if previous:
+                self._dirty_count -= 1
+        else:
+            self.stats.misses += 1
+            previous = False
+        now_dirty = previous or dirty
+        self._resident[key] = now_dirty
+        if now_dirty:
+            self._dirty_count += 1
+        while len(self._resident) > self._capacity_pages:
+            self._evict_one()
+        return hit
+
+    def is_resident(self, table: str, page_no: int) -> bool:
+        return (table, page_no) in self._resident
+
+    def flush(self) -> int:
+        """Write back every dirty page (checkpoint); returns pages written."""
+        written = 0
+        for key, dirty in self._resident.items():
+            if dirty:
+                written += 1
+                self._resident[key] = False
+        self.stats.dirty_writebacks += written
+        self._dirty_count = 0
+        return written
+
+    def invalidate(self, table: str, page_no: int) -> None:
+        """Drop a page without write-back (remote cache-invalidation)."""
+        dirty = self._resident.pop((table, page_no), None)
+        if dirty:
+            self._dirty_count -= 1
+
+    def clear(self) -> None:
+        """Drop everything: models a cold restart."""
+        self._resident.clear()
+        self._dirty_count = 0
+
+    def reset_stats(self) -> None:
+        self.stats = BufferStats()
+
+    def _evict_one(self) -> None:
+        _key, dirty = self._resident.popitem(last=False)
+        self.stats.evictions += 1
+        if dirty:
+            self.stats.dirty_writebacks += 1
+            self._dirty_count -= 1

@@ -1,0 +1,383 @@
+"""The ``Database`` facade: catalog, transactions, SQL, recovery.
+
+This is the only class most callers need::
+
+    db = Database("primary", buffer_size_bytes=128 * 2**20)
+    db.create_table(schema)
+    with db.begin() as txn:
+        db.execute("INSERT INTO t VALUES (DEFAULT, ?)", [1], txn=txn)
+    rows = db.query("SELECT * FROM t").rows
+
+Write path (strict WAL-before-data): X-lock the row, append the log
+record, apply the physical change, remember the record on the
+transaction.  Commit appends COMMIT, notifies replication listeners
+with the transaction's record batch, and releases all locks.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.engine.buffer import BufferPool
+from repro.engine.errors import EngineError, LockTimeoutError, SchemaError
+from repro.engine.executor import Executor, Prepared, ResultSet
+from repro.engine.locks import LockManager, LockMode, LockOutcome
+from repro.engine.recovery import RecoveryReport, recover
+from repro.engine.table import Table, TableSnapshot
+from repro.engine.txn import IsolationLevel, Transaction, TransactionManager, TxnState
+from repro.engine.types import Schema
+from repro.engine.wal import LogKind, LogRecord, WriteAheadLog
+
+#: Signature of commit listeners: (txn_id, commit_lsn, data_records).
+CommitListener = Callable[[int, int, List[LogRecord]], None]
+
+
+class Database:
+    """One database instance (a primary or a replica)."""
+
+    def __init__(
+        self,
+        name: str = "db",
+        buffer_size_bytes: Optional[int] = None,
+        default_isolation: IsolationLevel = IsolationLevel.READ_COMMITTED,
+    ):
+        self.name = name
+        self.buffer: Optional[BufferPool] = (
+            BufferPool(buffer_size_bytes) if buffer_size_bytes else None
+        )
+        self.wal = WriteAheadLog()
+        self.locks = LockManager()
+        self.txns = TransactionManager()
+        self.default_isolation = default_isolation
+        self._tables: Dict[str, Table] = {}
+        self._executor = Executor(self)
+        self._prepared: Dict[str, Prepared] = {}
+        self._txn_records: Dict[int, List[LogRecord]] = {}
+        self._commit_listeners: List[CommitListener] = []
+        self.checkpoint_lsn = 0
+        self._checkpoint_snapshots: Dict[str, TableSnapshot] = {}
+
+    # -- catalog ----------------------------------------------------------------
+
+    def create_table(self, schema: Schema) -> Table:
+        if schema.table in self._tables:
+            raise SchemaError(f"table {schema.table!r} already exists")
+        table = Table(schema, self.buffer)
+        self._tables[schema.table] = table
+        return table
+
+    def table(self, name: str) -> Table:
+        try:
+            return self._tables[name.upper()] if name.upper() in self._tables else self._tables[name]
+        except KeyError:
+            raise SchemaError(f"unknown table {name!r}") from None
+
+    @property
+    def table_names(self) -> Tuple[str, ...]:
+        return tuple(self._tables)
+
+    def create_index(
+        self, table: str, name: str, columns: Sequence[str], unique: bool = False, ordered: bool = False
+    ) -> None:
+        self.table(table).create_index(name, tuple(columns), unique=unique, ordered=ordered)
+
+    def total_rows(self) -> int:
+        return sum(table.row_count for table in self._tables.values())
+
+    def data_bytes(self) -> int:
+        """Nominal on-heap data size (pages x page size is the I/O view)."""
+        return sum(
+            table.row_count * table.schema.row_byte_size()
+            for table in self._tables.values()
+        )
+
+    # -- transactions -------------------------------------------------------------
+
+    def begin(self, isolation: Optional[IsolationLevel] = None) -> Transaction:
+        txn = self.txns.begin(self, isolation or self.default_isolation)
+        record = self.wal.append(txn.txn_id, LogKind.BEGIN)
+        txn.first_lsn = record.lsn
+        txn.last_lsn = record.lsn
+        self._txn_records[txn.txn_id] = []
+        return txn
+
+    def _commit(self, txn: Transaction) -> None:
+        txn.ensure_active()
+        record = self.wal.append(txn.txn_id, LogKind.COMMIT)
+        txn.state = TxnState.COMMITTED
+        records = self._txn_records.pop(txn.txn_id, [])
+        self.locks.release_all(txn.txn_id)
+        self.txns.finish(txn, committed=True)
+        for listener in self._commit_listeners:
+            listener(txn.txn_id, record.lsn, records)
+
+    def _rollback(self, txn: Transaction) -> None:
+        if txn.state is not TxnState.ACTIVE:
+            return
+        # Undo this transaction's changes in reverse order (no CLRs: the
+        # engine is memory-resident, so rollback is atomic w.r.t. crashes).
+        from repro.engine.recovery import _apply_undo  # local import: cycle
+
+        for record in reversed(self._txn_records.pop(txn.txn_id, [])):
+            _apply_undo(self, record)
+        self.wal.append(txn.txn_id, LogKind.ABORT)
+        txn.state = TxnState.ABORTED
+        self.locks.cancel_wait(txn.txn_id)
+        self.locks.release_all(txn.txn_id)
+        self.txns.finish(txn, committed=False)
+
+    # -- SQL entry points -------------------------------------------------------------
+
+    def prepare(self, sql: str) -> Prepared:
+        prepared = self._prepared.get(sql)
+        if prepared is None:
+            prepared = Prepared(self, sql)
+            self._prepared[sql] = prepared
+        return prepared
+
+    def execute(
+        self,
+        sql: str | Prepared,
+        params: Sequence[Any] = (),
+        txn: Optional[Transaction] = None,
+    ) -> ResultSet:
+        """Execute a statement; without ``txn`` it autocommits."""
+        prepared = self.prepare(sql) if isinstance(sql, str) else sql
+        if txn is not None:
+            return self._executor.execute(prepared, params, txn)
+        autocommit_txn = self.begin()
+        try:
+            result = self._executor.execute(prepared, params, autocommit_txn)
+            autocommit_txn.commit()
+            return result
+        except BaseException:
+            if autocommit_txn.is_active:
+                autocommit_txn.rollback()
+            raise
+
+    def query(self, sql: str, params: Sequence[Any] = ()) -> ResultSet:
+        """Alias of :meth:`execute` that reads better at call sites."""
+        return self.execute(sql, params)
+
+    def explain(self, sql: str, params: Sequence[Any] = ()) -> str:
+        """Describe the access plan a statement would use, without running it."""
+        from repro.engine.sql import SelectStatement, InsertStatement
+
+        prepared = self.prepare(sql)
+        statement = prepared.statement
+        if isinstance(statement, InsertStatement):
+            return f"insert into {prepared.table.name}"
+        where = getattr(statement, "where", ())
+        plan = self._executor.choose_plan(prepared.table, where, params)
+        description = plan.describe()
+        if isinstance(statement, SelectStatement) and statement.order_by:
+            description += f"; sort by {statement.order_by}"
+            if statement.limit is not None:
+                description += f" limit {statement.limit}"
+        return description
+
+    # -- write internals (called by the executor) ----------------------------------------
+
+    def _lock_row(self, txn: Transaction, table: str, key: Any, mode: LockMode) -> None:
+        outcome = self.locks.acquire(
+            txn.txn_id, (table, key), mode, queue_on_conflict=False
+        )
+        if outcome is LockOutcome.BLOCKED:
+            holders = self.locks.holders((table, key))
+            self._rollback(txn)
+            raise LockTimeoutError(
+                f"txn {txn.txn_id} blocked on {table}[{key!r}] held by "
+                f"{sorted(holders)} (no-wait policy)"
+            )
+
+    def _unlock_row(self, txn: Transaction, table: str, key: Any) -> None:
+        self.locks.release_one(txn.txn_id, (table, key))
+
+    def _insert(self, txn: Transaction, table: Table, values: Sequence[Any]) -> None:
+        schema = table.schema
+        next_auto = None
+        pk_index = schema.primary_key_index
+        from repro.engine.types import DEFAULT  # local import: avoid cycle at top
+
+        if any(
+            value is DEFAULT and column.autoincrement
+            for value, column in zip(values, schema.columns)
+        ):
+            next_auto = table.next_autoincrement()
+        row = schema.coerce_row(values, next_auto=next_auto)
+        key = row[pk_index]
+        # Check all unique constraints before logging, so a failed insert
+        # leaves no WAL record for recovery to trip over.
+        table.check_unique(row)
+        self._lock_row(txn, table.name, key, LockMode.EXCLUSIVE)
+        record = self.wal.append(
+            txn.txn_id, LogKind.INSERT, table=table.name, key=key, after=row
+        )
+        table.insert_row(row)
+        txn.last_lsn = record.lsn
+        txn.writes += 1
+        self._txn_records[txn.txn_id].append(record)
+
+    def _update(
+        self,
+        txn: Transaction,
+        table: Table,
+        rid,
+        before: Tuple[Any, ...],
+        after: Tuple[Any, ...],
+    ) -> None:
+        schema = table.schema
+        after = schema.coerce_row(after)
+        key = before[schema.primary_key_index]
+        # Validate unique constraints before the WAL record exists.
+        table.check_unique(after, exclude_rid=rid)
+        self._lock_row(txn, table.name, key, LockMode.EXCLUSIVE)
+        record = self.wal.append(
+            txn.txn_id,
+            LogKind.UPDATE,
+            table=table.name,
+            key=key,
+            before=before,
+            after=after,
+        )
+        table.update_row(rid, after)
+        txn.last_lsn = record.lsn
+        txn.writes += 1
+        self._txn_records[txn.txn_id].append(record)
+
+    def _delete(
+        self, txn: Transaction, table: Table, rid, before: Tuple[Any, ...]
+    ) -> None:
+        key = before[table.schema.primary_key_index]
+        self._lock_row(txn, table.name, key, LockMode.EXCLUSIVE)
+        record = self.wal.append(
+            txn.txn_id, LogKind.DELETE, table=table.name, key=key, before=before
+        )
+        table.delete_row(rid)
+        txn.last_lsn = record.lsn
+        txn.writes += 1
+        self._txn_records[txn.txn_id].append(record)
+
+    # -- replication hooks -------------------------------------------------------------
+
+    def add_commit_listener(self, listener: CommitListener) -> None:
+        self._commit_listeners.append(listener)
+
+    def remove_commit_listener(self, listener: CommitListener) -> None:
+        self._commit_listeners.remove(listener)
+
+    # -- checkpointing and crash recovery -------------------------------------------------
+
+    def checkpoint(self, truncate_wal: bool = False) -> int:
+        """Quiesced checkpoint: flush, snapshot every table, log it.
+
+        Returns the checkpoint LSN.  Raises if transactions are active,
+        because the recovery protocol assumes checkpoint images contain
+        no uncommitted data.
+
+        With ``truncate_wal`` the records preceding the checkpoint are
+        dropped (log archiving): recovery never needs them, and commit
+        listeners received their batches synchronously at commit time,
+        so replication is unaffected.
+        """
+        if self.txns.active:
+            raise EngineError(
+                f"checkpoint requires quiescence; active txns: {sorted(self.txns.active)}"
+            )
+        if self.buffer is not None:
+            self.buffer.flush()
+        self._checkpoint_snapshots = {
+            name: table.snapshot() for name, table in self._tables.items()
+        }
+        record = self.wal.append(0, LogKind.CHECKPOINT)
+        self.checkpoint_lsn = record.lsn
+        if truncate_wal:
+            self.wal.truncate(record.lsn)
+        return record.lsn
+
+    def crash(self) -> None:
+        """Simulate an instance crash: lose all volatile state.
+
+        Tables revert to the last checkpoint image (empty if none); the
+        WAL survives (it is the durable part).  Locks and active
+        transactions vanish.  Call :meth:`recover` to replay the tail.
+        """
+        for name, table in self._tables.items():
+            snapshot = self._checkpoint_snapshots.get(name)
+            if snapshot is not None:
+                table.restore_snapshot(snapshot)
+            else:
+                table.restore_snapshot(TableSnapshot(pages=[], next_auto=1))
+        if self.buffer is not None:
+            self.buffer.clear()
+        # In-flight transaction handles die with the instance.
+        for txn in list(self.txns.active.values()):
+            txn.state = TxnState.ABORTED
+        self.locks = LockManager()
+        # Transaction ids must stay monotone across restarts: a reused id
+        # would let a post-crash ABORT record poison an identically-
+        # numbered committed transaction from before the crash.  Real
+        # engines recover the XID high-water mark from the log.
+        self.txns = TransactionManager(start_id=self.wal.max_txn_id() + 1)
+        self._txn_records.clear()
+
+    def recover(self) -> RecoveryReport:
+        """ARIES-style restart recovery (see :mod:`repro.engine.recovery`)."""
+        return recover(self)
+
+    # -- consistency checking -------------------------------------------------------------
+
+    def content_hash(self, table: Optional[str] = None) -> str:
+        """Order-independent hash of committed row contents.
+
+        Identical logical states hash identically regardless of physical
+        row placement, which is what the replication consistency checks
+        compare across primary and replicas.
+        """
+        import hashlib
+
+        tables = [self.table(table)] if table else [
+            self._tables[name] for name in sorted(self._tables)
+        ]
+        digest = hashlib.sha256()
+        for tbl in tables:
+            digest.update(tbl.name.encode())
+            acc = 0
+            for _rid, row in tbl.scan():
+                row_digest = hashlib.sha256(repr(row).encode()).digest()
+                acc ^= int.from_bytes(row_digest[:16], "big")
+            digest.update(acc.to_bytes(16, "big"))
+        return digest.hexdigest()
+
+    def same_content(self, other: "Database", table: Optional[str] = None) -> bool:
+        """True when both databases hold the same committed rows."""
+        return self.content_hash(table) == other.content_hash(table)
+
+    # -- cloning (replica bootstrap) ----------------------------------------------------
+
+    def clone_schema(self, name: str, buffer_size_bytes: Optional[int] = None) -> "Database":
+        """A new empty database with the same tables and indexes."""
+        clone = Database(name, buffer_size_bytes=buffer_size_bytes,
+                         default_isolation=self.default_isolation)
+        for table in self._tables.values():
+            clone.create_table(table.schema)
+            for index in table.secondary_indexes.values():
+                clone.create_index(
+                    table.name,
+                    index.name,
+                    index.columns,
+                    unique=index.unique,
+                    ordered=hasattr(index, "range"),
+                )
+        return clone
+
+    def clone_full(self, name: str, buffer_size_bytes: Optional[int] = None) -> "Database":
+        """Schema clone plus a copy of all current rows (base backup)."""
+        if self.txns.active:
+            raise EngineError("clone_full requires quiescence")
+        clone = self.clone_schema(name, buffer_size_bytes=buffer_size_bytes)
+        for table in self._tables.values():
+            target = clone.table(table.name)
+            for _rid, row in table.scan():
+                target.insert_row(row)
+        return clone

@@ -1,0 +1,31 @@
+"""Exception hierarchy for the storage engine."""
+
+from __future__ import annotations
+
+
+class EngineError(Exception):
+    """Base class for all storage-engine errors."""
+
+
+class SchemaError(EngineError):
+    """Schema definition or catalog misuse (unknown table/column, ...)."""
+
+
+class SqlError(EngineError):
+    """SQL that the engine's subset parser cannot understand."""
+
+
+class DuplicateKeyError(EngineError):
+    """Insert violates a primary-key or unique-index constraint."""
+
+
+class TransactionAborted(EngineError):
+    """The transaction was rolled back and cannot be used further."""
+
+
+class LockTimeoutError(TransactionAborted):
+    """A lock request waited longer than the configured timeout."""
+
+
+class DeadlockError(TransactionAborted):
+    """The lock manager chose this transaction as a deadlock victim."""

@@ -1,0 +1,464 @@
+"""Statement planning and execution.
+
+A prepared statement resolves its access path once:
+
+* equality on the primary key        -> point lookup
+* equalities covering a secondary    -> index lookup + residual filter
+* otherwise                          -> full scan
+
+Reads take shared locks (exclusive under ``FOR UPDATE``), writes take
+exclusive locks.  Under READ COMMITTED shared locks are released at the
+end of the statement; under SERIALIZABLE they are held to commit
+(strict 2PL).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple, TYPE_CHECKING
+
+from repro.engine.errors import SchemaError, SqlError
+from repro.engine.locks import LockMode
+from repro.engine.sql import (
+    Condition,
+    DeleteStatement,
+    InsertStatement,
+    SelectItem,
+    SelectStatement,
+    Statement,
+    UpdateStatement,
+    Value,
+    count_params,
+    parse,
+)
+from repro.engine.index import OrderedIndex
+from repro.engine.table import Table
+from repro.engine.types import DEFAULT
+from repro.engine.txn import IsolationLevel, Transaction
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.engine.database import Database
+
+_OPS = {
+    "=": lambda a, b: a == b,
+    "<>": lambda a, b: a != b,
+    "<": lambda a, b: a < b,
+    ">": lambda a, b: a > b,
+    "<=": lambda a, b: a <= b,
+    ">=": lambda a, b: a >= b,
+}
+
+
+@dataclass(frozen=True)
+class AccessPlan:
+    """The access path chosen for a statement's WHERE clause.
+
+    ``kind`` is one of ``pk_point``, ``index_eq``, ``index_range`` or
+    ``table_scan``; ``bound`` carries the resolved predicates for the
+    residual filter.  Exposed through ``Database.explain``.
+    """
+
+    kind: str
+    index_name: Optional[str]
+    bound: List[Tuple[str, str, Any]]
+    key: Any = None
+    bounds: Optional[Tuple[Any, bool, Any, bool]] = None
+
+    def describe(self) -> str:
+        if self.kind == "pk_point":
+            return f"primary-key lookup via {self.index_name} (key={self.key!r})"
+        if self.kind == "index_eq":
+            return f"index lookup via {self.index_name} (key={self.key!r})"
+        if self.kind == "index_range":
+            low, incl_low, high, incl_high = self.bounds
+            left = "[" if incl_low else "("
+            right = "]" if incl_high else ")"
+            return (f"index range scan via {self.index_name} "
+                    f"{left}{low!r}, {high!r}{right}")
+        return "full table scan"
+
+
+@dataclass
+class ResultSet:
+    """Rows produced by a statement plus the affected-row count."""
+
+    columns: Tuple[str, ...]
+    rows: List[Tuple[Any, ...]]
+    rowcount: int
+
+    def scalar(self) -> Any:
+        """The single value of a single-row, single-column result."""
+        if len(self.rows) != 1 or len(self.columns) != 1:
+            raise SqlError(
+                f"scalar() needs a 1x1 result, got {len(self.rows)}x{len(self.columns)}"
+            )
+        return self.rows[0][0]
+
+    def first(self) -> Optional[Tuple[Any, ...]]:
+        return self.rows[0] if self.rows else None
+
+    def as_dicts(self) -> List[Dict[str, Any]]:
+        return [dict(zip(self.columns, row)) for row in self.rows]
+
+
+class Prepared:
+    """A parsed statement bound to a database catalog."""
+
+    def __init__(self, db: "Database", sql: str):
+        self.sql = sql
+        self.statement: Statement = parse(sql)
+        self.param_count = count_params(self.statement)
+        self.table: Table = db.table(self.statement.table)
+        schema = self.table.schema
+        # Validate referenced columns eagerly so typos fail at prepare time.
+        for condition in getattr(self.statement, "where", ()):
+            schema.column_index(condition.column)
+        if isinstance(self.statement, SelectStatement):
+            for item in self.statement.items:
+                if item.column is not None:
+                    schema.column_index(item.column)
+            if self.statement.order_by:
+                schema.column_index(self.statement.order_by)
+        elif isinstance(self.statement, InsertStatement):
+            for column in self.statement.columns:
+                schema.column_index(column)
+            expected = len(self.statement.columns) or len(schema.columns)
+            if len(self.statement.values) != expected:
+                raise SqlError(
+                    f"INSERT into {schema.table} expects {expected} values, "
+                    f"got {len(self.statement.values)}"
+                )
+        elif isinstance(self.statement, UpdateStatement):
+            for clause in self.statement.sets:
+                schema.column_index(clause.column)
+                if clause.delta_column is not None:
+                    schema.column_index(clause.delta_column)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Prepared {self.sql!r}>"
+
+
+def _resolve(value: Value, params: Sequence[Any]) -> Any:
+    if value.kind == "literal":
+        return value.literal
+    if value.kind == "default":
+        return DEFAULT
+    if value.param_index >= len(params):
+        raise SqlError(
+            f"statement needs parameter {value.param_index + 1}, got {len(params)}"
+        )
+    return params[value.param_index]
+
+
+class Executor:
+    """Executes prepared statements inside transactions."""
+
+    def __init__(self, db: "Database"):
+        self._db = db
+
+    def execute(
+        self, prepared: Prepared, params: Sequence[Any], txn: Transaction
+    ) -> ResultSet:
+        txn.ensure_active()
+        if prepared.param_count != len(params):
+            raise SqlError(
+                f"{prepared.sql!r} expects {prepared.param_count} parameters, "
+                f"got {len(params)}"
+            )
+        statement = prepared.statement
+        if isinstance(statement, SelectStatement):
+            return self._select(prepared, statement, params, txn)
+        if isinstance(statement, InsertStatement):
+            return self._insert(prepared, statement, params, txn)
+        if isinstance(statement, UpdateStatement):
+            return self._update(prepared, statement, params, txn)
+        if isinstance(statement, DeleteStatement):
+            return self._delete(prepared, statement, params, txn)
+        raise SqlError(f"unsupported statement type {type(statement).__name__}")
+
+    # -- planning and row matching -----------------------------------------------
+
+    @staticmethod
+    def _range_bounds(bound, column: str):
+        """(low, incl_low, high, incl_high) from the range predicates on
+        ``column``, or ``None`` when there are none."""
+        low, incl_low, high, incl_high = None, True, None, True
+        found = False
+        for col, op, value in bound:
+            if col != column or op in ("=", "<>"):
+                continue
+            found = True
+            if op in (">", ">="):
+                if low is None or value > low or (value == low and op == ">"):
+                    low, incl_low = value, op == ">="
+            else:  # < or <=
+                if high is None or value < high or (value == high and op == "<"):
+                    high, incl_high = value, op == "<="
+        if not found:
+            return None
+        return low, incl_low, high, incl_high
+
+    def choose_plan(
+        self,
+        table: Table,
+        where: Tuple[Condition, ...],
+        params: Sequence[Any],
+    ) -> AccessPlan:
+        """Pick the cheapest access path for ``where``.
+
+        Priority: primary-key point lookup, then an equality-covered
+        secondary index, then an ordered-index range scan, then a full
+        table scan.
+        """
+        schema = table.schema
+        bound = [
+            (condition.column, condition.op, _resolve(condition.value, params))
+            for condition in where
+        ]
+        equalities = {column: value for column, op, value in bound if op == "="}
+
+        if schema.primary_key in equalities:
+            return AccessPlan("pk_point", table.primary_index.name, bound,
+                              key=equalities[schema.primary_key])
+        for index in table.secondary_indexes.values():
+            if all(column in equalities for column in index.columns):
+                if len(index.columns) == 1:
+                    key = equalities[index.columns[0]]
+                else:
+                    key = tuple(equalities[column] for column in index.columns)
+                return AccessPlan("index_eq", index.name, bound, key=key)
+        # range scan on the primary key or an ordered secondary index
+        candidates = [(schema.primary_key, table.primary_index)]
+        candidates += [
+            (index.columns[0], index)
+            for index in table.secondary_indexes.values()
+            if isinstance(index, OrderedIndex) and len(index.columns) == 1
+        ]
+        for column, index in candidates:
+            bounds = self._range_bounds(bound, column)
+            if bounds is not None:
+                return AccessPlan("index_range", index.name, bound, bounds=bounds)
+        return AccessPlan("table_scan", None, bound)
+
+    def _match_rows(
+        self,
+        table: Table,
+        where: Tuple[Condition, ...],
+        params: Sequence[Any],
+    ) -> List[Tuple[Any, Tuple[Any, ...]]]:
+        """Return (rid, row) pairs satisfying ``where``, via the best path."""
+        schema = table.schema
+        plan = self.choose_plan(table, where, params)
+        bound = plan.bound
+
+        def residual(row: Tuple[Any, ...]) -> bool:
+            for column, op, value in bound:
+                cell = row[schema.column_index(column)]
+                if cell is None or not _OPS[op](cell, value):
+                    return False
+            return True
+
+        if plan.kind == "pk_point":
+            rid = table.find_by_key(plan.key)
+            if rid is None:
+                return []
+            row = table.read_row(rid)
+            return [(rid, row)] if residual(row) else []
+        if plan.kind == "index_eq":
+            index = table.index_for_name(plan.index_name)
+            matches = []
+            for rid in index.lookup(plan.key):
+                row = table.read_row(rid)
+                if residual(row):
+                    matches.append((rid, row))
+            return matches
+        if plan.kind == "index_range":
+            index = table.index_for_name(plan.index_name)
+            low, incl_low, high, incl_high = plan.bounds
+            matches = []
+            for _key, rid in index.range(low, high, incl_low, incl_high):
+                row = table.read_row(rid)
+                if residual(row):
+                    matches.append((rid, row))
+            return matches
+        return [(rid, row) for rid, row in table.scan() if residual(row)]
+
+    # -- SELECT ----------------------------------------------------------------
+
+    def _select(
+        self,
+        prepared: Prepared,
+        statement: SelectStatement,
+        params: Sequence[Any],
+        txn: Transaction,
+    ) -> ResultSet:
+        table = prepared.table
+        schema = table.schema
+        matches = self._match_rows(table, statement.where, params)
+        lock_mode = LockMode.EXCLUSIVE if statement.for_update else LockMode.SHARED
+        shared_keys = []
+        for _rid, row in matches:
+            key = row[schema.primary_key_index]
+            self._db._lock_row(txn, table.name, key, lock_mode)
+            if lock_mode is LockMode.SHARED:
+                shared_keys.append(key)
+        rows = [row for _rid, row in matches]
+        txn.reads += len(rows)
+        # Row-level ORDER BY / LIMIT only apply to ungrouped selects;
+        # grouped output is ordered by the group key.
+        if statement.group_by is None:
+            if statement.order_by:
+                order_index = schema.column_index(statement.order_by)
+                rows.sort(key=lambda row: row[order_index],
+                          reverse=statement.order_desc)
+            if statement.limit is not None:
+                rows = rows[: statement.limit]
+        if statement.group_by is not None:
+            result = self._grouped(schema, statement, rows)
+        elif statement.items and statement.items[0].is_aggregate:
+            result = self._aggregate(schema, statement, rows)
+        elif statement.star:
+            result = ResultSet(schema.column_names, rows, len(rows))
+        else:
+            indexes = [schema.column_index(item.column) for item in statement.items]
+            projected = [tuple(row[i] for i in indexes) for row in rows]
+            columns = tuple(item.column for item in statement.items)
+            result = ResultSet(columns, projected, len(projected))
+        if txn.isolation is IsolationLevel.READ_COMMITTED:
+            for key in shared_keys:
+                self._db._unlock_row(txn, table.name, key)
+        return result
+
+    @staticmethod
+    def _aggregate_cell(schema, item: SelectItem, rows):
+        """Evaluate one aggregate select-item over ``rows``."""
+        if item.aggregate == "COUNT" and item.column is None:
+            return len(rows), "COUNT(*)"
+        index = schema.column_index(item.column)
+        cells = [row[index] for row in rows if row[index] is not None]
+        if item.aggregate == "COUNT":
+            value = len(set(cells)) if item.distinct else len(cells)
+        elif item.aggregate == "SUM":
+            value = sum(cells) if cells else None
+        elif item.aggregate == "AVG":
+            value = sum(cells) / len(cells) if cells else None
+        elif item.aggregate == "MIN":
+            value = min(cells) if cells else None
+        elif item.aggregate == "MAX":
+            value = max(cells) if cells else None
+        else:  # pragma: no cover - parser rejects others
+            raise SqlError(f"unknown aggregate {item.aggregate}")
+        label = "DISTINCT " + item.column if item.distinct else item.column
+        return value, f"{item.aggregate}({label})"
+
+    @classmethod
+    def _aggregate(cls, schema, statement: SelectStatement, rows) -> ResultSet:
+        outputs = []
+        names = []
+        for item in statement.items:
+            if not item.is_aggregate:
+                raise SqlError("cannot mix aggregates and plain columns")
+            value, name = cls._aggregate_cell(schema, item, rows)
+            outputs.append(value)
+            names.append(name)
+        return ResultSet(tuple(names), [tuple(outputs)], 1)
+
+    @classmethod
+    def _grouped(cls, schema, statement: SelectStatement, rows) -> ResultSet:
+        """GROUP BY one column; plain select items must be that column."""
+        if statement.star:
+            raise SqlError("SELECT * is not valid with GROUP BY")
+        group_index = schema.column_index(statement.group_by)
+        for item in statement.items:
+            if not item.is_aggregate and item.column != statement.group_by:
+                raise SqlError(
+                    f"column {item.column} must appear in GROUP BY or an aggregate"
+                )
+        groups: dict = {}
+        for row in rows:
+            groups.setdefault(row[group_index], []).append(row)
+        names = []
+        out_rows = []
+        for key in sorted(groups, key=lambda value: (value is None, value)):
+            cells = []
+            names = []
+            for item in statement.items:
+                if item.is_aggregate:
+                    value, name = cls._aggregate_cell(schema, item, groups[key])
+                else:
+                    value, name = key, item.column
+                cells.append(value)
+                names.append(name)
+            out_rows.append(tuple(cells))
+        return ResultSet(tuple(names), out_rows, len(out_rows))
+
+    # -- INSERT ----------------------------------------------------------------
+
+    def _insert(
+        self,
+        prepared: Prepared,
+        statement: InsertStatement,
+        params: Sequence[Any],
+        txn: Transaction,
+    ) -> ResultSet:
+        table = prepared.table
+        schema = table.schema
+        provided = [_resolve(value, params) for value in statement.values]
+        if statement.columns:
+            by_name = dict(zip(statement.columns, provided))
+            full = []
+            for column in schema.columns:
+                if column.name in by_name:
+                    full.append(by_name[column.name])
+                elif column.autoincrement:
+                    full.append(DEFAULT)
+                else:
+                    full.append(column.default)
+            provided = full
+        self._db._insert(txn, table, provided)
+        return ResultSet((), [], 1)
+
+    # -- UPDATE ----------------------------------------------------------------
+
+    def _update(
+        self,
+        prepared: Prepared,
+        statement: UpdateStatement,
+        params: Sequence[Any],
+        txn: Transaction,
+    ) -> ResultSet:
+        table = prepared.table
+        schema = table.schema
+        matches = self._match_rows(table, statement.where, params)
+        updated = 0
+        for rid, row in matches:
+            new_row = list(row)
+            for clause in statement.sets:
+                target = schema.column_index(clause.column)
+                operand = _resolve(clause.value, params)
+                if clause.delta_column is not None:
+                    base = row[schema.column_index(clause.delta_column)]
+                    if base is None:
+                        raise SchemaError(
+                            f"{table.name}.{clause.delta_column} is NULL in arithmetic"
+                        )
+                    operand = base + clause.delta_sign * operand
+                new_row[target] = operand
+            self._db._update(txn, table, rid, row, tuple(new_row))
+            updated += 1
+        return ResultSet((), [], updated)
+
+    # -- DELETE ----------------------------------------------------------------
+
+    def _delete(
+        self,
+        prepared: Prepared,
+        statement: DeleteStatement,
+        params: Sequence[Any],
+        txn: Transaction,
+    ) -> ResultSet:
+        table = prepared.table
+        matches = self._match_rows(table, statement.where, params)
+        for rid, row in matches:
+            self._db._delete(txn, table, rid, row)
+        return ResultSet((), [], len(matches))

@@ -1,0 +1,127 @@
+"""Hash and ordered indexes mapping key values to row ids.
+
+Indexes may be unique (primary keys, unique constraints) or not
+(secondary access paths such as ``ORDERLINE(OL_O_ID)``).  The ordered
+variant keeps keys sorted for range scans and ORDER BY ... LIMIT plans
+(TPC-C's "latest order of a customer" lookup).
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Any, Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.engine.errors import DuplicateKeyError, EngineError
+from repro.engine.page import RowId
+
+
+class HashIndex:
+    """Equality-only index: key -> set of row ids (or a single id if unique)."""
+
+    def __init__(self, name: str, columns: Tuple[str, ...], unique: bool = False):
+        self.name = name
+        self.columns = columns
+        self.unique = unique
+        self._map: Dict[Any, Set[RowId]] = {}
+
+    def __len__(self) -> int:
+        return sum(len(rids) for rids in self._map.values())
+
+    def insert(self, key: Any, rid: RowId) -> None:
+        bucket = self._map.setdefault(key, set())
+        if self.unique and bucket:
+            raise DuplicateKeyError(
+                f"duplicate key {key!r} in unique index {self.name!r}"
+            )
+        bucket.add(rid)
+
+    def delete(self, key: Any, rid: RowId) -> None:
+        bucket = self._map.get(key)
+        if bucket is None or rid not in bucket:
+            raise EngineError(f"index {self.name!r} has no entry {key!r}->{rid}")
+        bucket.discard(rid)
+        if not bucket:
+            del self._map[key]
+
+    def lookup(self, key: Any) -> List[RowId]:
+        return sorted(
+            self._map.get(key, ()), key=lambda rid: (rid.page_no, rid.slot)
+        )
+
+    def lookup_unique(self, key: Any) -> Optional[RowId]:
+        bucket = self._map.get(key)
+        if not bucket:
+            return None
+        if len(bucket) > 1:  # pragma: no cover - guarded by insert()
+            raise EngineError(f"unique index {self.name!r} has duplicates")
+        return next(iter(bucket))
+
+    def keys(self) -> Iterator[Any]:
+        return iter(self._map)
+
+    def clear(self) -> None:
+        self._map.clear()
+
+
+class OrderedIndex(HashIndex):
+    """Hash index plus a sorted key list for range scans.
+
+    Keys must be mutually comparable (ints, strings, or homogeneous
+    tuples).  The sorted list holds unique key values; the hash map
+    resolves each key to its row ids.
+    """
+
+    def __init__(self, name: str, columns: Tuple[str, ...], unique: bool = False):
+        super().__init__(name, columns, unique)
+        self._sorted_keys: List[Any] = []
+
+    def insert(self, key: Any, rid: RowId) -> None:
+        existed = key in self._map
+        super().insert(key, rid)
+        if not existed:
+            bisect.insort(self._sorted_keys, key)
+
+    def delete(self, key: Any, rid: RowId) -> None:
+        super().delete(key, rid)
+        if key not in self._map:
+            position = bisect.bisect_left(self._sorted_keys, key)
+            if position < len(self._sorted_keys) and self._sorted_keys[position] == key:
+                self._sorted_keys.pop(position)
+
+    def range(
+        self,
+        low: Any = None,
+        high: Any = None,
+        include_low: bool = True,
+        include_high: bool = True,
+        reverse: bool = False,
+    ) -> Iterator[Tuple[Any, RowId]]:
+        """Yield (key, rid) pairs with keys in the requested interval."""
+        if low is None:
+            start = 0
+        elif include_low:
+            start = bisect.bisect_left(self._sorted_keys, low)
+        else:
+            start = bisect.bisect_right(self._sorted_keys, low)
+        if high is None:
+            stop = len(self._sorted_keys)
+        elif include_high:
+            stop = bisect.bisect_right(self._sorted_keys, high)
+        else:
+            stop = bisect.bisect_left(self._sorted_keys, high)
+        keys = self._sorted_keys[start:stop]
+        if reverse:
+            keys = reversed(keys)
+        for key in keys:
+            for rid in self.lookup(key):
+                yield key, rid
+
+    def min_key(self) -> Optional[Any]:
+        return self._sorted_keys[0] if self._sorted_keys else None
+
+    def max_key(self) -> Optional[Any]:
+        return self._sorted_keys[-1] if self._sorted_keys else None
+
+    def clear(self) -> None:
+        super().clear()
+        self._sorted_keys.clear()

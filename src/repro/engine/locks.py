@@ -1,0 +1,193 @@
+"""Row-level strict two-phase locking with deadlock detection.
+
+Lock keys are ``(table, primary_key)`` pairs.  Shared locks are
+compatible with shared locks; exclusive locks conflict with everything
+except locks held by the same transaction (re-entrancy and the S->X
+upgrade of the sole holder are supported).
+
+The engine executes transactions cooperatively (no OS threads), so a
+conflicting request does not physically block.  ``acquire`` returns
+:data:`LockOutcome.GRANTED` or :data:`LockOutcome.BLOCKED`; a blocked
+request is queued and the wait-for graph is checked -- if the wait
+would close a cycle, the requester is chosen as the deadlock victim and
+:class:`DeadlockError` is raised instead of queuing.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import deque
+from typing import Any, Deque, Dict, List, Set, Tuple
+
+from repro.engine.errors import DeadlockError, EngineError
+
+LockKey = Tuple[str, Any]
+
+
+class LockMode(enum.Enum):
+    SHARED = "S"
+    EXCLUSIVE = "X"
+
+
+class LockOutcome(enum.Enum):
+    GRANTED = "granted"
+    BLOCKED = "blocked"
+
+
+class _Lock:
+    """State of one lockable row."""
+
+    __slots__ = ("holders", "queue")
+
+    def __init__(self) -> None:
+        self.holders: Dict[int, LockMode] = {}
+        self.queue: Deque[Tuple[int, LockMode]] = deque()
+
+    def compatible(self, txn_id: int, mode: LockMode) -> bool:
+        others = [held for holder, held in self.holders.items() if holder != txn_id]
+        if mode is LockMode.SHARED:
+            return all(held is LockMode.SHARED for held in others)
+        return not others
+
+
+class LockManager:
+    """All row locks of one database."""
+
+    def __init__(self) -> None:
+        self._locks: Dict[LockKey, _Lock] = {}
+        self._held_by_txn: Dict[int, Set[LockKey]] = {}
+        #: wait-for graph: waiter txn -> set of holder txns
+        self._waits_for: Dict[int, Set[int]] = {}
+        self.deadlocks_detected = 0
+
+    # -- queries ------------------------------------------------------------
+
+    def holders(self, key: LockKey) -> Dict[int, LockMode]:
+        lock = self._locks.get(key)
+        return dict(lock.holders) if lock else {}
+
+    def locks_held(self, txn_id: int) -> Set[LockKey]:
+        return set(self._held_by_txn.get(txn_id, ()))
+
+    def is_waiting(self, txn_id: int) -> bool:
+        return txn_id in self._waits_for
+
+    # -- acquisition ----------------------------------------------------------
+
+    def acquire(
+        self, txn_id: int, key: LockKey, mode: LockMode, queue_on_conflict: bool = True
+    ) -> LockOutcome:
+        """Try to take ``key`` in ``mode`` for ``txn_id``.
+
+        Returns GRANTED immediately when compatible.  On conflict the
+        request joins the FIFO queue (unless ``queue_on_conflict`` is
+        false) after deadlock screening; closing a wait-for cycle raises
+        :class:`DeadlockError` with the requester as victim.
+        """
+        lock = self._locks.setdefault(key, _Lock())
+        held = lock.holders.get(txn_id)
+        if held is not None and (held is LockMode.EXCLUSIVE or held is mode):
+            return LockOutcome.GRANTED  # re-entrant
+        # FIFO fairness: a grantable request must still queue behind
+        # earlier waiters unless it is a lock upgrade.
+        upgrade = held is LockMode.SHARED and mode is LockMode.EXCLUSIVE
+        blocked_by_queue = bool(lock.queue) and not upgrade
+        if lock.compatible(txn_id, mode) and not blocked_by_queue:
+            lock.holders[txn_id] = mode
+            self._held_by_txn.setdefault(txn_id, set()).add(key)
+            return LockOutcome.GRANTED
+        blockers = {holder for holder in lock.holders if holder != txn_id}
+        blockers.update(waiter for waiter, _ in lock.queue if waiter != txn_id)
+        if self._would_deadlock(txn_id, blockers):
+            self.deadlocks_detected += 1
+            raise DeadlockError(
+                f"transaction {txn_id} would deadlock waiting for {sorted(blockers)}"
+            )
+        if not queue_on_conflict:
+            return LockOutcome.BLOCKED
+        lock.queue.append((txn_id, mode))
+        self._waits_for[txn_id] = blockers
+        return LockOutcome.BLOCKED
+
+    def cancel_wait(self, txn_id: int) -> None:
+        """Remove ``txn_id`` from every wait queue (abort path)."""
+        self._waits_for.pop(txn_id, None)
+        for lock in self._locks.values():
+            lock.queue = deque(
+                (waiter, mode) for waiter, mode in lock.queue if waiter != txn_id
+            )
+
+    def release_one(self, txn_id: int, key: LockKey) -> List[Tuple[int, LockKey]]:
+        """Early release of a single shared lock (READ COMMITTED).
+
+        Exclusive locks are never released early -- strict 2PL keeps them
+        to commit -- so releasing an X lock here is a no-op.
+        """
+        lock = self._locks.get(key)
+        if lock is None or lock.holders.get(txn_id) is not LockMode.SHARED:
+            return []
+        lock.holders.pop(txn_id)
+        held = self._held_by_txn.get(txn_id)
+        if held is not None:
+            held.discard(key)
+        granted = self._promote(key, lock)
+        if not lock.holders and not lock.queue:
+            del self._locks[key]
+        return granted
+
+    def release_all(self, txn_id: int) -> List[Tuple[int, LockKey]]:
+        """Strict 2PL release at commit/abort.
+
+        Returns the ``(txn_id, key)`` grants promoted from wait queues so a
+        cooperative scheduler can resume them.
+        """
+        self.cancel_wait(txn_id)
+        granted: List[Tuple[int, LockKey]] = []
+        for key in self._held_by_txn.pop(txn_id, set()):
+            lock = self._locks.get(key)
+            if lock is None:  # pragma: no cover - defensive
+                continue
+            lock.holders.pop(txn_id, None)
+            granted.extend(self._promote(key, lock))
+            if not lock.holders and not lock.queue:
+                del self._locks[key]
+        return granted
+
+    def _promote(self, key: LockKey, lock: _Lock) -> List[Tuple[int, LockKey]]:
+        granted: List[Tuple[int, LockKey]] = []
+        while lock.queue:
+            waiter, mode = lock.queue[0]
+            if not lock.compatible(waiter, mode):
+                break
+            lock.queue.popleft()
+            lock.holders[waiter] = mode
+            self._held_by_txn.setdefault(waiter, set()).add(key)
+            self._waits_for.pop(waiter, None)
+            granted.append((waiter, key))
+        return granted
+
+    # -- deadlock detection ------------------------------------------------------
+
+    def _would_deadlock(self, txn_id: int, blockers: Set[int]) -> bool:
+        """Would adding waiter->blockers edges close a cycle through txn_id?"""
+        seen: Set[int] = set()
+        frontier = list(blockers)
+        while frontier:
+            current = frontier.pop()
+            if current == txn_id:
+                return True
+            if current in seen:
+                continue
+            seen.add(current)
+            frontier.extend(self._waits_for.get(current, ()))
+        return False
+
+    def sanity_check(self) -> None:
+        """Internal invariant check used by property tests."""
+        for key, lock in self._locks.items():
+            modes = set(lock.holders.values())
+            if LockMode.EXCLUSIVE in modes and len(lock.holders) > 1:
+                raise EngineError(f"lock {key} grants X alongside other holders")
+            for holder in lock.holders:
+                if key not in self._held_by_txn.get(holder, set()):
+                    raise EngineError(f"holder bookkeeping broken for {key}")

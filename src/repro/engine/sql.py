@@ -1,0 +1,400 @@
+"""Parser for the SQL subset used by CloudyBench's statement files.
+
+The grammar covers every statement in the paper's Table II plus what
+the SysBench and TPC-C baselines need::
+
+    SELECT select_list FROM table [WHERE conds] [ORDER BY col [ASC|DESC]]
+           [LIMIT n] [FOR UPDATE]
+    INSERT INTO table [(col, ...)] VALUES (value, ...)
+    UPDATE table SET col = set_expr [, ...] [WHERE conds]
+    DELETE FROM table [WHERE conds]
+
+    select_list : * | item (, item)*
+    item        : col | COUNT(*) | COUNT(DISTINCT col) | SUM(col)
+                | MIN(col) | MAX(col)
+    conds       : col op value (AND col op value)*
+    op          : = | <> | != | < | > | <= | >=
+    set_expr    : value | col + value | col - value
+    value       : ? | number | 'string' | DEFAULT
+
+The parser produces small AST dataclasses; planning and execution live
+in :mod:`repro.engine.executor`.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Any, List, Optional, Tuple, Union
+
+from repro.engine.errors import SqlError
+
+# --------------------------------------------------------------------------
+# tokenizer
+# --------------------------------------------------------------------------
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<string>'(?:[^']|'')*')
+  | (?P<number>\d+\.\d+|\d+)
+  | (?P<param>\?)
+  | (?P<op><=|>=|<>|!=|=|<|>)
+  | (?P<punct>[(),*+\-])
+  | (?P<word>[A-Za-z_][A-Za-z0-9_.]*)
+    """,
+    re.VERBOSE,
+)
+
+#: token types: KEYWORD/IDENT merged into WORD at lexing; parser decides.
+Token = Tuple[str, str]
+
+
+def tokenize(sql: str) -> List[Token]:
+    tokens: List[Token] = []
+    position = 0
+    while position < len(sql):
+        match = _TOKEN_RE.match(sql, position)
+        if match is None:
+            raise SqlError(f"cannot tokenize SQL at ...{sql[position:position + 20]!r}")
+        position = match.end()
+        kind = match.lastgroup
+        if kind == "ws":
+            continue
+        tokens.append((kind, match.group()))
+    return tokens
+
+
+# --------------------------------------------------------------------------
+# AST
+# --------------------------------------------------------------------------
+
+#: A literal Python value, a parameter marker, or the DEFAULT keyword.
+PARAM = "?"
+
+
+@dataclass(frozen=True)
+class Value:
+    """A value source: literal, parameter slot, or DEFAULT."""
+
+    kind: str  # "literal" | "param" | "default"
+    literal: Any = None
+    param_index: int = -1
+
+
+@dataclass(frozen=True)
+class Condition:
+    column: str
+    op: str  # =, <>, <, >, <=, >=
+    value: Value
+
+
+@dataclass(frozen=True)
+class SelectItem:
+    """Either a plain column or an aggregate over one column/star."""
+
+    column: Optional[str] = None
+    aggregate: Optional[str] = None  # COUNT, SUM, MIN, MAX
+    distinct: bool = False
+
+    @property
+    def is_aggregate(self) -> bool:
+        return self.aggregate is not None
+
+
+@dataclass(frozen=True)
+class SetClause:
+    column: str
+    value: Value
+    delta_column: Optional[str] = None  # for "col = other +/- value"
+    delta_sign: int = 1
+
+
+@dataclass(frozen=True)
+class SelectStatement:
+    table: str
+    items: Tuple[SelectItem, ...]
+    star: bool = False
+    where: Tuple[Condition, ...] = ()
+    group_by: Optional[str] = None
+    order_by: Optional[str] = None
+    order_desc: bool = False
+    limit: Optional[int] = None
+    for_update: bool = False
+
+
+@dataclass(frozen=True)
+class InsertStatement:
+    table: str
+    columns: Tuple[str, ...] = ()  # empty means full column order
+    values: Tuple[Value, ...] = ()
+
+
+@dataclass(frozen=True)
+class UpdateStatement:
+    table: str
+    sets: Tuple[SetClause, ...]
+    where: Tuple[Condition, ...] = ()
+
+
+@dataclass(frozen=True)
+class DeleteStatement:
+    table: str
+    where: Tuple[Condition, ...] = ()
+
+
+Statement = Union[SelectStatement, InsertStatement, UpdateStatement, DeleteStatement]
+
+_AGGREGATES = {"COUNT", "SUM", "MIN", "MAX", "AVG"}
+
+
+class _Parser:
+    """Recursive-descent parser over the token list."""
+
+    def __init__(self, sql: str):
+        self.sql = sql
+        self.tokens = tokenize(sql)
+        self.position = 0
+        self.param_count = 0
+
+    # -- token plumbing --------------------------------------------------------
+
+    def _peek(self) -> Optional[Token]:
+        if self.position < len(self.tokens):
+            return self.tokens[self.position]
+        return None
+
+    def _next(self) -> Token:
+        token = self._peek()
+        if token is None:
+            raise SqlError(f"unexpected end of SQL: {self.sql!r}")
+        self.position += 1
+        return token
+
+    def _accept_word(self, *words: str) -> Optional[str]:
+        token = self._peek()
+        if token and token[0] == "word" and token[1].upper() in words:
+            self.position += 1
+            return token[1].upper()
+        return None
+
+    def _expect_word(self, *words: str) -> str:
+        word = self._accept_word(*words)
+        if word is None:
+            raise SqlError(
+                f"expected {'/'.join(words)} at token {self.position} in {self.sql!r}"
+            )
+        return word
+
+    def _accept_punct(self, punct: str) -> bool:
+        token = self._peek()
+        if token and token[0] in ("punct", "op") and token[1] == punct:
+            self.position += 1
+            return True
+        return False
+
+    def _expect_punct(self, punct: str) -> None:
+        if not self._accept_punct(punct):
+            raise SqlError(f"expected {punct!r} at token {self.position} in {self.sql!r}")
+
+    def _identifier(self) -> str:
+        token = self._next()
+        if token[0] != "word":
+            raise SqlError(f"expected identifier, got {token[1]!r} in {self.sql!r}")
+        return token[1].upper()
+
+    def _value(self) -> Value:
+        token = self._next()
+        kind, text = token
+        if kind == "param":
+            value = Value("param", param_index=self.param_count)
+            self.param_count += 1
+            return value
+        if kind == "number":
+            literal = float(text) if "." in text else int(text)
+            return Value("literal", literal=literal)
+        if kind == "string":
+            return Value("literal", literal=text[1:-1].replace("''", "'"))
+        if kind == "word" and text.upper() == "DEFAULT":
+            return Value("default")
+        if kind == "word" and text.upper() == "NULL":
+            return Value("literal", literal=None)
+        raise SqlError(f"expected value, got {text!r} in {self.sql!r}")
+
+    # -- statement dispatch --------------------------------------------------------
+
+    def parse(self) -> Statement:
+        word = self._expect_word("SELECT", "INSERT", "UPDATE", "DELETE")
+        if word == "SELECT":
+            statement = self._select()
+        elif word == "INSERT":
+            statement = self._insert()
+        elif word == "UPDATE":
+            statement = self._update()
+        else:
+            statement = self._delete()
+        if self._peek() is not None:
+            raise SqlError(f"trailing tokens after statement in {self.sql!r}")
+        return statement
+
+    # -- SELECT -----------------------------------------------------------------
+
+    def _select(self) -> SelectStatement:
+        star = False
+        items: List[SelectItem] = []
+        if self._accept_punct("*"):
+            star = True
+        else:
+            items.append(self._select_item())
+            while self._accept_punct(","):
+                items.append(self._select_item())
+        self._expect_word("FROM")
+        table = self._identifier()
+        where = self._where_clause()
+        group_by = None
+        if self._accept_word("GROUP"):
+            self._expect_word("BY")
+            group_by = self._identifier()
+        order_by, order_desc = None, False
+        if self._accept_word("ORDER"):
+            self._expect_word("BY")
+            order_by = self._identifier()
+            if self._accept_word("DESC"):
+                order_desc = True
+            else:
+                self._accept_word("ASC")
+        limit = None
+        if self._accept_word("LIMIT"):
+            token = self._next()
+            if token[0] != "number" or "." in token[1]:
+                raise SqlError(f"LIMIT needs an integer in {self.sql!r}")
+            limit = int(token[1])
+        for_update = False
+        if self._accept_word("FOR"):
+            self._expect_word("UPDATE")
+            for_update = True
+        return SelectStatement(
+            table=table,
+            items=tuple(items),
+            star=star,
+            where=where,
+            group_by=group_by,
+            order_by=order_by,
+            order_desc=order_desc,
+            limit=limit,
+            for_update=for_update,
+        )
+
+    def _select_item(self) -> SelectItem:
+        name = self._identifier()
+        if name in _AGGREGATES and self._accept_punct("("):
+            distinct = False
+            if self._accept_punct("*"):
+                column = None
+            else:
+                if self._accept_word("DISTINCT"):
+                    distinct = True
+                column = self._identifier()
+            self._expect_punct(")")
+            if name != "COUNT" and column is None:
+                raise SqlError(f"{name}(*) is not valid in {self.sql!r}")
+            if name == "AVG" and distinct:
+                raise SqlError(f"AVG(DISTINCT) is not supported in {self.sql!r}")
+            return SelectItem(column=column, aggregate=name, distinct=distinct)
+        return SelectItem(column=name)
+
+    # -- INSERT -----------------------------------------------------------------
+
+    def _insert(self) -> InsertStatement:
+        self._expect_word("INTO")
+        table = self._identifier()
+        columns: List[str] = []
+        if self._accept_punct("("):
+            columns.append(self._identifier())
+            while self._accept_punct(","):
+                columns.append(self._identifier())
+            self._expect_punct(")")
+        self._expect_word("VALUES")
+        self._expect_punct("(")
+        values = [self._value()]
+        while self._accept_punct(","):
+            values.append(self._value())
+        self._expect_punct(")")
+        return InsertStatement(table=table, columns=tuple(columns), values=tuple(values))
+
+    # -- UPDATE -----------------------------------------------------------------
+
+    def _update(self) -> UpdateStatement:
+        table = self._identifier()
+        self._expect_word("SET")
+        sets = [self._set_clause()]
+        while self._accept_punct(","):
+            sets.append(self._set_clause())
+        where = self._where_clause()
+        return UpdateStatement(table=table, sets=tuple(sets), where=where)
+
+    def _set_clause(self) -> SetClause:
+        column = self._identifier()
+        self._expect_punct("=")
+        token = self._peek()
+        if token and token[0] == "word" and token[1].upper() not in ("DEFAULT", "NULL"):
+            # "col = other_col + value" or "col = other_col - value"
+            delta_column = self._identifier()
+            if self._accept_punct("+"):
+                sign = 1
+            elif self._accept_punct("-"):
+                sign = -1
+            else:
+                raise SqlError(
+                    f"expected + or - after column in SET clause of {self.sql!r}"
+                )
+            value = self._value()
+            return SetClause(
+                column=column, value=value, delta_column=delta_column, delta_sign=sign
+            )
+        return SetClause(column=column, value=self._value())
+
+    # -- DELETE -----------------------------------------------------------------
+
+    def _delete(self) -> DeleteStatement:
+        self._expect_word("FROM")
+        table = self._identifier()
+        return DeleteStatement(table=table, where=self._where_clause())
+
+    # -- WHERE -----------------------------------------------------------------
+
+    def _where_clause(self) -> Tuple[Condition, ...]:
+        if not self._accept_word("WHERE"):
+            return ()
+        conditions = [self._condition()]
+        while self._accept_word("AND"):
+            conditions.append(self._condition())
+        return tuple(conditions)
+
+    def _condition(self) -> Condition:
+        column = self._identifier()
+        token = self._next()
+        if token[0] != "op":
+            raise SqlError(f"expected comparison operator, got {token[1]!r}")
+        op = "<>" if token[1] == "!=" else token[1]
+        return Condition(column=column, op=op, value=self._value())
+
+
+def parse(sql: str) -> Statement:
+    """Parse one SQL statement into its AST."""
+    return _Parser(sql).parse()
+
+
+def count_params(statement: Statement) -> int:
+    """Number of ``?`` placeholders in the statement."""
+    values: List[Value] = []
+    if isinstance(statement, SelectStatement):
+        values.extend(condition.value for condition in statement.where)
+    elif isinstance(statement, InsertStatement):
+        values.extend(statement.values)
+    elif isinstance(statement, UpdateStatement):
+        values.extend(clause.value for clause in statement.sets)
+        values.extend(condition.value for condition in statement.where)
+    elif isinstance(statement, DeleteStatement):
+        values.extend(condition.value for condition in statement.where)
+    return sum(1 for value in values if value.kind == "param")

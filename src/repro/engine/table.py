@@ -1,0 +1,273 @@
+"""Heap tables: pages + primary index + secondary indexes.
+
+Every mutation goes through the owning :class:`~repro.engine.database.
+Database` (for WAL and locking); the table provides the physical
+storage operations and index maintenance.  All reads and writes report
+page touches to the buffer pool, which is how buffer-size effects reach
+the cost model.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
+
+from repro.engine.buffer import BufferPool
+from repro.engine.errors import DuplicateKeyError, EngineError, SchemaError
+from repro.engine.index import HashIndex, OrderedIndex
+from repro.engine.page import Page, RowId, rows_per_page
+from repro.engine.types import Schema
+
+
+class Table:
+    """A heap of pages with a unique primary-key index."""
+
+    def __init__(self, schema: Schema, buffer_pool: Optional[BufferPool] = None):
+        self.schema = schema
+        self.name = schema.table
+        self._rows_per_page = rows_per_page(schema.row_byte_size())
+        self._pages: List[Page] = []
+        self._buffer = buffer_pool
+        self._next_auto = 1
+        self.primary_index = OrderedIndex(
+            f"{self.name}_pkey", (schema.primary_key,), unique=True
+        )
+        self.secondary_indexes: Dict[str, HashIndex] = {}
+
+    # -- administrative ----------------------------------------------------
+
+    def attach_buffer(self, buffer_pool: Optional[BufferPool]) -> None:
+        self._buffer = buffer_pool
+
+    def create_index(
+        self, name: str, columns: Tuple[str, ...], unique: bool = False, ordered: bool = False
+    ) -> None:
+        """Build a secondary index over ``columns`` (backfills existing rows)."""
+        if name in self.secondary_indexes:
+            raise SchemaError(f"index {name!r} already exists on {self.name!r}")
+        for column in columns:
+            self.schema.column_index(column)  # validates
+        index_class = OrderedIndex if ordered else HashIndex
+        index = index_class(name, columns, unique)
+        for rid, row in self.scan():
+            index.insert(self._index_key(columns, row), rid)
+        self.secondary_indexes[name] = index
+
+    @property
+    def row_count(self) -> int:
+        return len(self.primary_index)
+
+    @property
+    def page_count(self) -> int:
+        return len(self._pages)
+
+    def next_autoincrement(self) -> int:
+        value = self._next_auto
+        self._next_auto += 1
+        return value
+
+    def bump_autoincrement(self, seen_value: int) -> None:
+        """Keep the counter ahead of explicitly inserted key values."""
+        if seen_value >= self._next_auto:
+            self._next_auto = seen_value + 1
+
+    # -- constraint checking ----------------------------------------------------
+
+    def check_unique(self, row: Tuple[Any, ...], exclude_rid: Optional[RowId] = None) -> None:
+        """Raise :class:`DuplicateKeyError` if ``row`` would violate the
+        primary key or any unique secondary index.
+
+        Called *before* any state is touched, so a failed insert/update
+        leaves pages, indexes and the WAL untouched.  ``exclude_rid``
+        ignores the row's own current entry (the update case).
+        """
+        key = row[self.schema.primary_key_index]
+        existing = self.primary_index.lookup_unique(key)
+        if existing is not None and existing != exclude_rid:
+            raise DuplicateKeyError(
+                f"duplicate primary key {key!r} in table {self.name!r}"
+            )
+        for index in self.secondary_indexes.values():
+            if not index.unique:
+                continue
+            entry = self._index_key(index.columns, row)
+            holders = index.lookup(entry)
+            if holders and holders != [exclude_rid]:
+                raise DuplicateKeyError(
+                    f"duplicate key {entry!r} in unique index {index.name!r}"
+                )
+
+    # -- physical operations -------------------------------------------------
+
+    def insert_row(self, row: Tuple[Any, ...]) -> RowId:
+        """Place a validated row; maintains all indexes.
+
+        Raises :class:`DuplicateKeyError` before touching any state when
+        the primary key or a unique secondary index would be violated.
+        """
+        self.check_unique(row)
+        key = row[self.schema.primary_key_index]
+        page = self._page_with_space()
+        slot = page.insert(row)
+        rid = RowId(page.page_no, slot)
+        self._touch(page.page_no, dirty=True)
+        self.primary_index.insert(key, rid)
+        for index in self.secondary_indexes.values():
+            index.insert(self._index_key(index.columns, row), rid)
+        if isinstance(key, int):
+            self.bump_autoincrement(key)
+        return rid
+
+    def read_row(self, rid: RowId) -> Tuple[Any, ...]:
+        page = self._page(rid.page_no)
+        self._touch(rid.page_no, dirty=False)
+        return page.read(rid.slot)
+
+    def update_row(self, rid: RowId, new_row: Tuple[Any, ...]) -> Tuple[Any, ...]:
+        """Overwrite a row in place; returns the before image.
+
+        All unique constraints are validated before any mutation, so a
+        :class:`DuplicateKeyError` leaves the table untouched.
+        """
+        page = self._page(rid.page_no)
+        before = page.read(rid.slot)
+        new_key = new_row[self.schema.primary_key_index]
+        old_key = before[self.schema.primary_key_index]
+        self.check_unique(new_row, exclude_rid=rid)
+        page.write(rid.slot, new_row)
+        self._touch(rid.page_no, dirty=True)
+        if new_key != old_key:
+            self.primary_index.delete(old_key, rid)
+            self.primary_index.insert(new_key, rid)
+        for index in self.secondary_indexes.values():
+            old_entry = self._index_key(index.columns, before)
+            new_entry = self._index_key(index.columns, new_row)
+            if old_entry != new_entry:
+                index.delete(old_entry, rid)
+                index.insert(new_entry, rid)
+        return before
+
+    def delete_row(self, rid: RowId) -> Tuple[Any, ...]:
+        """Remove a row; returns the before image."""
+        page = self._page(rid.page_no)
+        before = page.delete(rid.slot)
+        self._touch(rid.page_no, dirty=True)
+        key = before[self.schema.primary_key_index]
+        self.primary_index.delete(key, rid)
+        for index in self.secondary_indexes.values():
+            index.delete(self._index_key(index.columns, before), rid)
+        return before
+
+    def restore_row(self, rid: RowId, row: Tuple[Any, ...]) -> None:
+        """Undo of a delete: put the row back at its original address."""
+        while len(self._pages) <= rid.page_no:
+            self._pages.append(Page(len(self._pages), self._rows_per_page))
+        page = self._page(rid.page_no)
+        page.restore(rid.slot, row)
+        self._touch(rid.page_no, dirty=True)
+        key = row[self.schema.primary_key_index]
+        self.primary_index.insert(key, rid)
+        for index in self.secondary_indexes.values():
+            index.insert(self._index_key(index.columns, row), rid)
+
+    # -- lookups -------------------------------------------------------------
+
+    def find_by_key(self, key: Any) -> Optional[RowId]:
+        return self.primary_index.lookup_unique(key)
+
+    def read_by_key(self, key: Any) -> Optional[Tuple[Any, ...]]:
+        rid = self.find_by_key(key)
+        if rid is None:
+            return None
+        return self.read_row(rid)
+
+    def index_for_name(self, name: str) -> HashIndex:
+        """Resolve an index (primary or secondary) by its name."""
+        if name == self.primary_index.name:
+            return self.primary_index
+        try:
+            return self.secondary_indexes[name]
+        except KeyError:
+            raise SchemaError(f"table {self.name!r} has no index {name!r}") from None
+
+    def index_for_columns(self, columns: Tuple[str, ...]) -> Optional[HashIndex]:
+        """The best index whose column list exactly matches ``columns``."""
+        if columns == (self.schema.primary_key,):
+            return self.primary_index
+        for index in self.secondary_indexes.values():
+            if index.columns == columns:
+                return index
+        return None
+
+    def scan(self) -> Iterator[Tuple[RowId, Tuple[Any, ...]]]:
+        """Full scan in physical order, touching each page once."""
+        for page in self._pages:
+            if page.live_rows == 0:
+                continue
+            self._touch(page.page_no, dirty=False)
+            for slot, row in page.rows():
+                yield RowId(page.page_no, slot), row
+
+    def filter_scan(
+        self, predicate: Callable[[Tuple[Any, ...]], bool]
+    ) -> Iterator[Tuple[RowId, Tuple[Any, ...]]]:
+        for rid, row in self.scan():
+            if predicate(row):
+                yield rid, row
+
+    # -- snapshot for checkpoints ---------------------------------------------
+
+    def snapshot(self) -> "TableSnapshot":
+        return TableSnapshot(
+            pages=[page.clone() for page in self._pages],
+            next_auto=self._next_auto,
+        )
+
+    def restore_snapshot(self, snapshot: "TableSnapshot") -> None:
+        self._pages = [page.clone() for page in snapshot.pages]
+        self._next_auto = snapshot.next_auto
+        self._rebuild_indexes()
+
+    def _rebuild_indexes(self) -> None:
+        self.primary_index.clear()
+        for index in self.secondary_indexes.values():
+            index.clear()
+        for page in self._pages:
+            for slot, row in page.rows():
+                rid = RowId(page.page_no, slot)
+                self.primary_index.insert(row[self.schema.primary_key_index], rid)
+                for index in self.secondary_indexes.values():
+                    index.insert(self._index_key(index.columns, row), rid)
+
+    # -- internals --------------------------------------------------------------
+
+    def _index_key(self, columns: Tuple[str, ...], row: Tuple[Any, ...]) -> Any:
+        if len(columns) == 1:
+            return row[self.schema.column_index(columns[0])]
+        return tuple(row[self.schema.column_index(column)] for column in columns)
+
+    def _page(self, page_no: int) -> Page:
+        if page_no < 0 or page_no >= len(self._pages):
+            raise EngineError(f"table {self.name!r} has no page {page_no}")
+        return self._pages[page_no]
+
+    def _page_with_space(self) -> Page:
+        if self._pages and self._pages[-1].has_free_slot():
+            return self._pages[-1]
+        for page in self._pages:
+            if page.has_free_slot():
+                return page
+        page = Page(len(self._pages), self._rows_per_page)
+        self._pages.append(page)
+        return page
+
+    def _touch(self, page_no: int, dirty: bool) -> None:
+        if self._buffer is not None:
+            self._buffer.access(self.name, page_no, dirty=dirty)
+
+
+class TableSnapshot:
+    """Frozen physical state of a table (pages + autoincrement counter)."""
+
+    def __init__(self, pages: List[Page], next_auto: int):
+        self.pages = pages
+        self.next_auto = next_auto

@@ -1,0 +1,122 @@
+"""Transactions and the transaction manager.
+
+A :class:`Transaction` is a handle: the mutation logic lives in
+:class:`repro.engine.database.Database`, which logs to the WAL and
+locks through the lock manager.  Strict 2PL plus WAL-before-data gives
+atomicity and durability; serialisability follows from 2PL.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Optional, TYPE_CHECKING
+
+from repro.engine.errors import TransactionAborted
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.engine.database import Database
+
+
+class IsolationLevel(enum.Enum):
+    """Supported isolation levels.
+
+    ``SERIALIZABLE`` is strict 2PL (S locks held to commit);
+    ``READ_COMMITTED`` releases S locks immediately after each read,
+    which is what the paper's OLTP workloads run under on PostgreSQL.
+    """
+
+    READ_COMMITTED = "read committed"
+    SERIALIZABLE = "serializable"
+
+
+class TxnState(enum.Enum):
+    ACTIVE = "active"
+    COMMITTED = "committed"
+    ABORTED = "aborted"
+
+
+class Transaction:
+    """One unit of work against a :class:`Database`."""
+
+    def __init__(
+        self,
+        db: "Database",
+        txn_id: int,
+        isolation: IsolationLevel = IsolationLevel.READ_COMMITTED,
+    ):
+        self._db = db
+        self.txn_id = txn_id
+        self.isolation = isolation
+        self.state = TxnState.ACTIVE
+        self.first_lsn = 0
+        self.last_lsn = 0
+        #: statement-level counters consumed by the cost model
+        self.reads = 0
+        self.writes = 0
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def commit(self) -> None:
+        self._db._commit(self)
+
+    def rollback(self) -> None:
+        self._db._rollback(self)
+
+    @property
+    def is_active(self) -> bool:
+        return self.state is TxnState.ACTIVE
+
+    def ensure_active(self) -> None:
+        if self.state is not TxnState.ACTIVE:
+            raise TransactionAborted(
+                f"transaction {self.txn_id} is {self.state.value}"
+            )
+
+    # -- context manager: commit on success, roll back on error ------------------
+
+    def __enter__(self) -> "Transaction":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if exc_type is None:
+            if self.is_active:
+                self.commit()
+        else:
+            if self.is_active:
+                self.rollback()
+        return False
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Transaction {self.txn_id} {self.state.value}>"
+
+
+class TransactionManager:
+    """Assigns transaction ids and tracks active transactions."""
+
+    def __init__(self, start_id: int = 1) -> None:
+        if start_id < 1:
+            raise ValueError("transaction ids start at 1")
+        self._next_txn_id = start_id
+        self.active: dict[int, Transaction] = {}
+        self.committed = 0
+        self.aborted = 0
+
+    def begin(
+        self, db: "Database", isolation: IsolationLevel
+    ) -> Transaction:
+        txn = Transaction(db, self._next_txn_id, isolation)
+        self._next_txn_id += 1
+        self.active[txn.txn_id] = txn
+        return txn
+
+    def finish(self, txn: Transaction, committed: bool) -> None:
+        self.active.pop(txn.txn_id, None)
+        if committed:
+            self.committed += 1
+        else:
+            self.aborted += 1
+
+    def oldest_active(self) -> Optional[Transaction]:
+        if not self.active:
+            return None
+        return self.active[min(self.active)]

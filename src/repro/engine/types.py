@@ -1,0 +1,160 @@
+"""Column, schema and row model for the storage engine.
+
+Rows are stored as tuples in schema column order.  The schema coerces
+and validates values on the way in so that the rest of the engine can
+assume well-typed tuples.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Sequence, Tuple
+
+from repro.engine.errors import SchemaError
+
+#: Sentinel used in INSERT statements for auto-increment columns
+#: (the paper's T1 uses ``INSERT INTO orderline VALUES (DEFAULT, ...)``).
+DEFAULT = object()
+
+
+class ColumnType(enum.Enum):
+    """Supported column types and their byte-size estimates."""
+
+    INT = "int"
+    BIGINT = "bigint"
+    DECIMAL = "decimal"
+    VARCHAR = "varchar"
+    TIMESTAMP = "timestamp"
+
+    def coerce(self, value: Any) -> Any:
+        """Coerce ``value`` into the Python representation of this type."""
+        if value is None:
+            return None
+        if self in (ColumnType.INT, ColumnType.BIGINT):
+            if isinstance(value, bool):
+                raise SchemaError(f"boolean is not valid for {self.value}")
+            return int(value)
+        if self is ColumnType.DECIMAL:
+            return float(value)
+        if self is ColumnType.VARCHAR:
+            return str(value)
+        if self is ColumnType.TIMESTAMP:
+            return float(value)
+        raise SchemaError(f"unknown column type {self!r}")  # pragma: no cover
+
+    def byte_size(self, length: int = 0) -> int:
+        """Nominal storage footprint used by the page/cost model."""
+        if self in (ColumnType.INT, ColumnType.TIMESTAMP):
+            return 8
+        if self is ColumnType.BIGINT:
+            return 8
+        if self is ColumnType.DECIMAL:
+            return 8
+        if self is ColumnType.VARCHAR:
+            return max(length, 16)
+        raise SchemaError(f"unknown column type {self!r}")  # pragma: no cover
+
+
+@dataclass(frozen=True)
+class Column:
+    """A single column definition."""
+
+    name: str
+    type: ColumnType
+    nullable: bool = True
+    autoincrement: bool = False
+    length: int = 0
+    default: Any = None
+
+    def __post_init__(self) -> None:
+        if not self.name or not self.name.isidentifier():
+            raise SchemaError(f"invalid column name {self.name!r}")
+        if self.autoincrement and self.type not in (ColumnType.INT, ColumnType.BIGINT):
+            raise SchemaError(f"autoincrement column {self.name!r} must be integer")
+
+    def byte_size(self) -> int:
+        return self.type.byte_size(self.length)
+
+
+@dataclass(frozen=True)
+class Schema:
+    """An ordered collection of columns plus the primary key."""
+
+    table: str
+    columns: Tuple[Column, ...]
+    primary_key: str
+    _index: Dict[str, int] = field(init=False, repr=False, compare=False, hash=False, default=None)
+
+    def __post_init__(self) -> None:
+        if not self.table or not self.table.isidentifier():
+            raise SchemaError(f"invalid table name {self.table!r}")
+        names = [column.name for column in self.columns]
+        if len(set(names)) != len(names):
+            raise SchemaError(f"duplicate columns in table {self.table!r}: {names}")
+        if self.primary_key not in names:
+            raise SchemaError(
+                f"primary key {self.primary_key!r} is not a column of {self.table!r}"
+            )
+        object.__setattr__(self, "_index", {name: i for i, name in enumerate(names)})
+
+    # -- lookup helpers ----------------------------------------------------
+
+    def column_index(self, name: str) -> int:
+        try:
+            return self._index[name]
+        except KeyError:
+            raise SchemaError(f"table {self.table!r} has no column {name!r}") from None
+
+    def column(self, name: str) -> Column:
+        return self.columns[self.column_index(name)]
+
+    @property
+    def column_names(self) -> Tuple[str, ...]:
+        return tuple(column.name for column in self.columns)
+
+    @property
+    def primary_key_index(self) -> int:
+        return self.column_index(self.primary_key)
+
+    def row_byte_size(self) -> int:
+        """Nominal bytes per row, used to size pages and working sets."""
+        return sum(column.byte_size() for column in self.columns) + 8  # header
+
+    # -- row validation ----------------------------------------------------
+
+    def coerce_row(
+        self, values: Sequence[Any], next_auto: Optional[int] = None
+    ) -> Tuple[Any, ...]:
+        """Validate and coerce a full row in column order.
+
+        ``DEFAULT`` placeholders are replaced by ``next_auto`` for
+        auto-increment columns or by the column default otherwise.
+        """
+        if len(values) != len(self.columns):
+            raise SchemaError(
+                f"table {self.table!r} expects {len(self.columns)} values, "
+                f"got {len(values)}"
+            )
+        row = []
+        for column, value in zip(self.columns, values):
+            if value is DEFAULT:
+                if column.autoincrement:
+                    if next_auto is None:
+                        raise SchemaError(
+                            f"DEFAULT for {column.name!r} needs an autoincrement value"
+                        )
+                    value = next_auto
+                else:
+                    value = column.default
+            value = column.type.coerce(value)
+            if value is None and not column.nullable:
+                raise SchemaError(
+                    f"column {self.table}.{column.name} is NOT NULL"
+                )
+            row.append(value)
+        return tuple(row)
+
+    def row_dict(self, row: Sequence[Any]) -> Dict[str, Any]:
+        """Project a stored tuple into a name->value mapping."""
+        return dict(zip(self.column_names, row))

@@ -1,0 +1,200 @@
+"""Shared resources for the DES kernel.
+
+Two primitives cover everything the cloud substrate needs:
+
+* :class:`Resource` -- a FIFO resource with integral capacity, used for
+  CPU cores, I/O channels and replay worker slots.  Processes obtain a
+  slot by yielding :meth:`Resource.request` and must release it with
+  :meth:`Resource.release` (the :meth:`Resource.use` helper wraps a
+  timed hold).
+* :class:`Container` -- a continuous quantity (e.g. log backlog bytes)
+  with blocking ``get``.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Generator
+
+from repro.sim.events import Environment, Event, SimulationError
+
+
+class Resource:
+    """FIFO resource with ``capacity`` identical slots."""
+
+    def __init__(self, env: Environment, capacity: int = 1):
+        if capacity < 1:
+            raise SimulationError(f"resource capacity must be >= 1, got {capacity}")
+        self.env = env
+        self._capacity = capacity
+        self._in_use = 0
+        self._waiters: deque[Event] = deque()
+        # Aggregate busy-time accounting for utilisation reporting.
+        self._busy_time = 0.0
+        self._last_change = env.now
+
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    @property
+    def in_use(self) -> int:
+        return self._in_use
+
+    @property
+    def queue_length(self) -> int:
+        return len(self._waiters)
+
+    def _account(self) -> None:
+        now = self.env.now
+        self._busy_time += self._in_use * (now - self._last_change)
+        self._last_change = now
+
+    def busy_time(self) -> float:
+        """Integral of slots-in-use over time (core-seconds)."""
+        self._account()
+        return self._busy_time
+
+    def set_capacity(self, capacity: int) -> None:
+        """Resize the resource; shrinking never evicts current holders."""
+        if capacity < 1:
+            raise SimulationError(f"resource capacity must be >= 1, got {capacity}")
+        self._account()
+        self._capacity = capacity
+        self._drain()
+
+    def request(self) -> Event:
+        """Return an event that succeeds once a slot is available."""
+        event = self.env.event()
+        if self._in_use < self._capacity:
+            self._account()
+            self._in_use += 1
+            event.succeed()
+        else:
+            self._waiters.append(event)
+        return event
+
+    def release(self) -> None:
+        if self._in_use <= 0:
+            raise SimulationError("release() without a matching request()")
+        self._account()
+        self._in_use -= 1
+        self._drain()
+
+    def _drain(self) -> None:
+        while self._waiters and self._in_use < self._capacity:
+            waiter = self._waiters.popleft()
+            self._in_use += 1
+            waiter.succeed()
+
+    def use(self, duration: float) -> Generator:
+        """Process helper: acquire a slot, hold for ``duration``, release.
+
+        Usage inside a process: ``yield from resource.use(0.5)``.
+        """
+        yield self.request()
+        try:
+            yield self.env.timeout(duration)
+        finally:
+            self.release()
+
+
+class Container:
+    """A continuous quantity with blocking ``get`` and immediate ``put``."""
+
+    def __init__(self, env: Environment, initial: float = 0.0, capacity: float = float("inf")):
+        if initial < 0 or capacity <= 0:
+            raise SimulationError("container needs initial >= 0 and capacity > 0")
+        self.env = env
+        self.capacity = capacity
+        self._level = float(initial)
+        self._getters: deque[tuple[float, Event]] = deque()
+
+    @property
+    def level(self) -> float:
+        return self._level
+
+    def put(self, amount: float) -> None:
+        if amount < 0:
+            raise SimulationError("cannot put a negative amount")
+        self._level = min(self.capacity, self._level + amount)
+        self._drain()
+
+    def get(self, amount: float) -> Event:
+        """Event that succeeds once ``amount`` can be withdrawn (FIFO)."""
+        if amount < 0:
+            raise SimulationError("cannot get a negative amount")
+        event = self.env.event()
+        self._getters.append((amount, event))
+        self._drain()
+        return event
+
+    def try_get(self, amount: float) -> bool:
+        """Withdraw immediately if possible; never blocks."""
+        if self._getters or amount > self._level:
+            return False
+        self._level -= amount
+        return True
+
+    def _drain(self) -> None:
+        while self._getters and self._getters[0][0] <= self._level:
+            amount, event = self._getters.popleft()
+            self._level -= amount
+            event.succeed(amount)
+
+
+def monitored_timeseries() -> "TimeSeries":
+    """Convenience constructor mirroring the collector API."""
+    return TimeSeries()
+
+
+class TimeSeries:
+    """Append-only (time, value) series with step-function integration."""
+
+    def __init__(self) -> None:
+        self.times: list[float] = []
+        self.values: list[float] = []
+
+    def record(self, time: float, value: float) -> None:
+        if self.times and time < self.times[-1] - 1e-12:
+            raise SimulationError("time series must be recorded in order")
+        self.times.append(time)
+        self.values.append(value)
+
+    def __len__(self) -> int:
+        return len(self.times)
+
+    def value_at(self, time: float) -> float:
+        """Step-function lookup: the last value recorded at or before ``time``."""
+        if not self.times:
+            raise SimulationError("empty time series")
+        result = self.values[0]
+        for t, v in zip(self.times, self.values):
+            if t > time:
+                break
+            result = v
+        return result
+
+    def integrate(self, start: float, end: float) -> float:
+        """Integral of the step function over ``[start, end]``."""
+        if end < start:
+            raise SimulationError("integration interval reversed")
+        if not self.times or end == start:
+            return 0.0
+        total = 0.0
+        previous_time = start
+        previous_value = self.value_at(start)
+        for t, v in zip(self.times, self.values):
+            if t <= start:
+                continue
+            if t >= end:
+                break
+            total += previous_value * (t - previous_time)
+            previous_time, previous_value = t, v
+        total += previous_value * (end - previous_time)
+        return total
+
+    def average(self, start: float, end: float) -> float:
+        if end <= start:
+            return 0.0
+        return self.integrate(start, end) / (end - start)

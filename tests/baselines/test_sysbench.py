@@ -1,0 +1,81 @@
+"""Tests for the SysBench baseline."""
+
+import pytest
+
+from repro.baselines.sysbench import (
+    DATASET_BYTES,
+    SysbenchWorkload,
+    create_sysbench_schema,
+    load_sysbench,
+    sysbench_mix,
+)
+from repro.engine.database import Database
+
+
+@pytest.fixture
+def loaded():
+    db = Database("sb")
+    load_sysbench(db, tables=2, rows=100)
+    return db
+
+
+def test_load_creates_tables_and_rows(loaded):
+    assert loaded.table("SBTEST1").row_count == 100
+    assert loaded.table("SBTEST2").row_count == 100
+    assert "sbtest1_k" in loaded.table("SBTEST1").secondary_indexes
+
+
+def test_point_select_workload(loaded):
+    workload = SysbenchWorkload(loaded, "oltp_point_select", tables=2)
+    workload.run_many(50)
+    assert workload.executed == 50
+
+
+def test_write_only_updates_k(loaded):
+    workload = SysbenchWorkload(loaded, "oltp_write_only", tables=2, seed=1)
+    before = loaded.query("SELECT SUM(K) FROM sbtest1").scalar() + \
+        loaded.query("SELECT SUM(K) FROM sbtest2").scalar()
+    workload.run_many(30)
+    after = loaded.query("SELECT SUM(K) FROM sbtest1").scalar() + \
+        loaded.query("SELECT SUM(K) FROM sbtest2").scalar()
+    assert after == before + 30  # each update adds exactly 1
+
+
+def test_read_write_preserves_row_count(loaded):
+    workload = SysbenchWorkload(loaded, "oltp_read_write", tables=2, seed=2)
+    before = loaded.table("SBTEST1").row_count + loaded.table("SBTEST2").row_count
+    workload.run_many(20)
+    after = loaded.table("SBTEST1").row_count + loaded.table("SBTEST2").row_count
+    assert after == before  # delete+reinsert pairs balance out
+
+
+def test_unknown_kind_rejected(loaded):
+    with pytest.raises(ValueError):
+        SysbenchWorkload(loaded, "oltp_magic")
+    with pytest.raises(ValueError):
+        sysbench_mix("oltp_magic")
+
+
+def test_mix_working_set_scales():
+    base = sysbench_mix("oltp_read_write")
+    assert base.working_set_bytes == pytest.approx(DATASET_BYTES)
+    half = sysbench_mix("oltp_read_write", rows=150_000)
+    assert half.working_set_bytes == pytest.approx(DATASET_BYTES / 2)
+
+
+def test_mix_shapes():
+    assert sysbench_mix("oltp_point_select").write_fraction == 0.0
+    assert sysbench_mix("oltp_write_only").write_fraction == 1.0
+    rw = sysbench_mix("oltp_read_write")
+    assert rw.statements > 10  # the classic 14-statement transaction
+
+
+def test_deterministic(loaded):
+    db2 = Database("sb2")
+    load_sysbench(db2, tables=2, rows=100)
+    w1 = SysbenchWorkload(loaded, "oltp_write_only", tables=2, seed=9)
+    w2 = SysbenchWorkload(db2, "oltp_write_only", tables=2, seed=9)
+    w1.run_many(25)
+    w2.run_many(25)
+    assert (loaded.query("SELECT SUM(K) FROM sbtest1").scalar()
+            == db2.query("SELECT SUM(K) FROM sbtest1").scalar())

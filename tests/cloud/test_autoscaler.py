@@ -1,0 +1,139 @@
+"""Tests for the four autoscaling policies."""
+
+import pytest
+
+from repro.cloud.architectures import aws_rds, cdb1, cdb2, cdb3, cdb4
+from repro.cloud.autoscaler import Autoscaler
+from repro.core.workload import READ_WRITE
+
+
+def mix():
+    return READ_WRITE.to_workload_mix(1)
+
+
+def drive(autoscaler, schedule, tick=1.0):
+    """Run (duration, demand) segments; returns [(t, vcores)] samples."""
+    samples = []
+    t = 0.0
+    for duration, demand in schedule:
+        end = t + duration
+        while t < end:
+            allocation = autoscaler.step(t, demand)
+            samples.append((t, allocation.vcores))
+            t += tick
+    return samples
+
+
+class TestFixed:
+    def test_never_moves(self):
+        for factory in (aws_rds, cdb4):
+            arch = factory()
+            scaler = Autoscaler(arch, mix())
+            samples = drive(scaler, [(60, 0), (60, 200), (60, 0)])
+            assert {v for _t, v in samples} == {arch.instance.max_allocation.vcores}
+            assert scaler.events == []
+
+
+class TestThresholdGradual:
+    def test_scales_up_quickly(self):
+        arch = cdb1()
+        scaler = Autoscaler(arch, mix())
+        drive(scaler, [(60, 110)])
+        ups = [e for e in scaler.events if e.trigger == "scale_up"]
+        assert ups
+        # reacts within ~reaction_s of the demand change
+        assert ups[0].time_s <= arch.scaling.reaction_s + 2
+        assert ups[0].to_vcores == arch.instance.max_allocation.vcores
+
+    def test_scales_down_gradually(self):
+        arch = cdb1()
+        scaler = Autoscaler(arch, mix())
+        drive(scaler, [(60, 110), (600, 0)])
+        downs = [e for e in scaler.events if e.trigger == "scale_down"]
+        assert len(downs) >= 2  # stepwise, not a jump
+        gaps = [b.time_s - a.time_s for a, b in zip(downs, downs[1:])]
+        assert min(gaps) >= arch.scaling.gradual_step_s - 1
+        # paper: 479-536 s to fully scale down
+        assert downs[-1].time_s - 60 > 200
+
+    def test_never_pauses(self):
+        arch = cdb1()
+        scaler = Autoscaler(arch, mix())
+        drive(scaler, [(60, 110), (1200, 0)])
+        assert scaler.allocation.vcores >= arch.instance.min_allocation.vcores
+
+
+class TestOnDemand:
+    def test_scales_both_directions_on_cadence(self):
+        arch = cdb2()
+        scaler = Autoscaler(arch, mix())
+        drive(scaler, [(90, 110), (90, 5)])
+        triggers = [e.trigger for e in scaler.events]
+        assert "scale_up" in triggers
+        assert "scale_down" in triggers
+
+    def test_respects_half_core_floor(self):
+        arch = cdb2()
+        scaler = Autoscaler(arch, mix())
+        drive(scaler, [(60, 110), (300, 0)])
+        assert scaler.allocation.vcores == arch.instance.min_allocation.vcores == 0.5
+
+    def test_control_cadence_limits_changes(self):
+        arch = cdb2()
+        scaler = Autoscaler(arch, mix())
+        drive(scaler, [(120, 110)])
+        times = [e.time_s for e in scaler.events]
+        assert all(b - a >= arch.scaling.reaction_s - 1 for a, b in zip(times, times[1:]))
+
+
+class TestCuPauseResume:
+    def test_pauses_after_sustained_idle(self):
+        arch = cdb3()
+        scaler = Autoscaler(arch, mix())
+        drive(scaler, [(30, 60), (120, 0)])
+        assert scaler.is_paused
+        assert any(e.trigger == "pause" for e in scaler.events)
+
+    def test_resumes_on_demand_with_delay(self):
+        arch = cdb3()
+        scaler = Autoscaler(arch, mix())
+        drive(scaler, [(30, 60), (120, 0)])
+        assert scaler.is_paused
+        drive_start = 150.0
+        t = drive_start
+        while scaler.is_paused and t < drive_start + 60:
+            scaler.step(t, 60)
+            t += 1.0
+        assert not scaler.is_paused
+        resume = [e for e in scaler.events if e.trigger == "resume"][0]
+        assert resume.time_s - drive_start >= arch.scaling.resume_s - 1
+
+    def test_ignores_short_valley(self):
+        """The paper's Single Valley observation: no scale-down for a
+        60-second dip (stabilisation window is longer)."""
+        arch = cdb3()
+        scaler = Autoscaler(arch, mix())
+        drive(scaler, [(60, 110), (60, 20), (60, 110)])
+        assert not any(e.trigger == "scale_down" for e in scaler.events)
+
+    def test_scales_down_after_stabilisation(self):
+        arch = cdb3()
+        scaler = Autoscaler(arch, mix())
+        drive(scaler, [(60, 110), (400, 8)])
+        assert any(e.trigger == "scale_down" for e in scaler.events)
+
+    def test_cu_step_granularity(self):
+        arch = cdb3()
+        scaler = Autoscaler(arch, mix())
+        drive(scaler, [(120, 30)])
+        for event in scaler.events:
+            assert event.to_vcores % arch.instance.vcore_step == pytest.approx(0.0)
+
+
+def test_memory_tracks_vcores_proportionally():
+    arch = cdb1()
+    scaler = Autoscaler(arch, mix())
+    drive(scaler, [(60, 110)])
+    allocation = scaler.allocation
+    ratio = arch.instance.max_allocation.memory_gb / arch.instance.max_allocation.vcores
+    assert allocation.memory_gb == pytest.approx(allocation.vcores * ratio)

@@ -1,0 +1,96 @@
+"""Property tests: autoscaler invariants under arbitrary demand traces."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cloud.architectures import cdb1, cdb2, cdb3
+from repro.cloud.autoscaler import Autoscaler
+from repro.core.workload import READ_WRITE
+
+
+def mix():
+    return READ_WRITE.to_workload_mix(1)
+
+
+demand_trace = st.lists(
+    st.tuples(
+        st.integers(min_value=10, max_value=120),   # segment duration (s)
+        st.integers(min_value=0, max_value=200),    # demand
+    ),
+    min_size=1, max_size=8,
+)
+
+
+def drive(arch_factory, trace):
+    scaler = Autoscaler(arch_factory(), mix())
+    allocations = []
+    t = 0.0
+    for duration, demand in trace:
+        end = t + duration
+        while t < end:
+            allocation = scaler.step(t, demand)
+            allocations.append((t, demand, allocation))
+            t += 1.0
+    return scaler, allocations
+
+
+@pytest.mark.parametrize("factory", [cdb1, cdb2, cdb3])
+@settings(max_examples=25, deadline=None)
+@given(trace=demand_trace)
+def test_property_allocation_within_instance_bounds(factory, trace):
+    scaler, allocations = drive(factory, trace)
+    spec = factory().instance
+    for _t, _demand, allocation in allocations:
+        assert allocation.vcores <= spec.max_allocation.vcores + 1e-9
+        assert allocation.memory_gb <= spec.max_allocation.memory_gb + 1e-9
+        # below the minimum only when paused (scale-to-zero)
+        if allocation.vcores > 0:
+            assert allocation.vcores >= min(spec.min_allocation.vcores, 0.25) - 1e-9
+
+
+@pytest.mark.parametrize("factory", [cdb1, cdb2, cdb3])
+@settings(max_examples=25, deadline=None)
+@given(trace=demand_trace)
+def test_property_event_log_matches_allocation_timeline(factory, trace):
+    scaler, allocations = drive(factory, trace)
+    # replaying the event log reconstructs the final allocation
+    spec = factory().instance
+    vcores = spec.max_allocation.vcores if not spec.serverless else spec.min_allocation.vcores
+    for event in scaler.events:
+        assert event.from_vcores == pytest.approx(vcores)
+        vcores = event.to_vcores
+    assert scaler.allocation.vcores == pytest.approx(vcores)
+
+
+@settings(max_examples=25, deadline=None)
+@given(trace=demand_trace)
+def test_property_cdb1_never_scales_down_abruptly(trace):
+    scaler, _ = drive(cdb1, trace)
+    step = max(cdb1().instance.vcore_step, 1.0)
+    for event in scaler.events:
+        if event.trigger == "scale_down":
+            assert event.from_vcores - event.to_vcores <= step + 1e-9
+
+
+@settings(max_examples=25, deadline=None)
+@given(trace=demand_trace)
+def test_property_cdb3_pause_only_after_idle(trace):
+    scaler, allocations = drive(cdb3, trace)
+    pauses = [event for event in scaler.events if event.trigger == "pause"]
+    for pause in pauses:
+        # every recorded demand in the pause_after window before the
+        # pause must have been zero
+        window = [
+            demand for t, demand, _a in allocations
+            if pause.time_s - cdb3().scaling.pause_after_s <= t < pause.time_s
+        ]
+        assert all(demand == 0 for demand in window)
+
+
+@settings(max_examples=20, deadline=None)
+@given(trace=demand_trace)
+def test_property_deterministic(trace):
+    _s1, a1 = drive(cdb2, trace)
+    _s2, a2 = drive(cdb2, trace)
+    assert [(t, alloc.vcores) for t, _d, alloc in a1] == \
+        [(t, alloc.vcores) for t, _d, alloc in a2]

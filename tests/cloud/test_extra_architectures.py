@@ -1,0 +1,74 @@
+"""The optional multi-primary SUT flows through every evaluator."""
+
+import pytest
+
+from repro.cloud.architectures import _REGISTRY, get
+from repro.cloud.extra_architectures import multi_primary, register_extras
+from repro.cloud.failure import FailoverSimulator
+from repro.cloud.mva_model import estimate_throughput
+from repro.cloud.tenancy import TenantScheduler
+from repro.core.workload import READ_WRITE
+
+
+@pytest.fixture
+def registered():
+    register_extras()
+    yield get("multi_primary")
+    _REGISTRY.pop("multi_primary", None)
+
+
+def mix(sf=1):
+    return READ_WRITE.to_workload_mix(sf)
+
+
+def test_not_registered_by_default():
+    """The paper benches must keep their exact five-SUT tables."""
+    assert "multi_primary" not in _REGISTRY
+
+
+def test_registration_is_idempotent(registered):
+    register_extras()
+    assert get("multi_primary").name == "multi_primary"
+
+
+def test_throughput_estimation(registered):
+    estimate = estimate_throughput(registered, mix(), 150)
+    assert estimate.tps > 0
+    # shares CDB4's cache-rich profile: everything hits at SF1
+    assert estimate.cache.combined_hit == pytest.approx(1.0)
+
+
+def test_failover_has_no_promotion_penalty(registered):
+    result = FailoverSimulator(registered, mix(), 150).run("rw")
+    # multi-primary: faster end-to-end than the single-writer memory-
+    # disaggregated design
+    cdb4_result = FailoverSimulator(get("cdb4"), mix(), 150).run("rw")
+    assert result.total_s < cdb4_result.total_s
+
+
+def test_scale_out_beats_single_writer_designs(registered):
+    from repro.core.metrics import e2_score
+
+    assert e2_score(registered, mix()) > e2_score(get("cdb4"), mix())
+
+
+def test_tenancy_scheduling(registered):
+    scheduler = TenantScheduler(registered, mix(), n_tenants=3)
+    result = scheduler.schedule_slot([50, 50, 50])
+    assert result.total_tps > 0
+
+
+def test_runs_through_the_full_testbed(registered):
+    from repro.core import BenchConfig, CloudyBench
+
+    config = BenchConfig.quick()
+    config.architectures = ["cdb4", "multi_primary"]
+    bench = CloudyBench(config)
+    rows = {row.arch_name: row for row in bench.run_pscore()}
+    assert rows["multi_primary"].p_avg > 0
+    # the global-lock write path keeps its RW below CDB4's
+    assert rows["multi_primary"].tps_by_mode["RW"] < rows["cdb4"].tps_by_mode["RW"] * 1.2
+
+
+def test_distributed_cc_costs_more_per_update(registered):
+    assert registered.update_overhead_s > get("cdb4").update_overhead_s

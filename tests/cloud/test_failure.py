@@ -1,0 +1,117 @@
+"""Tests for the fail-over simulator (Table VIII / Figure 7 shapes)."""
+
+import pytest
+
+from repro.cloud.architectures import all_architectures, aws_rds, cdb1, cdb4
+from repro.cloud.failure import FailoverSimulator
+from repro.core.workload import READ_WRITE
+
+
+def mix():
+    return READ_WRITE.to_workload_mix(1)
+
+
+def simulator(factory, **kwargs):
+    return FailoverSimulator(factory(), mix(), concurrency=150, **kwargs)
+
+
+def test_steady_tps_positive():
+    assert simulator(aws_rds).steady_tps > 1000
+
+
+def test_rw_failure_drops_tps_to_zero():
+    result = simulator(aws_rds).run(node="rw")
+    outage = [tps for t, tps in result.timeline
+              if result.inject_s < t < result.service_restored_s]
+    assert outage and max(outage) == 0.0
+
+
+def test_ro_failure_keeps_partial_service():
+    result = simulator(aws_rds).run(node="ro")
+    outage = [tps for t, tps in result.timeline
+              if result.inject_s < t < result.service_restored_s]
+    assert outage and min(outage) > 0.0
+    assert min(outage) < result.steady_tps
+
+
+def test_tps_recovers_to_threshold():
+    result = simulator(cdb1).run(node="rw")
+    final = result.timeline[-1][1]
+    assert final >= 0.95 * result.steady_tps
+    assert result.tps_recovered_s > result.service_restored_s
+
+
+def test_phase_log_is_contiguous():
+    for arch in all_architectures():
+        result = FailoverSimulator(arch, mix(), 150).run(node="rw")
+        starts = [phase.start_s for phase in result.phases]
+        ends = [phase.end_s for phase in result.phases]
+        assert starts[0] == result.inject_s
+        for end, nxt in zip(ends, starts[1:]):
+            assert nxt == pytest.approx(end)
+
+
+def test_cdb4_phase_names_match_figure7():
+    result = simulator(cdb4).run(node="rw")
+    names = [phase.name for phase in result.phases]
+    assert names == ["detect", "prepare", "switch_over", "undo"]
+    # Figure 7: ~1 s prepare, ~2 s switch over, ~3 s undo
+    durations = {phase.name: phase.duration_s for phase in result.phases}
+    assert durations["prepare"] == pytest.approx(1.0)
+    assert durations["switch_over"] == pytest.approx(2.0)
+    assert durations["undo"] == pytest.approx(3.0)
+
+
+def test_cdb4_serves_during_background_undo():
+    """With a surviving remote buffer, service restores at switch-over."""
+    result = simulator(cdb4).run(node="rw")
+    undo = [phase for phase in result.phases if phase.name == "undo"][0]
+    assert result.service_restored_s == pytest.approx(undo.start_s)
+
+
+def test_rds_pipeline_includes_aries_restart_and_redo():
+    result = simulator(aws_rds).run(node="rw")
+    names = [phase.name for phase in result.phases]
+    assert "restart" in names
+    assert "redo" in names
+    assert "switch_over" not in names
+
+
+def test_cdb1_promotes_instead_of_restarting():
+    result = simulator(cdb1).run(node="rw")
+    names = [phase.name for phase in result.phases]
+    assert "switch_over" in names
+    assert "redo" not in names  # redo pushdown: nothing to replay
+
+
+def test_total_recovery_rank_matches_table_viii():
+    """cdb4 < cdb1 < cdb3 < cdb2 < rds on F+R totals."""
+    totals = {}
+    for arch in all_architectures():
+        sim = FailoverSimulator(arch, mix(), 150)
+        rw = sim.run(node="rw")
+        ro = sim.run(node="ro")
+        totals[arch.name] = (
+            rw.f_score_s + ro.f_score_s + rw.r_score_s + ro.r_score_s
+        )
+    order = sorted(totals, key=totals.get)
+    assert order == ["cdb4", "cdb1", "cdb3", "cdb2", "aws_rds"]
+
+
+def test_invalid_node_rejected():
+    with pytest.raises(ValueError):
+        simulator(aws_rds).run(node="primary")
+
+
+def test_higher_write_rate_grows_rds_redo_phase():
+    from repro.core.workload import WRITE_ONLY
+
+    rw = FailoverSimulator(aws_rds(), mix(), 150).run("rw")
+    wo = FailoverSimulator(
+        aws_rds(), WRITE_ONLY.to_workload_mix(1), 150
+    ).run("rw")
+
+    def redo_s(result):
+        return next(p.duration_s for p in result.phases if p.name == "redo")
+
+    assert redo_s(wo) > redo_s(rw)

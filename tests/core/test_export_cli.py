@@ -1,0 +1,143 @@
+"""Tests for result export and the command-line interface."""
+
+import csv
+import io
+import json
+
+import pytest
+
+from repro.core.cli import build_parser, main
+from repro.core.collector import PerformanceCollector
+from repro.core.export import (
+    collector_to_csv,
+    collector_to_csv_string,
+    scores_to_json,
+    throughput_to_csv,
+)
+from repro.core.metrics import PerfectScores
+
+
+class TestExport:
+    def make_collector(self):
+        collector = PerformanceCollector()
+        for t in range(5):
+            collector.record(float(t), tps=100.0 + t, vcores=2.0,
+                             memory_gb=8.0, cost_delta=0.01)
+        return collector
+
+    def test_collector_csv_roundtrip(self):
+        text = collector_to_csv_string(self.make_collector())
+        rows = list(csv.DictReader(io.StringIO(text)))
+        assert len(rows) == 5
+        assert float(rows[0]["tps"]) == 100.0
+        assert float(rows[4]["tps"]) == 104.0
+        assert float(rows[4]["cost_cumulative"]) == pytest.approx(0.05)
+
+    def test_collector_csv_row_count(self):
+        out = io.StringIO()
+        assert collector_to_csv(self.make_collector(), out) == 5
+
+    def test_scores_json(self):
+        scores = {
+            "x": PerfectScores(
+                arch_name="x", p=1e5, p_star=1e3, e1=5e4, e1_star=1e3,
+                e2=10, r_s=10, f_s=5, c_ms=15, t=7e4, t_star=1e3,
+            )
+        }
+        payload = json.loads(scores_to_json(scores))
+        assert payload["x"]["p_score"] == 1e5
+        assert "o_score" in payload["x"]
+        assert payload["x"]["o_score"] > payload["x"]["o_score_actual"]
+
+    def test_throughput_csv(self):
+        out = io.StringIO()
+        rows = throughput_to_csv(
+            {("a", 1, "RW", 50): 1234.5, ("a", 1, "RW", 100): 2000.0}, out
+        )
+        assert rows == 2
+        parsed = list(csv.DictReader(io.StringIO(out.getvalue())))
+        assert parsed[0]["concurrency"] == "50"
+
+
+class TestCli:
+    def test_parser_evaluations(self):
+        parser = build_parser()
+        args = parser.parse_args(["--eval", "pscore", "--quick"])
+        assert args.evaluation == "pscore"
+        assert args.quick
+
+    def test_unknown_evaluation_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--eval", "nonsense"])
+
+    def test_throughput_eval(self, capsys):
+        assert main(["--eval", "throughput", "--quick", "--arch", "cdb3"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 5" in out
+        assert "cdb3" in out
+
+    def test_pscore_eval(self, capsys):
+        assert main(["--eval", "pscore", "--quick", "--arch", "aws_rds"]) == 0
+        out = capsys.readouterr().out
+        assert "P-Score" in out
+
+    def test_failover_eval(self, capsys):
+        assert main(["--eval", "failover", "--quick", "--arch", "cdb4"]) == 0
+        out = capsys.readouterr().out
+        assert "Fail-over" in out
+
+    def test_config_file(self, tmp_path, capsys):
+        props = tmp_path / "props.toml"
+        props.write_text(
+            """
+[workload]
+scale_factors = [1]
+concurrencies = [25]
+architectures = ["cdb3"]
+"""
+        )
+        assert main(["--config", str(props), "--eval", "throughput"]) == 0
+        out = capsys.readouterr().out
+        assert "25" in out
+
+
+class TestCliRemainingEvals:
+    def test_elasticity_eval(self, capsys):
+        assert main(["--eval", "elasticity", "--quick", "--arch", "cdb3"]) == 0
+        assert "Elasticity" in capsys.readouterr().out
+
+    def test_multitenancy_eval(self, capsys):
+        assert main(["--eval", "multitenancy", "--quick", "--arch", "cdb2"]) == 0
+        assert "Multi-tenancy" in capsys.readouterr().out
+
+    def test_lagtime_eval(self, capsys):
+        assert main(["--eval", "lagtime", "--quick", "--arch", "cdb4"]) == 0
+        out = capsys.readouterr().out
+        assert "Replication lag" in out
+
+    def test_overall_eval(self, capsys):
+        assert main(["--eval", "overall", "--quick", "--arch", "cdb4"]) == 0
+        out = capsys.readouterr().out
+        assert "Overall performance" in out
+
+
+class TestReport:
+    def test_generate_report_contains_all_sections(self):
+        from repro.core import BenchConfig, CloudyBench, generate_report
+
+        config = BenchConfig.quick()
+        config.architectures = ["cdb4"]
+        config.lag_transactions = 40
+        markdown = generate_report(CloudyBench(config))
+        for section in ("Throughput", "P-Score", "Elasticity",
+                        "Multi-tenancy", "Fail-over", "Replication lag",
+                        "Overall"):
+            assert section in markdown
+        assert "cdb4" in markdown
+
+    def test_cli_report_to_file(self, tmp_path, capsys):
+        out = tmp_path / "report.md"
+        assert main(["--eval", "report", "--quick", "--arch", "cdb4",
+                     "--out", str(out)]) == 0
+        assert out.exists()
+        assert "# CloudyBench report" in out.read_text()

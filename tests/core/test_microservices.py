@@ -1,0 +1,128 @@
+"""Tests for the extended Inventory + Manufacturing microservices."""
+
+import pytest
+
+from repro.core.datagen import load_sales_database
+from repro.core.microservices import (
+    EXTENDED_STMT_FILE,
+    EXTENDED_TXN_CLASSES,
+    ExtendedMix,
+    ExtendedWorkload,
+    INVENTORY_MIX,
+    load_extended,
+)
+from repro.core.sqlreader import SqlStmts
+from repro.engine.database import Database
+
+
+@pytest.fixture
+def loaded():
+    db = Database("erp")
+    scale = load_extended(db, row_scale=0.002)
+    return db, scale
+
+
+def test_statement_file_defines_t5_to_t8():
+    stmts = SqlStmts.from_file(EXTENDED_STMT_FILE)
+    assert stmts.tasks == ["T5", "T6", "T7", "T8"]
+    assert stmts.spec("T7").name == "Schedule Work Order"
+
+
+def test_statements_parse_against_schema(loaded):
+    db, _scale = loaded
+    stmts = SqlStmts.from_file(EXTENDED_STMT_FILE)
+    for task in stmts.tasks:
+        for sql in stmts.statements(task):
+            db.prepare(sql)
+
+
+def test_load_scales(loaded):
+    db, scale = loaded
+    assert db.table("PRODUCT").row_count == scale.products
+    assert db.table("INVENTORY").row_count == scale.products * scale.warehouses
+    assert db.table("BOM").row_count == scale.products * 3
+
+
+def test_t5_restock_bumps_quantity_and_logs_event(loaded):
+    db, scale = loaded
+    workload = ExtendedWorkload(db, scale, seed=1)
+    total_before = db.query("SELECT SUM(I_QUANTITY) FROM inventory").scalar()
+    events_before = db.table("RESTOCK_EVENT").row_count
+    assert workload.run_t5()
+    assert db.query("SELECT SUM(I_QUANTITY) FROM inventory").scalar() > total_before
+    assert db.table("RESTOCK_EVENT").row_count == events_before + 1
+
+
+def test_t6_inventory_check(loaded):
+    db, scale = loaded
+    workload = ExtendedWorkload(db, scale, seed=2)
+    row = workload.run_t6()
+    assert row is not None and len(row) == 2
+
+
+def test_t7_schedules_order_and_reserves_components(loaded):
+    db, scale = loaded
+    workload = ExtendedWorkload(db, scale, seed=3)
+    orders_before = db.table("WORKORDER").row_count
+    w_id = workload.run_t7()
+    assert w_id is not None
+    assert db.table("WORKORDER").row_count == orders_before + 1
+    status = db.query(
+        "SELECT W_STATUS FROM workorder WHERE W_ID = ?", [w_id]
+    ).scalar()
+    assert status == "SCHEDULED"
+
+
+def test_t8_completes_order_and_credits_inventory(loaded):
+    db, scale = loaded
+    workload = ExtendedWorkload(db, scale, seed=4)
+    w_id = workload.run_t7()
+    # aim T8 at the just-created order deterministically
+    workload._rng.seed(0)
+    done = False
+    for _ in range(50):
+        if workload.run_t8():
+            done = True
+            break
+    assert done
+    statuses = {row[0] for row in db.query("SELECT W_STATUS FROM workorder").rows}
+    assert "DONE" in statuses or "SCHEDULED" in statuses
+
+
+def test_mixed_run_respects_weights(loaded):
+    db, scale = loaded
+    workload = ExtendedWorkload(db, scale, mix=INVENTORY_MIX, seed=5)
+    workload.run_many(300)
+    counts = workload.executed
+    assert counts["T6"] > counts["T5"]
+    assert counts["T6"] > counts["T7"]
+    assert sum(counts.values()) == 300
+
+
+def test_shares_database_with_sales_service():
+    """Figure 2: tenants share schema/database/server among services."""
+    db, _data = load_sales_database(row_scale=0.001)
+    scale = load_extended(db, row_scale=0.002)
+    # both services coexist in one database
+    assert "ORDERS" in db.table_names and "WORKORDER" in db.table_names
+    workload = ExtendedWorkload(db, scale, seed=6)
+    workload.run_many(50)
+    assert db.query("SELECT COUNT(*) FROM orders").scalar() > 0
+
+
+def test_extended_mix_model_mapping():
+    mix = ExtendedMix(t6=100).to_workload_mix(1)
+    assert mix.write_fraction == 0.0
+    heavy = ExtendedMix(t7=100).to_workload_mix(1)
+    assert heavy.write_fraction == 1.0
+    assert EXTENDED_TXN_CLASSES["T7"].statements == 5
+    with pytest.raises(ValueError):
+        ExtendedMix()
+
+
+def test_extended_mix_drives_cloud_model():
+    from repro.cloud.architectures import cdb3
+    from repro.cloud.mva_model import estimate_throughput
+
+    estimate = estimate_throughput(cdb3(), INVENTORY_MIX.to_workload_mix(1), 100)
+    assert estimate.tps > 0

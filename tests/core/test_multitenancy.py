@@ -1,0 +1,151 @@
+"""Tests for the multi-tenancy patterns and evaluator (Table VII)."""
+
+import pytest
+
+from repro.cloud.architectures import all_architectures, aws_rds, cdb1, cdb2, cdb3, cdb4
+from repro.cloud.specs import TenancyKind
+from repro.core.multitenancy import (
+    TENANCY_PATTERNS,
+    MultiTenancyEvaluator,
+    TenancyResult,
+    tenant_package,
+)
+from repro.core.pricing import package_cost_per_minute
+from repro.core.workload import READ_WRITE
+
+
+def mix():
+    return READ_WRITE.to_workload_mix(1)
+
+
+class TestPatternGeneration:
+    def test_four_patterns(self):
+        assert set(TENANCY_PATTERNS) == {
+            "high_contention", "low_contention", "staggered_high", "staggered_low",
+        }
+
+    def test_staggered_low_matches_paper(self):
+        """Section III-D: {(10,0,0),(0,20,0),(0,0,30)} at tau=100."""
+        matrix = TENANCY_PATTERNS["staggered_low"].demand_matrix(100)
+        assert matrix == [[10, 0, 0], [0, 20, 0], [0, 0, 30]]
+
+    def test_staggered_high_adds_100_percent(self):
+        """Section III-D: (c) = (d) + 100% tau -> {363, 429(+), 396}."""
+        matrix = TENANCY_PATTERNS["staggered_high"].demand_matrix(330)
+        assert matrix[0][0] == 363           # (10% + 100%) * 330
+        assert matrix[1][1] == 396           # (20% + 100%) * 330
+        assert matrix[2][2] == 429           # (30% + 100%) * 330
+
+    def test_high_contention_exceeds_threshold(self):
+        matrix = TENANCY_PATTERNS["high_contention"].demand_matrix(330)
+        total = sum(row[0] for row in matrix)
+        assert total > 330            # above the capacity threshold
+        # constant demands per tenant
+        for row in matrix:
+            assert len(set(row)) == 1
+
+    def test_low_contention_below_threshold(self):
+        matrix = TENANCY_PATTERNS["low_contention"].demand_matrix(100)
+        assert sum(row[0] for row in matrix) < 100
+
+    def test_arbitrary_tenant_and_slot_counts(self):
+        matrix = TENANCY_PATTERNS["staggered_low"].demand_matrix(
+            100, n_tenants=5, n_slots=5
+        )
+        assert len(matrix) == 5
+        assert all(len(row) == 5 for row in matrix)
+        # each tenant active in exactly one slot
+        for row in matrix:
+            assert sum(1 for value in row if value > 0) == 1
+
+
+class TestTenantPackage:
+    def test_isolated_triples_everything(self):
+        package = tenant_package(aws_rds(), 3)
+        base = aws_rds().provisioned
+        assert package.vcores == 3 * base.vcores
+        assert package.iops == 3 * base.iops
+        assert package.network_gbps == 3 * base.network_gbps
+        assert package.storage_gb == 3 * base.storage_gb
+
+    def test_pool_shares_network_and_iops(self):
+        package = tenant_package(cdb2(), 3)
+        base = cdb2().provisioned
+        assert package.vcores == 12
+        assert package.memory_gb == 36      # 3 x 12 GB instance memory
+        assert package.iops == base.iops    # shared log service
+        assert package.network_gbps == base.network_gbps
+
+    def test_branches_share_storage(self):
+        package = tenant_package(cdb3(), 3)
+        base = cdb3().provisioned
+        assert package.vcores == 12
+        assert package.memory_gb == 48
+        assert package.storage_gb == base.storage_gb  # copy-on-write
+        assert package.iops == 3 * base.iops          # isolated I/O
+
+    def test_paper_cost_rank(self):
+        """Table VII: cdb3 cheapest, cdb4 most expensive."""
+        costs = {
+            arch.name: package_cost_per_minute(tenant_package(arch, 3))
+            for arch in all_architectures()
+        }
+        assert min(costs, key=costs.get) in ("cdb3", "cdb2")
+        assert max(costs, key=costs.get) == "cdb4"
+        assert costs["cdb4"] == pytest.approx(0.176, rel=0.1)
+
+
+class TestEvaluator:
+    def run(self, factory, pattern_key, tau=300):
+        evaluator = MultiTenancyEvaluator(factory(), mix())
+        return evaluator.run(TENANCY_PATTERNS[pattern_key], tau)
+
+    def test_result_shape(self):
+        result = self.run(aws_rds, "high_contention")
+        assert isinstance(result, TenancyResult)
+        assert len(result.slot_results) == 3
+        assert len(result.tenant_avg_tps) == 3
+        assert result.total_tps > 0
+        assert result.t_score > 0
+
+    def test_isolation_protects_under_contention(self):
+        """Pattern (a): CDB1's fixed instances beat CDB2's crowded pool."""
+        cdb1_tps = self.run(cdb1, "high_contention").total_tps
+        cdb2_tps = self.run(cdb2, "high_contention").total_tps
+        assert cdb1_tps > 1.5 * cdb2_tps
+
+    def test_pool_wins_staggered(self):
+        """Patterns (c)/(d): the elastic pool borrows idle capacity."""
+        cdb2_tps = self.run(cdb2, "staggered_high").total_tps
+        cdb1_tps = self.run(cdb1, "staggered_high").total_tps
+        assert cdb2_tps > 1.5 * cdb1_tps
+
+    def test_branches_lowest_on_staggered_low(self):
+        """CDB3 resumes cold every slot: the paper's lowest TPS at (d)."""
+        tps = {
+            factory().name: self.run(factory, "staggered_low", tau=60).total_tps
+            for factory in (aws_rds, cdb1, cdb2, cdb3, cdb4)
+        }
+        assert min(tps, key=tps.get) == "cdb3"
+
+    def test_cdb4_highest_throughput_high_contention(self):
+        tps = {
+            factory().name: self.run(factory, "high_contention").total_tps
+            for factory in (aws_rds, cdb1, cdb2, cdb3, cdb4)
+        }
+        assert max(tps, key=tps.get) == "cdb4"
+
+    def test_t_score_geometric_mean_over_cost(self):
+        result = self.run(aws_rds, "low_contention")
+        import math
+        tps = [value for value in result.tenant_avg_tps if value > 0]
+        geo = math.prod(tps) ** (1 / len(tps))
+        assert result.t_score == pytest.approx(geo / result.cost_per_minute)
+
+    def test_run_all_uses_both_taus(self):
+        evaluator = MultiTenancyEvaluator(cdb2(), mix())
+        results = evaluator.run_all(tau_high=300, tau_low=60)
+        assert set(results) == set(TENANCY_PATTERNS)
+        high = results["high_contention"].demand_matrix
+        low = results["low_contention"].demand_matrix
+        assert sum(r[0] for r in high) > sum(r[0] for r in low)

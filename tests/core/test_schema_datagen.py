@@ -1,0 +1,99 @@
+"""Tests for the sales schema and data generation."""
+
+import pytest
+
+from repro.core.datagen import (
+    DataGenerator,
+    GeneratedData,
+    load_sales_database,
+    nominal_bytes,
+)
+from repro.core.schema import (
+    ALL_SCHEMAS,
+    BASE_ROWS,
+    ORDERLINE_MULTIPLIER,
+    create_sales_schema,
+    rows_at_scale,
+)
+from repro.engine.database import Database
+
+GIB = 2**30
+MIB = 2**20
+
+
+def test_three_tables_exist():
+    assert [schema.table for schema in ALL_SCHEMAS] == [
+        "CUSTOMER", "ORDERS", "ORDERLINE",
+    ]
+
+
+def test_scaling_model_orderline_order_of_magnitude_larger():
+    rows = rows_at_scale(1)
+    assert rows["CUSTOMER"] == rows["ORDERS"] == BASE_ROWS == 300_000
+    assert rows["ORDERLINE"] == BASE_ROWS * ORDERLINE_MULTIPLIER
+
+
+def test_scale_factor_multiplies_rows():
+    assert rows_at_scale(10)["CUSTOMER"] == 3_000_000
+    with pytest.raises(ValueError):
+        rows_at_scale(0)
+
+
+def test_nominal_bytes_match_paper():
+    assert nominal_bytes(1) == 194 * MIB
+    assert nominal_bytes(10) == pytest.approx(1.99 * GIB)
+    assert nominal_bytes(100) == pytest.approx(20.8 * GIB)
+    assert nominal_bytes(5) == 5 * 200 * MIB  # interpolation rule
+
+
+def test_create_schema_adds_indexes():
+    db = Database("s")
+    create_sales_schema(db)
+    assert "orderline_o_id" in db.table("ORDERLINE").secondary_indexes
+    assert "orders_c_id" in db.table("ORDERS").secondary_indexes
+
+
+def test_populate_row_counts_and_keys():
+    db, data = load_sales_database(row_scale=0.001)
+    assert isinstance(data, GeneratedData)
+    assert data.rows["CUSTOMER"] == 300
+    assert data.rows["ORDERS"] == 300
+    assert data.rows["ORDERLINE"] == 3000
+    assert db.table("CUSTOMER").row_count == 300
+    assert db.table("ORDERLINE").row_count == 3000
+    # keys are dense 1..N
+    assert db.query("SELECT MIN(C_ID), MAX(C_ID) FROM customer").rows == [(1, 300)]
+
+
+def test_orderlines_reference_orders():
+    db, data = load_sales_database(row_scale=0.001)
+    o_ids = {row[0] for row in db.query("SELECT O_ID FROM orders").rows}
+    sample = db.query("SELECT OL_O_ID FROM orderline WHERE OL_ID = ?", [1]).scalar()
+    assert sample in o_ids
+
+
+def test_row_scale_floor_is_100():
+    generator = DataGenerator(scale_factor=1, row_scale=0.000001)
+    counts = generator.materialised_rows()
+    assert min(counts.values()) == 100
+
+
+def test_generation_is_deterministic():
+    db1, _ = load_sales_database(seed=7, row_scale=0.001)
+    db2, _ = load_sales_database(seed=7, row_scale=0.001)
+    assert (db1.query("SELECT C_CREDIT FROM customer WHERE C_ID = ?", [5]).rows
+            == db2.query("SELECT C_CREDIT FROM customer WHERE C_ID = ?", [5]).rows)
+
+
+def test_different_seeds_differ():
+    db1, _ = load_sales_database(seed=1, row_scale=0.001)
+    db2, _ = load_sales_database(seed=2, row_scale=0.001)
+    assert (db1.query("SELECT C_CREDIT FROM customer WHERE C_ID = ?", [5]).rows
+            != db2.query("SELECT C_CREDIT FROM customer WHERE C_ID = ?", [5]).rows)
+
+
+def test_invalid_row_scale_rejected():
+    with pytest.raises(ValueError):
+        DataGenerator(row_scale=0.0)
+    with pytest.raises(ValueError):
+        DataGenerator(row_scale=1.5)

@@ -1,0 +1,87 @@
+"""Tests for the decoupled statement files."""
+
+import pytest
+
+from repro.core.sqlreader import (
+    DEFAULT_STMT_FILE,
+    SqlReader,
+    SqlStmts,
+    TransactionSpec,
+)
+
+
+def test_default_file_defines_t1_to_t4():
+    stmts = SqlStmts()
+    assert stmts.tasks == ["T1", "T2", "T3", "T4"]
+
+
+def test_table_ii_statement_shapes():
+    stmts = SqlStmts()
+    assert stmts.spec("T1").pattern == "write_only"
+    assert "INSERT INTO orderline" in stmts.statements("T1")[0]
+    assert len(stmts.statements("T2")) == 3
+    assert stmts.spec("T2").pattern == "read_write"
+    assert stmts.spec("T3").pattern == "read_only"
+    assert "DELETE FROM orderline" in stmts.statements("T4")[0]
+
+
+def test_statements_parse_against_sales_schema():
+    from repro.core.datagen import load_sales_database
+
+    db, _ = load_sales_database(row_scale=0.001)
+    stmts = SqlStmts()
+    for task in stmts.tasks:
+        for sql in stmts.statements(task):
+            db.prepare(sql)  # raises on any parse/catalog error
+
+
+def test_unknown_task_raises():
+    with pytest.raises(KeyError):
+        SqlStmts().spec("T99")
+
+
+def test_add_new_transaction_at_runtime():
+    stmts = SqlStmts()
+    spec = TransactionSpec(
+        task="T5",
+        name="Order Count",
+        pattern="read_only",
+        statements=("SELECT COUNT(*) FROM orders WHERE O_C_ID = ?",),
+    )
+    stmts.add(spec)
+    assert stmts.statements("T5")[0].startswith("SELECT COUNT")
+    with pytest.raises(ValueError):
+        stmts.add(spec)  # duplicates rejected
+
+
+def test_spec_validation():
+    with pytest.raises(ValueError):
+        TransactionSpec("T9", "bad", "exotic", ("SELECT 1 FROM t",))
+    with pytest.raises(ValueError):
+        TransactionSpec("T9", "empty", "read_only", ())
+
+
+def test_reader_from_custom_file(tmp_path):
+    custom = tmp_path / "custom.toml"
+    custom.write_text(
+        """
+[TX]
+name = "Custom"
+pattern = "read_only"
+statements = ["SELECT O_ID FROM orders WHERE O_ID = ?"]
+"""
+    )
+    stmts = SqlStmts.from_file(custom)
+    assert stmts.tasks == ["TX"]
+    assert stmts.spec("TX").name == "Custom"
+
+
+def test_reader_rejects_empty_file(tmp_path):
+    empty = tmp_path / "empty.toml"
+    empty.write_text("")
+    with pytest.raises(ValueError):
+        SqlReader(empty).read()
+
+
+def test_default_file_exists():
+    assert DEFAULT_STMT_FILE.exists()

@@ -1,0 +1,138 @@
+"""Tests for hash and ordered indexes."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.engine.errors import DuplicateKeyError, EngineError
+from repro.engine.index import HashIndex, OrderedIndex
+from repro.engine.page import RowId
+
+
+def rid(n):
+    return RowId(n // 100, n % 100)
+
+
+class TestHashIndex:
+    def test_insert_lookup(self):
+        index = HashIndex("i", ("K",))
+        index.insert(5, rid(1))
+        index.insert(5, rid(2))
+        assert index.lookup(5) == [rid(1), rid(2)]
+        assert index.lookup(6) == []
+
+    def test_unique_rejects_duplicates(self):
+        index = HashIndex("i", ("K",), unique=True)
+        index.insert(5, rid(1))
+        with pytest.raises(DuplicateKeyError):
+            index.insert(5, rid(2))
+
+    def test_lookup_unique(self):
+        index = HashIndex("i", ("K",), unique=True)
+        assert index.lookup_unique(5) is None
+        index.insert(5, rid(1))
+        assert index.lookup_unique(5) == rid(1)
+
+    def test_delete_removes_entry(self):
+        index = HashIndex("i", ("K",))
+        index.insert(5, rid(1))
+        index.delete(5, rid(1))
+        assert index.lookup(5) == []
+        assert len(index) == 0
+
+    def test_delete_missing_raises(self):
+        index = HashIndex("i", ("K",))
+        with pytest.raises(EngineError):
+            index.delete(5, rid(1))
+
+
+class TestOrderedIndex:
+    def test_range_inclusive(self):
+        index = OrderedIndex("i", ("K",))
+        for key in (1, 3, 5, 7):
+            index.insert(key, rid(key))
+        assert [k for k, _ in index.range(3, 5)] == [3, 5]
+
+    def test_range_exclusive_bounds(self):
+        index = OrderedIndex("i", ("K",))
+        for key in range(1, 6):
+            index.insert(key, rid(key))
+        keys = [k for k, _ in index.range(1, 5, include_low=False, include_high=False)]
+        assert keys == [2, 3, 4]
+
+    def test_range_open_ended(self):
+        index = OrderedIndex("i", ("K",))
+        for key in (2, 4, 6):
+            index.insert(key, rid(key))
+        assert [k for k, _ in index.range(low=4)] == [4, 6]
+        assert [k for k, _ in index.range(high=4)] == [2, 4]
+        assert [k for k, _ in index.range()] == [2, 4, 6]
+
+    def test_range_reverse(self):
+        index = OrderedIndex("i", ("K",))
+        for key in (1, 2, 3):
+            index.insert(key, rid(key))
+        assert [k for k, _ in index.range(reverse=True)] == [3, 2, 1]
+
+    def test_duplicates_per_key(self):
+        index = OrderedIndex("i", ("K",))
+        index.insert(1, rid(1))
+        index.insert(1, rid(2))
+        assert len(list(index.range(1, 1))) == 2
+        index.delete(1, rid(1))
+        assert [r for _k, r in index.range(1, 1)] == [rid(2)]
+
+    def test_delete_last_rid_removes_sorted_key(self):
+        index = OrderedIndex("i", ("K",))
+        index.insert(1, rid(1))
+        index.insert(2, rid(2))
+        index.delete(1, rid(1))
+        assert [k for k, _ in index.range()] == [2]
+
+    def test_min_max(self):
+        index = OrderedIndex("i", ("K",))
+        assert index.min_key() is None
+        for key in (5, 1, 9):
+            index.insert(key, rid(key))
+        assert index.min_key() == 1
+        assert index.max_key() == 9
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.integers(min_value=0, max_value=50), unique=True, min_size=1))
+    def test_property_range_matches_sorted_filter(self, keys):
+        index = OrderedIndex("i", ("K",))
+        for key in keys:
+            index.insert(key, rid(key))
+        low = min(keys)
+        high = max(keys)
+        mid_low = low + (high - low) // 3
+        mid_high = high - (high - low) // 3
+        got = [k for k, _ in index.range(mid_low, mid_high)]
+        expected = sorted(k for k in keys if mid_low <= k <= mid_high)
+        assert got == expected
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(st.booleans(), st.integers(min_value=0, max_value=20)),
+            min_size=1, max_size=60,
+        )
+    )
+    def test_property_insert_delete_consistency(self, operations):
+        """Ordered index stays consistent with a model dict under churn."""
+        index = OrderedIndex("i", ("K",))
+        model: dict[int, set] = {}
+        for is_insert, key in operations:
+            if is_insert:
+                if rid(key) in model.get(key, set()):
+                    continue
+                index.insert(key, rid(key))
+                model.setdefault(key, set()).add(rid(key))
+            else:
+                if key in model and rid(key) in model[key]:
+                    index.delete(key, rid(key))
+                    model[key].discard(rid(key))
+                    if not model[key]:
+                        del model[key]
+        assert sorted(k for k, _ in index.range()) == sorted(
+            k for k, rids in model.items() for _ in rids
+        )

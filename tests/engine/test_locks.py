@@ -1,0 +1,154 @@
+"""Tests for the lock manager: compatibility, queues, deadlocks."""
+
+import pytest
+
+from repro.engine.errors import DeadlockError
+from repro.engine.locks import LockManager, LockMode, LockOutcome
+
+S, X = LockMode.SHARED, LockMode.EXCLUSIVE
+KEY_A = ("T", 1)
+KEY_B = ("T", 2)
+
+
+def test_shared_locks_are_compatible():
+    locks = LockManager()
+    assert locks.acquire(1, KEY_A, S) is LockOutcome.GRANTED
+    assert locks.acquire(2, KEY_A, S) is LockOutcome.GRANTED
+    assert set(locks.holders(KEY_A)) == {1, 2}
+
+
+def test_exclusive_conflicts_with_shared():
+    locks = LockManager()
+    locks.acquire(1, KEY_A, S)
+    assert locks.acquire(2, KEY_A, X) is LockOutcome.BLOCKED
+
+
+def test_exclusive_conflicts_with_exclusive():
+    locks = LockManager()
+    locks.acquire(1, KEY_A, X)
+    assert locks.acquire(2, KEY_A, X) is LockOutcome.BLOCKED
+
+
+def test_reentrant_acquisition():
+    locks = LockManager()
+    locks.acquire(1, KEY_A, X)
+    assert locks.acquire(1, KEY_A, X) is LockOutcome.GRANTED
+    assert locks.acquire(1, KEY_A, S) is LockOutcome.GRANTED  # X covers S
+
+
+def test_upgrade_sole_shared_holder():
+    locks = LockManager()
+    locks.acquire(1, KEY_A, S)
+    assert locks.acquire(1, KEY_A, X) is LockOutcome.GRANTED
+    assert locks.holders(KEY_A)[1] is X
+
+
+def test_upgrade_blocked_by_other_shared_holder():
+    locks = LockManager()
+    locks.acquire(1, KEY_A, S)
+    locks.acquire(2, KEY_A, S)
+    assert locks.acquire(1, KEY_A, X) is LockOutcome.BLOCKED
+
+
+def test_release_all_grants_waiters_fifo():
+    locks = LockManager()
+    locks.acquire(1, KEY_A, X)
+    locks.acquire(2, KEY_A, X)
+    locks.acquire(3, KEY_A, X)
+    granted = locks.release_all(1)
+    assert granted == [(2, KEY_A)]
+    granted = locks.release_all(2)
+    assert granted == [(3, KEY_A)]
+
+
+def test_shared_waiters_granted_together():
+    locks = LockManager()
+    locks.acquire(1, KEY_A, X)
+    locks.acquire(2, KEY_A, S)
+    locks.acquire(3, KEY_A, S)
+    granted = locks.release_all(1)
+    assert set(granted) == {(2, KEY_A), (3, KEY_A)}
+
+
+def test_new_request_queues_behind_waiters():
+    # FIFO fairness: an S request arriving after a queued X must wait.
+    locks = LockManager()
+    locks.acquire(1, KEY_A, S)
+    locks.acquire(2, KEY_A, X)      # queued
+    assert locks.acquire(3, KEY_A, S) is LockOutcome.BLOCKED
+
+
+def test_deadlock_detected_and_victim_raises():
+    locks = LockManager()
+    locks.acquire(1, KEY_A, X)
+    locks.acquire(2, KEY_B, X)
+    assert locks.acquire(1, KEY_B, X) is LockOutcome.BLOCKED
+    with pytest.raises(DeadlockError):
+        locks.acquire(2, KEY_A, X)
+    assert locks.deadlocks_detected == 1
+
+
+def test_three_way_deadlock():
+    locks = LockManager()
+    key_c = ("T", 3)
+    locks.acquire(1, KEY_A, X)
+    locks.acquire(2, KEY_B, X)
+    locks.acquire(3, key_c, X)
+    locks.acquire(1, KEY_B, X)
+    locks.acquire(2, key_c, X)
+    with pytest.raises(DeadlockError):
+        locks.acquire(3, KEY_A, X)
+
+
+def test_no_false_deadlock_on_chain():
+    locks = LockManager()
+    locks.acquire(1, KEY_A, X)
+    assert locks.acquire(2, KEY_A, X) is LockOutcome.BLOCKED
+    # 3 waits on the same key; chain 3->1, 2->1: no cycle
+    assert locks.acquire(3, KEY_A, X) is LockOutcome.BLOCKED
+
+
+def test_cancel_wait_clears_queue():
+    locks = LockManager()
+    locks.acquire(1, KEY_A, X)
+    locks.acquire(2, KEY_A, X)
+    locks.cancel_wait(2)
+    granted = locks.release_all(1)
+    assert granted == []
+
+
+def test_release_one_shared_only():
+    locks = LockManager()
+    locks.acquire(1, KEY_A, S)
+    locks.release_one(1, KEY_A)
+    assert locks.holders(KEY_A) == {}
+    # releasing an X lock early is a no-op (strict 2PL)
+    locks.acquire(1, KEY_B, X)
+    locks.release_one(1, KEY_B)
+    assert locks.holders(KEY_B) == {1: X}
+
+
+def test_release_one_promotes_waiter():
+    locks = LockManager()
+    locks.acquire(1, KEY_A, S)
+    locks.acquire(2, KEY_A, X)
+    granted = locks.release_one(1, KEY_A)
+    assert granted == [(2, KEY_A)]
+
+
+def test_nonqueueing_acquire_leaves_no_state():
+    locks = LockManager()
+    locks.acquire(1, KEY_A, X)
+    outcome = locks.acquire(2, KEY_A, X, queue_on_conflict=False)
+    assert outcome is LockOutcome.BLOCKED
+    assert locks.release_all(1) == []  # nothing queued
+
+
+def test_locks_held_bookkeeping():
+    locks = LockManager()
+    locks.acquire(1, KEY_A, X)
+    locks.acquire(1, KEY_B, S)
+    assert locks.locks_held(1) == {KEY_A, KEY_B}
+    locks.release_all(1)
+    assert locks.locks_held(1) == set()
+    locks.sanity_check()

@@ -1,0 +1,163 @@
+"""Tests for slotted pages and the LRU buffer pool."""
+
+import pytest
+
+from repro.engine.buffer import BufferPool
+from repro.engine.errors import EngineError
+from repro.engine.page import PAGE_SIZE_BYTES, Page, RowId, rows_per_page
+
+
+class TestPage:
+    def test_insert_read_roundtrip(self):
+        page = Page(0, capacity=4)
+        slot = page.insert((1, "a"))
+        assert page.read(slot) == (1, "a")
+        assert page.live_rows == 1
+
+    def test_delete_frees_slot_and_reuse(self):
+        page = Page(0, capacity=2)
+        slot_a = page.insert(("a",))
+        page.insert(("b",))
+        assert page.is_full
+        page.delete(slot_a)
+        assert not page.is_full
+        slot_c = page.insert(("c",))
+        assert slot_c == slot_a  # freed slot is reused
+
+    def test_read_deleted_raises(self):
+        page = Page(0, capacity=2)
+        slot = page.insert(("a",))
+        page.delete(slot)
+        with pytest.raises(EngineError):
+            page.read(slot)
+
+    def test_double_delete_raises(self):
+        page = Page(0, capacity=2)
+        slot = page.insert(("a",))
+        page.delete(slot)
+        with pytest.raises(EngineError):
+            page.delete(slot)
+
+    def test_insert_into_full_page_raises(self):
+        page = Page(0, capacity=1)
+        page.insert(("a",))
+        with pytest.raises(EngineError):
+            page.insert(("b",))
+
+    def test_restore_puts_row_back(self):
+        page = Page(0, capacity=2)
+        slot = page.insert(("a",))
+        page.delete(slot)
+        page.restore(slot, ("a2",))
+        assert page.read(slot) == ("a2",)
+
+    def test_restore_occupied_slot_raises(self):
+        page = Page(0, capacity=2)
+        slot = page.insert(("a",))
+        with pytest.raises(EngineError):
+            page.restore(slot, ("b",))
+
+    def test_rows_iterates_live_only(self):
+        page = Page(0, capacity=3)
+        page.insert(("a",))
+        slot_b = page.insert(("b",))
+        page.insert(("c",))
+        page.delete(slot_b)
+        assert [row for _slot, row in page.rows()] == [("a",), ("c",)]
+
+    def test_clone_is_independent(self):
+        page = Page(0, capacity=2)
+        slot = page.insert(("a",))
+        clone = page.clone()
+        page.write(slot, ("changed",))
+        assert clone.read(slot) == ("a",)
+
+    def test_rows_per_page(self):
+        assert rows_per_page(100) == PAGE_SIZE_BYTES // 100
+        assert rows_per_page(PAGE_SIZE_BYTES * 10) == 1  # never zero
+        with pytest.raises(EngineError):
+            rows_per_page(0)
+
+
+class TestBufferPool:
+    def test_first_access_misses_then_hits(self):
+        pool = BufferPool(size_bytes=10 * PAGE_SIZE_BYTES)
+        assert pool.access("t", 0) is False
+        assert pool.access("t", 0) is True
+        assert pool.stats.hits == 1
+        assert pool.stats.misses == 1
+
+    def test_lru_eviction_order(self):
+        pool = BufferPool(size_bytes=2 * PAGE_SIZE_BYTES)
+        pool.access("t", 0)
+        pool.access("t", 1)
+        pool.access("t", 0)      # page 0 is now most recent
+        pool.access("t", 2)      # evicts page 1 (LRU)
+        assert pool.is_resident("t", 0)
+        assert not pool.is_resident("t", 1)
+        assert pool.is_resident("t", 2)
+
+    def test_dirty_eviction_counts_writeback(self):
+        pool = BufferPool(size_bytes=1 * PAGE_SIZE_BYTES)
+        pool.access("t", 0, dirty=True)
+        pool.access("t", 1)
+        assert pool.stats.dirty_writebacks == 1
+        assert pool.dirty_pages == 0
+
+    def test_flush_writes_all_dirty(self):
+        pool = BufferPool(size_bytes=8 * PAGE_SIZE_BYTES)
+        for page_no in range(4):
+            pool.access("t", page_no, dirty=True)
+        pool.access("t", 9)  # clean
+        assert pool.flush() == 4
+        assert pool.dirty_pages == 0
+        assert pool.flush() == 0
+
+    def test_dirty_flag_sticks_until_flush(self):
+        pool = BufferPool(size_bytes=4 * PAGE_SIZE_BYTES)
+        pool.access("t", 0, dirty=True)
+        pool.access("t", 0, dirty=False)  # clean re-access keeps it dirty
+        assert pool.dirty_pages == 1
+
+    def test_resize_shrink_evicts(self):
+        pool = BufferPool(size_bytes=4 * PAGE_SIZE_BYTES)
+        for page_no in range(4):
+            pool.access("t", page_no)
+        pool.resize(2 * PAGE_SIZE_BYTES)
+        assert pool.resident_pages == 2
+        assert pool.is_resident("t", 3)
+
+    def test_invalidate_drops_without_writeback(self):
+        pool = BufferPool(size_bytes=4 * PAGE_SIZE_BYTES)
+        pool.access("t", 0, dirty=True)
+        pool.invalidate("t", 0)
+        assert pool.stats.dirty_writebacks == 0
+        assert not pool.is_resident("t", 0)
+        assert pool.dirty_pages == 0
+
+    def test_clear_models_cold_restart(self):
+        pool = BufferPool(size_bytes=4 * PAGE_SIZE_BYTES)
+        pool.access("t", 0)
+        pool.clear()
+        assert pool.resident_pages == 0
+        assert pool.access("t", 0) is False
+
+    def test_hit_ratio(self):
+        pool = BufferPool(size_bytes=4 * PAGE_SIZE_BYTES)
+        assert pool.stats.hit_ratio == 1.0  # vacuous
+        pool.access("t", 0)
+        pool.access("t", 0)
+        pool.access("t", 0)
+        assert pool.stats.hit_ratio == pytest.approx(2 / 3)
+
+    def test_tables_do_not_collide(self):
+        pool = BufferPool(size_bytes=4 * PAGE_SIZE_BYTES)
+        pool.access("a", 0)
+        assert pool.access("b", 0) is False
+
+    def test_invalid_sizes_rejected(self):
+        with pytest.raises(EngineError):
+            BufferPool(0)
+        pool = BufferPool(PAGE_SIZE_BYTES)
+        with pytest.raises(EngineError):
+            pool.resize(0)

@@ -1,0 +1,166 @@
+"""Tests for access-path planning (range scans, EXPLAIN)."""
+
+import pytest
+
+from repro.engine.database import Database
+from repro.engine.errors import SchemaError
+from repro.engine.types import Column, ColumnType, Schema
+
+
+@pytest.fixture
+def db():
+    db = Database("planner")
+    db.create_table(Schema(
+        "EVENTS",
+        (
+            Column("E_ID", ColumnType.INT, nullable=False, autoincrement=True),
+            Column("E_TS", ColumnType.INT, nullable=False),
+            Column("E_KIND", ColumnType.VARCHAR, length=8, default="x"),
+        ),
+        primary_key="E_ID",
+    ))
+    db.create_index("EVENTS", "events_ts", ("E_TS",), ordered=True)
+    db.create_index("EVENTS", "events_kind", ("E_KIND",))
+    for e_id in range(1, 101):
+        db.execute(
+            "INSERT INTO events (E_ID, E_TS, E_KIND) VALUES (?, ?, ?)",
+            [e_id, e_id * 10, "a" if e_id % 2 else "b"],
+        )
+    return db
+
+
+def plan_of(db, sql, params=()):
+    return db.explain(sql, params)
+
+
+def test_pk_point_plan(db):
+    plan = plan_of(db, "SELECT E_TS FROM events WHERE E_ID = ?", [5])
+    assert "primary-key lookup" in plan
+
+
+def test_index_eq_plan(db):
+    plan = plan_of(db, "SELECT E_ID FROM events WHERE E_KIND = ?", ["a"])
+    assert "index lookup via events_kind" in plan
+
+
+def test_pk_range_plan(db):
+    plan = plan_of(db, "SELECT E_ID FROM events WHERE E_ID >= ? AND E_ID <= ?", [10, 20])
+    assert "index range scan via EVENTS_pkey" in plan
+
+
+def test_secondary_ordered_range_plan(db):
+    plan = plan_of(db, "SELECT E_ID FROM events WHERE E_TS > ? AND E_TS < ?", [100, 300])
+    assert "index range scan via events_ts" in plan
+
+
+def test_unindexed_predicate_scans(db):
+    # E_KIND has only a hash index: range predicates on it cannot use it
+    plan = plan_of(db, "SELECT E_ID FROM events WHERE E_KIND > ?", ["a"])
+    assert plan == "full table scan"
+
+
+def test_explain_includes_sort(db):
+    plan = plan_of(db, "SELECT E_ID FROM events WHERE E_KIND = ? ORDER BY E_TS DESC LIMIT 3", ["a"])
+    assert "sort by E_TS" in plan and "limit 3" in plan
+
+
+def test_explain_insert(db):
+    assert plan_of(db, "INSERT INTO events (E_TS) VALUES (?)", [1]) == \
+        "insert into EVENTS"
+
+
+def test_range_results_match_scan(db):
+    ranged = db.query(
+        "SELECT E_ID FROM events WHERE E_ID >= ? AND E_ID < ?", [10, 20]
+    ).rows
+    assert sorted(row[0] for row in ranged) == list(range(10, 20))
+
+
+def test_half_open_ranges(db):
+    low_only = db.query("SELECT E_ID FROM events WHERE E_ID > ?", [95]).rows
+    assert sorted(r[0] for r in low_only) == [96, 97, 98, 99, 100]
+    high_only = db.query("SELECT E_ID FROM events WHERE E_ID <= ?", [3]).rows
+    assert sorted(r[0] for r in high_only) == [1, 2, 3]
+
+
+def test_tightest_bounds_win(db):
+    rows = db.query(
+        "SELECT E_ID FROM events WHERE E_ID >= ? AND E_ID >= ? AND E_ID < ?",
+        [5, 8, 11],
+    ).rows
+    assert sorted(r[0] for r in rows) == [8, 9, 10]
+
+
+def test_range_with_residual_filter(db):
+    rows = db.query(
+        "SELECT E_ID FROM events WHERE E_ID >= ? AND E_ID <= ? AND E_KIND = ?",
+        [1, 10, "b"],
+    ).rows
+    assert sorted(r[0] for r in rows) == [2, 4, 6, 8, 10]
+
+
+def test_secondary_range_results(db):
+    rows = db.query(
+        "SELECT E_TS FROM events WHERE E_TS >= ? AND E_TS <= ?", [100, 150]
+    ).rows
+    assert sorted(r[0] for r in rows) == [100, 110, 120, 130, 140, 150]
+
+
+def test_equality_beats_range(db):
+    # when both an equality index and a range apply, the point path wins
+    plan = plan_of(
+        db, "SELECT E_ID FROM events WHERE E_KIND = ? AND E_ID > ?", ["a", 50]
+    )
+    assert "index lookup via events_kind" in plan
+
+
+def test_range_update_and_delete(db):
+    updated = db.execute(
+        "UPDATE events SET E_KIND = ? WHERE E_ID >= ? AND E_ID <= ?",
+        ["z", 1, 5],
+    ).rowcount
+    assert updated == 5
+    deleted = db.execute(
+        "DELETE FROM events WHERE E_ID > ?", [90]
+    ).rowcount
+    assert deleted == 10
+    assert db.query("SELECT COUNT(*) FROM events").scalar() == 90
+
+
+def test_index_for_name_unknown(db):
+    with pytest.raises(SchemaError):
+        db.table("EVENTS").index_for_name("missing")
+
+
+def test_range_scan_touches_fewer_pages_than_full_scan():
+    """The planner's point: bounded ranges avoid whole-table page reads."""
+    from repro.engine.buffer import BufferPool
+    from repro.engine.page import PAGE_SIZE_BYTES
+
+    wide_db = Database("wide")
+    wide_db.create_table(Schema(
+        "BLOBS",
+        (
+            Column("B_ID", ColumnType.INT, nullable=False),
+            # wide payload: only a handful of rows fit per page
+            Column("B_DATA", ColumnType.VARCHAR, length=2000, default=""),
+        ),
+        primary_key="B_ID",
+    ))
+    for b_id in range(1, 101):
+        wide_db.execute(
+            "INSERT INTO blobs (B_ID, B_DATA) VALUES (?, ?)", [b_id, "x" * 100]
+        )
+    table = wide_db.table("BLOBS")
+    assert table.page_count > 10  # the premise: rows span many pages
+
+    pool = BufferPool(512 * PAGE_SIZE_BYTES)
+    table.attach_buffer(pool)
+    pool.reset_stats()
+    wide_db.query("SELECT B_ID FROM blobs WHERE B_ID >= ? AND B_ID <= ?", [1, 3])
+    ranged_accesses = pool.stats.accesses
+    pool.reset_stats()
+    wide_db.query("SELECT B_ID FROM blobs WHERE B_DATA <> ?", ["nope"])
+    scan_accesses = pool.stats.accesses
+    assert ranged_accesses < scan_accesses
+    table.attach_buffer(None)

@@ -1,0 +1,161 @@
+"""Tests for the SQL subset parser."""
+
+import pytest
+
+from repro.engine.errors import SqlError
+from repro.engine.sql import (
+    DeleteStatement,
+    InsertStatement,
+    SelectStatement,
+    UpdateStatement,
+    count_params,
+    parse,
+)
+
+
+class TestSelect:
+    def test_simple_select(self):
+        stmt = parse("SELECT O_ID, O_STATUS FROM orders WHERE O_ID = ?")
+        assert isinstance(stmt, SelectStatement)
+        assert stmt.table == "ORDERS"
+        assert [item.column for item in stmt.items] == ["O_ID", "O_STATUS"]
+        assert stmt.where[0].column == "O_ID"
+        assert stmt.where[0].op == "="
+        assert count_params(stmt) == 1
+
+    def test_select_star(self):
+        stmt = parse("SELECT * FROM t")
+        assert stmt.star
+        assert stmt.where == ()
+
+    def test_multiple_conditions(self):
+        stmt = parse("SELECT A FROM t WHERE A >= ? AND B < 10 AND C <> 'x'")
+        assert [c.op for c in stmt.where] == [">=", "<", "<>"]
+        assert stmt.where[1].value.literal == 10
+        assert stmt.where[2].value.literal == "x"
+
+    def test_not_equals_variants(self):
+        assert parse("SELECT A FROM t WHERE A != ?").where[0].op == "<>"
+
+    def test_order_by_limit(self):
+        stmt = parse("SELECT A FROM t WHERE B = ? ORDER BY A DESC LIMIT 1")
+        assert stmt.order_by == "A"
+        assert stmt.order_desc
+        assert stmt.limit == 1
+
+    def test_order_by_asc_default(self):
+        stmt = parse("SELECT A FROM t ORDER BY A")
+        assert not stmt.order_desc
+
+    def test_for_update(self):
+        stmt = parse("SELECT A FROM t WHERE A = ? FOR UPDATE")
+        assert stmt.for_update
+
+    def test_aggregates(self):
+        stmt = parse("SELECT COUNT(*), SUM(B), MAX(C), MIN(D) FROM t")
+        aggs = [(item.aggregate, item.column) for item in stmt.items]
+        assert aggs == [("COUNT", None), ("SUM", "B"), ("MAX", "C"), ("MIN", "D")]
+
+    def test_count_distinct(self):
+        stmt = parse("SELECT COUNT(DISTINCT S_I_ID) FROM stock")
+        assert stmt.items[0].distinct
+        assert stmt.items[0].column == "S_I_ID"
+
+    def test_sum_star_rejected(self):
+        with pytest.raises(SqlError):
+            parse("SELECT SUM(*) FROM t")
+
+    def test_string_literal_with_escaped_quote(self):
+        stmt = parse("SELECT A FROM t WHERE B = 'it''s'")
+        assert stmt.where[0].value.literal == "it's"
+
+
+class TestInsert:
+    def test_positional_values(self):
+        stmt = parse("INSERT INTO orderline VALUES (DEFAULT, ?, ?, ?, ?)")
+        assert isinstance(stmt, InsertStatement)
+        assert stmt.columns == ()
+        assert stmt.values[0].kind == "default"
+        assert count_params(stmt) == 4
+
+    def test_column_list(self):
+        stmt = parse("INSERT INTO t (A, B) VALUES (?, 5)")
+        assert stmt.columns == ("A", "B")
+        assert stmt.values[1].literal == 5
+
+    def test_null_literal(self):
+        stmt = parse("INSERT INTO t (A) VALUES (NULL)")
+        assert stmt.values[0].literal is None
+
+    def test_float_literal(self):
+        stmt = parse("INSERT INTO t (A) VALUES (3.14)")
+        assert stmt.values[0].literal == pytest.approx(3.14)
+
+
+class TestUpdate:
+    def test_plain_set(self):
+        stmt = parse("UPDATE orders SET O_STATUS = 'PAID' WHERE O_ID = ?")
+        assert isinstance(stmt, UpdateStatement)
+        assert stmt.sets[0].column == "O_STATUS"
+        assert stmt.sets[0].value.literal == "PAID"
+        assert stmt.sets[0].delta_column is None
+
+    def test_arithmetic_set(self):
+        stmt = parse("UPDATE customer SET C_CREDIT = C_CREDIT + ? WHERE C_ID = ?")
+        clause = stmt.sets[0]
+        assert clause.delta_column == "C_CREDIT"
+        assert clause.delta_sign == 1
+
+    def test_subtraction_set(self):
+        stmt = parse("UPDATE stock SET S_QUANTITY = S_QUANTITY - ? WHERE S_KEY = ?")
+        assert stmt.sets[0].delta_sign == -1
+
+    def test_multiple_sets_param_order(self):
+        stmt = parse("UPDATE t SET A = ?, B = B + ? WHERE C = ?")
+        indexes = [stmt.sets[0].value.param_index,
+                   stmt.sets[1].value.param_index,
+                   stmt.where[0].value.param_index]
+        assert indexes == [0, 1, 2]
+
+    def test_cross_column_delta(self):
+        stmt = parse("UPDATE t SET A = B + ?")
+        assert stmt.sets[0].column == "A"
+        assert stmt.sets[0].delta_column == "B"
+
+
+class TestDelete:
+    def test_delete_where(self):
+        stmt = parse("DELETE FROM orderline WHERE OL_ID = ?")
+        assert isinstance(stmt, DeleteStatement)
+        assert stmt.table == "ORDERLINE"
+        assert count_params(stmt) == 1
+
+    def test_delete_all(self):
+        stmt = parse("DELETE FROM t")
+        assert stmt.where == ()
+
+
+class TestErrors:
+    @pytest.mark.parametrize("bad", [
+        "",                                    # empty
+        "DROP TABLE t",                        # unsupported verb
+        "SELECT FROM t",                       # missing select list
+        "SELECT A FROM",                       # missing table
+        "SELECT A FROM t WHERE",               # dangling where
+        "SELECT A FROM t LIMIT x",             # non-integer limit
+        "INSERT INTO t VALUES",                # missing tuple
+        "INSERT INTO t VALUES (1",             # unclosed paren
+        "UPDATE t SET",                        # missing clause
+        "UPDATE t SET A = B * ?",              # unsupported operator
+        "SELECT A FROM t WHERE A LIKE ?",      # unsupported predicate
+        "SELECT A FROM t; SELECT B FROM t",    # trailing tokens
+        "SELECT A FROM t WHERE A = @x",        # untokenizable char
+    ])
+    def test_rejects(self, bad):
+        with pytest.raises(SqlError):
+            parse(bad)
+
+    def test_identifiers_are_uppercased(self):
+        stmt = parse("select o_id from orders where o_id = ?")
+        assert stmt.table == "ORDERS"
+        assert stmt.items[0].column == "O_ID"

@@ -1,0 +1,167 @@
+"""Tests for heap tables and index maintenance."""
+
+import pytest
+
+from repro.engine.buffer import BufferPool
+from repro.engine.errors import DuplicateKeyError, EngineError, SchemaError
+from repro.engine.page import PAGE_SIZE_BYTES
+from repro.engine.table import Table
+from repro.engine.types import Column, ColumnType, Schema
+
+
+def make_table(buffer_pool=None):
+    schema = Schema(
+        "T",
+        (
+            Column("ID", ColumnType.INT, nullable=False, autoincrement=True),
+            Column("K", ColumnType.INT, default=0),
+            Column("NAME", ColumnType.VARCHAR, length=16, default=""),
+        ),
+        primary_key="ID",
+    )
+    return Table(schema, buffer_pool)
+
+
+def test_insert_and_read_by_key():
+    table = make_table()
+    table.insert_row((1, 10, "a"))
+    assert table.read_by_key(1) == (1, 10, "a")
+    assert table.read_by_key(99) is None
+    assert table.row_count == 1
+
+
+def test_duplicate_primary_key_rejected():
+    table = make_table()
+    table.insert_row((1, 10, "a"))
+    with pytest.raises(DuplicateKeyError):
+        table.insert_row((1, 20, "b"))
+
+
+def test_update_row_and_before_image():
+    table = make_table()
+    rid = table.insert_row((1, 10, "a"))
+    before = table.update_row(rid, (1, 20, "b"))
+    assert before == (1, 10, "a")
+    assert table.read_by_key(1) == (1, 20, "b")
+
+
+def test_update_changing_pk_moves_index_entry():
+    table = make_table()
+    rid = table.insert_row((1, 10, "a"))
+    table.update_row(rid, (2, 10, "a"))
+    assert table.read_by_key(1) is None
+    assert table.read_by_key(2) == (2, 10, "a")
+
+
+def test_update_to_existing_pk_rejected():
+    table = make_table()
+    table.insert_row((1, 0, ""))
+    rid = table.insert_row((2, 0, ""))
+    with pytest.raises(DuplicateKeyError):
+        table.update_row(rid, (1, 0, ""))
+    # nothing changed
+    assert table.read_by_key(2) == (2, 0, "")
+
+
+def test_delete_row_updates_indexes():
+    table = make_table()
+    rid = table.insert_row((1, 10, "a"))
+    before = table.delete_row(rid)
+    assert before == (1, 10, "a")
+    assert table.read_by_key(1) is None
+    assert table.row_count == 0
+
+
+def test_secondary_index_backfill_and_maintenance():
+    table = make_table()
+    table.insert_row((1, 7, "a"))
+    table.insert_row((2, 7, "b"))
+    table.create_index("t_k", ("K",))
+    index = table.secondary_indexes["t_k"]
+    assert len(index.lookup(7)) == 2
+    rid = table.find_by_key(1)
+    table.update_row(rid, (1, 8, "a"))
+    assert len(index.lookup(7)) == 1
+    assert len(index.lookup(8)) == 1
+    table.delete_row(table.find_by_key(2))
+    assert index.lookup(7) == []
+
+
+def test_duplicate_index_name_rejected():
+    table = make_table()
+    table.create_index("t_k", ("K",))
+    with pytest.raises(SchemaError):
+        table.create_index("t_k", ("K",))
+
+
+def test_index_on_unknown_column_rejected():
+    table = make_table()
+    with pytest.raises(SchemaError):
+        table.create_index("bad", ("NOPE",))
+
+
+def test_composite_index_key():
+    table = make_table()
+    table.create_index("t_kn", ("K", "NAME"), unique=True)
+    table.insert_row((1, 5, "x"))
+    index = table.secondary_indexes["t_kn"]
+    assert index.lookup((5, "x"))
+    with pytest.raises(DuplicateKeyError):
+        table.insert_row((2, 5, "x"))
+
+
+def test_autoincrement_tracks_explicit_keys():
+    table = make_table()
+    table.insert_row((10, 0, ""))
+    assert table.next_autoincrement() == 11
+
+
+def test_scan_skips_deleted():
+    table = make_table()
+    rids = [table.insert_row((i, 0, "")) for i in range(1, 6)]
+    table.delete_row(rids[2])
+    keys = [row[0] for _rid, row in table.scan()]
+    assert keys == [1, 2, 4, 5]
+
+
+def test_rows_span_multiple_pages():
+    table = make_table()
+    per_page = PAGE_SIZE_BYTES // table.schema.row_byte_size()
+    for i in range(1, per_page * 2 + 2):
+        table.insert_row((i, 0, ""))
+    assert table.page_count >= 3
+    assert table.row_count == per_page * 2 + 1
+
+
+def test_buffer_pool_sees_accesses():
+    pool = BufferPool(size_bytes=64 * PAGE_SIZE_BYTES)
+    table = make_table(pool)
+    table.insert_row((1, 0, ""))
+    assert pool.stats.accesses >= 1
+    before = pool.stats.accesses
+    table.read_by_key(1)
+    assert pool.stats.accesses == before + 1
+
+
+def test_snapshot_restore_roundtrip():
+    table = make_table()
+    for i in range(1, 4):
+        table.insert_row((i, i * 10, f"n{i}"))
+    table.create_index("t_k", ("K",))
+    snapshot = table.snapshot()
+    table.delete_row(table.find_by_key(2))
+    table.insert_row((9, 90, "n9"))
+    table.restore_snapshot(snapshot)
+    assert table.row_count == 3
+    assert table.read_by_key(2) == (2, 20, "n2")
+    assert table.read_by_key(9) is None
+    # indexes rebuilt
+    assert table.secondary_indexes["t_k"].lookup(20)
+
+
+def test_restore_row_after_delete():
+    table = make_table()
+    rid = table.insert_row((1, 10, "a"))
+    before = table.delete_row(rid)
+    table.restore_row(rid, before)
+    assert table.read_by_key(1) == (1, 10, "a")

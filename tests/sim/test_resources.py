@@ -1,0 +1,208 @@
+"""Tests for Resource, Container and TimeSeries."""
+
+import pytest
+
+from repro.sim.events import Environment, SimulationError
+from repro.sim.resources import Container, Resource, TimeSeries
+
+
+def test_resource_serialises_holders():
+    env = Environment()
+    resource = Resource(env, capacity=1)
+    log = []
+
+    def worker(name):
+        yield resource.request()
+        log.append((env.now, name, "in"))
+        yield env.timeout(2.0)
+        resource.release()
+        log.append((env.now, name, "out"))
+
+    env.process(worker("a"))
+    env.process(worker("b"))
+    env.run()
+    assert log == [
+        (0.0, "a", "in"), (2.0, "a", "out"),
+        (2.0, "b", "in"), (4.0, "b", "out"),
+    ]
+
+
+def test_resource_capacity_two_overlaps():
+    env = Environment()
+    resource = Resource(env, capacity=2)
+    finished = []
+
+    def worker(name):
+        yield from resource.use(3.0)
+        finished.append((env.now, name))
+
+    for name in ("a", "b", "c"):
+        env.process(worker(name))
+    env.run()
+    assert finished == [(3.0, "a"), (3.0, "b"), (6.0, "c")]
+
+
+def test_resource_fifo_order():
+    env = Environment()
+    resource = Resource(env, capacity=1)
+    order = []
+
+    def worker(name, arrival):
+        yield env.timeout(arrival)
+        yield resource.request()
+        order.append(name)
+        yield env.timeout(1.0)
+        resource.release()
+
+    env.process(worker("late", 0.2))
+    env.process(worker("early", 0.1))
+    env.run()
+    assert order == ["early", "late"]
+
+
+def test_release_without_request_raises():
+    env = Environment()
+    resource = Resource(env, capacity=1)
+    with pytest.raises(SimulationError):
+        resource.release()
+
+
+def test_set_capacity_grows_and_wakes_waiters():
+    env = Environment()
+    resource = Resource(env, capacity=1)
+    entered = []
+
+    def worker(name):
+        yield resource.request()
+        entered.append((env.now, name))
+        yield env.timeout(10.0)
+        resource.release()
+
+    def grower():
+        yield env.timeout(1.0)
+        resource.set_capacity(2)
+
+    env.process(worker("a"))
+    env.process(worker("b"))
+    env.process(grower())
+    env.run()
+    assert entered == [(0.0, "a"), (1.0, "b")]
+
+
+def test_busy_time_accounting():
+    env = Environment()
+    resource = Resource(env, capacity=2)
+
+    def worker(hold):
+        yield from resource.use(hold)
+
+    env.process(worker(4.0))
+    env.process(worker(2.0))
+    env.run()
+    assert resource.busy_time() == pytest.approx(6.0)
+
+
+def test_invalid_capacity_rejected():
+    env = Environment()
+    with pytest.raises(SimulationError):
+        Resource(env, capacity=0)
+    resource = Resource(env, capacity=1)
+    with pytest.raises(SimulationError):
+        resource.set_capacity(0)
+
+
+class TestContainer:
+    def test_put_then_get(self):
+        env = Environment()
+        container = Container(env, initial=5.0)
+        got = []
+
+        def taker():
+            amount = yield container.get(3.0)
+            got.append((env.now, amount))
+
+        env.process(taker())
+        env.run()
+        assert got == [(0.0, 3.0)]
+        assert container.level == pytest.approx(2.0)
+
+    def test_get_blocks_until_put(self):
+        env = Environment()
+        container = Container(env)
+        got = []
+
+        def taker():
+            yield container.get(2.0)
+            got.append(env.now)
+
+        def putter():
+            yield env.timeout(3.0)
+            container.put(1.0)
+            yield env.timeout(3.0)
+            container.put(1.0)
+
+        env.process(taker())
+        env.process(putter())
+        env.run()
+        assert got == [6.0]
+
+    def test_fifo_getters(self):
+        env = Environment()
+        container = Container(env)
+        order = []
+
+        def taker(name, amount):
+            yield container.get(amount)
+            order.append(name)
+
+        env.process(taker("big", 5.0))
+        env.process(taker("small", 1.0))
+        container.put(10.0)
+        env.run()
+        assert order == ["big", "small"]  # FIFO, not best-fit
+
+    def test_capacity_clamps_level(self):
+        env = Environment()
+        container = Container(env, capacity=4.0)
+        container.put(10.0)
+        assert container.level == pytest.approx(4.0)
+
+    def test_try_get(self):
+        env = Environment()
+        container = Container(env, initial=2.0)
+        assert container.try_get(1.5)
+        assert not container.try_get(1.0)
+
+
+class TestTimeSeries:
+    def test_integrate_step_function(self):
+        series = TimeSeries()
+        series.record(0.0, 10.0)
+        series.record(5.0, 20.0)
+        assert series.integrate(0.0, 10.0) == pytest.approx(10 * 5 + 20 * 5)
+
+    def test_average(self):
+        series = TimeSeries()
+        series.record(0.0, 4.0)
+        series.record(2.0, 8.0)
+        assert series.average(0.0, 4.0) == pytest.approx(6.0)
+
+    def test_value_at(self):
+        series = TimeSeries()
+        series.record(1.0, 1.0)
+        series.record(3.0, 3.0)
+        assert series.value_at(2.0) == 1.0
+        assert series.value_at(3.0) == 3.0
+        assert series.value_at(99.0) == 3.0
+
+    def test_out_of_order_rejected(self):
+        series = TimeSeries()
+        series.record(5.0, 1.0)
+        with pytest.raises(SimulationError):
+            series.record(4.0, 2.0)
+
+    def test_partial_window(self):
+        series = TimeSeries()
+        series.record(0.0, 1.0)
+        series.record(10.0, 3.0)
+        assert series.integrate(5.0, 15.0) == pytest.approx(1 * 5 + 3 * 5)
