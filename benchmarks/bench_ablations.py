@@ -13,15 +13,14 @@ the advantage disappears.
 
 import dataclasses
 
-from repro.cloud.architectures import cdb1, cdb3, cdb4, get
+from repro.cloud.architectures import cdb1, cdb3, cdb4
 from repro.cloud.failure import FailoverSimulator
 from repro.cloud.mva_model import estimate_throughput
-from repro.cloud.replication import ReplicationPipeline
 from repro.core.elasticity import ELASTIC_PATTERNS, ElasticityEvaluator
 from repro.core.report import TextTable
 from repro.core.workload import LAG_PATTERNS, READ_WRITE, WRITE_ONLY
 from repro.core.lagtime import LagTimeEvaluator
-from repro.cloud.specs import ScalingKind, ScalingPolicySpec
+from repro.cloud.specs import ScalingKind
 
 
 def test_ablation_redo_pushdown(benchmark):

@@ -1,0 +1,77 @@
+"""Availability under deterministic chaos (A-Score).
+
+Runs every SUT through the *same* seeded fault plan -- network
+partitions, delay/loss spikes, replica stalls and gray nodes -- with
+all client traffic going through the resilience stack (retries,
+failover, circuit breakers), and scores goodput against the SLO.
+
+Asserts the chaos layer's determinism contract:
+
+* the same seed reproduces a byte-identical fault schedule
+  (fingerprint *and* human-readable schedule) and the identical
+  A-Score, request for request;
+* a different seed produces a different schedule;
+* the resilience stack keeps goodput strictly positive under the
+  injected faults.
+"""
+
+from benchmarks.conftest import arch_display
+from repro.core.config import BenchConfig
+from repro.core.report import TextTable
+from repro.core.runner import CloudyBench
+
+
+def _testbed(seed: int, architectures=None) -> CloudyBench:
+    config = BenchConfig.quick()
+    config.seed = seed
+    if architectures:
+        config.architectures = list(architectures)
+    return CloudyBench(config)
+
+
+def test_chaos_availability(benchmark):
+    bench = _testbed(42)
+    results = benchmark.pedantic(bench.run_chaos, rounds=1, iterations=1)
+    plan = bench.chaos_plan()
+
+    print(f"\nfault plan fingerprint: {plan.fingerprint()}")
+    for line in plan.describe():
+        print(f"  {line}")
+    table = TextTable(
+        ["system", "requests", "goodput", "budget burn", "opens", "recloses"],
+        title=f"Availability under chaos (SLO {bench.config.chaos_slo:g})",
+    )
+    for arch_name, score in results.items():
+        table.add_row(
+            arch_display(arch_name), score.requests,
+            round(score.goodput, 4), round(score.error_budget_burn, 3),
+            score.breaker_opened, score.breaker_reclosed,
+        )
+    table.print()
+
+    benchmark.extra_info["plan_fingerprint"] = plan.fingerprint()
+    benchmark.extra_info["goodput"] = {
+        name: round(score.goodput, 4) for name, score in results.items()
+    }
+
+    # Chaos bites, resilience holds: every SUT keeps serving.
+    for score in results.values():
+        assert score.requests > 100
+        assert 0.0 < score.goodput <= 1.0
+        assert score.plan_fingerprint == plan.fingerprint()
+
+    # Determinism: an independent testbed with the same seed yields a
+    # byte-identical fault schedule and the identical A-Score.
+    first = _testbed(42, ["cdb1"]).run_chaos()["cdb1"]
+    second = _testbed(42, ["cdb1"]).run_chaos()["cdb1"]
+    assert _testbed(42).chaos_plan().fingerprint() == plan.fingerprint()
+    assert _testbed(42).chaos_plan().describe() == plan.describe()
+    assert first.plan_fingerprint == second.plan_fingerprint
+    assert first.requests == second.requests
+    assert first.goodput == second.goodput
+    assert first.samples == second.samples
+
+    # A different seed is a different experiment.
+    other = _testbed(7).chaos_plan()
+    assert other.fingerprint() != plan.fingerprint()
+    assert other.describe() != plan.describe()

@@ -15,7 +15,6 @@ Paper observations asserted:
   paper sees at most a 1-vCore change between any two slots).
 """
 
-from benchmarks.conftest import arch_display
 from repro.baselines.sysbench import sysbench_mix
 from repro.baselines.tpcc import tpcc_mix
 from repro.cloud.architectures import get

@@ -20,8 +20,8 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from repro.cloud.workload_model import TxnClass, WorkloadMix
+from repro.core.resilience import retry_transaction
 from repro.engine.database import Database
-from repro.engine.errors import TransactionAborted
 from repro.engine.types import Column, ColumnType, Schema
 
 #: standard TPC-C scaling ratios (per warehouse)
@@ -459,11 +459,14 @@ class TpccWorkload:
             "delivery": self.delivery,
             "stock_level": self.stock_level,
         }[name]
-        try:
-            runner()
+        # Classification-driven retry: replay the transaction on
+        # retryable aborts (lock timeout / deadlock victim), never on
+        # semantic failures.  The TPC-C spec's intentional 1% NewOrder
+        # rollback is handled inside new_order and is NOT retried.
+        outcome = retry_transaction(runner, attempts=3)
+        self.aborted += outcome.aborts
+        if outcome.committed:
             self.executed[name] += 1
-        except TransactionAborted:
-            self.aborted += 1
         return name
 
     def run_many(self, count: int) -> Dict[str, int]:

@@ -24,7 +24,6 @@ F     50% read / 50% r-m-w       zipfian
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass
 from typing import Dict, Optional
 
 from repro.cloud.workload_model import TxnClass, WorkloadMix

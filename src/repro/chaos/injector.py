@@ -1,0 +1,120 @@
+"""The fault registry: answers "what is broken right now?".
+
+:class:`ChaosInjector` is the single source of truth every layer
+consults: the replication pipeline asks whether a replica's link is
+partitioned or degraded before scheduling a delivery, the replayer asks
+whether the node is stalled or gray before applying, and the client's
+endpoint wrappers ask whether a target is reachable before serving a
+request.  All queries are pure functions of the plan and the current
+(virtual) time, so a chaos run is exactly as deterministic as its
+:class:`~repro.chaos.plan.FaultPlan`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.chaos.plan import FaultKind, FaultPlan, FaultSpec
+
+#: cap on the modelled retransmit blow-up of a lossy link
+MAX_LOSS = 0.95
+#: a gray node at intensity 1.0 is this many times slower
+GRAY_SLOWDOWN = 10.0
+
+
+class ChaosInjector:
+    """Evaluates a :class:`FaultPlan` against query time-points."""
+
+    def __init__(self, plan: FaultPlan):
+        self.plan = plan
+        #: how often each kind was observed biting (observability only)
+        self.observed: Dict[str, int] = {}
+
+    def _note(self, spec: FaultSpec) -> None:
+        self.observed[spec.kind.value] = self.observed.get(spec.kind.value, 0) + 1
+
+    # -- network path to a target -------------------------------------------
+
+    def partitioned(self, target: str, now: float) -> bool:
+        """Is the path to ``target`` severed at ``now``?"""
+        for kind in (FaultKind.PARTITION, FaultKind.FLAP):
+            for spec in self.plan.active(now, kind=kind, target=target):
+                self._note(spec)
+                return True
+        return False
+
+    def heal_at(self, target: str, now: float) -> float:
+        """End of the current unreachable window for ``target``.
+
+        Returns ``now`` when the target is reachable.  For a flapping
+        link this is the end of the current down half-period, not the
+        end of the whole fault window.
+        """
+        heal = now
+        for kind in (FaultKind.PARTITION, FaultKind.FLAP):
+            for spec in self.plan.active(now, kind=kind, target=target):
+                heal = max(heal, spec.heal_at(now))
+        return heal
+
+    def delay_factor(self, target: str, now: float) -> float:
+        """Multiplier on network transfer time to ``target``.
+
+        DELAY spikes multiply latency by ``1 + intensity``; LOSS models
+        retransmits as the expected ``1 / (1 - p)`` send count.
+        """
+        factor = 1.0
+        for spec in self.plan.active(now, kind=FaultKind.DELAY, target=target):
+            self._note(spec)
+            factor *= 1.0 + spec.intensity
+        for spec in self.plan.active(now, kind=FaultKind.LOSS, target=target):
+            self._note(spec)
+            factor *= 1.0 / (1.0 - min(MAX_LOSS, spec.intensity))
+        return factor
+
+    # -- the target node itself ---------------------------------------------
+
+    def slowdown(self, target: str, now: float) -> float:
+        """Service-time multiplier of a gray (slow-but-alive) node."""
+        factor = 1.0
+        for spec in self.plan.active(now, kind=FaultKind.GRAY, target=target):
+            self._note(spec)
+            factor *= 1.0 + spec.intensity * (GRAY_SLOWDOWN - 1.0)
+        return factor
+
+    def stalled_until(self, target: str, now: float) -> Optional[float]:
+        """End of the current replay stall of ``target`` (None if none)."""
+        ends = [
+            spec.end_s
+            for spec in self.plan.active(now, kind=FaultKind.STALL, target=target)
+        ]
+        if not ends:
+            return None
+        for spec in self.plan.active(now, kind=FaultKind.STALL, target=target):
+            self._note(spec)
+        return max(ends)
+
+    def degraded(self, target: str, now: float) -> bool:
+        """Is the target anything other than fully healthy at ``now``?"""
+        return (
+            self.partitioned(target, now)
+            or self.delay_factor(target, now) > 1.0
+            or self.slowdown(target, now) > 1.0
+            or self.stalled_until(target, now) is not None
+        )
+
+    # -- engine-layer faults -------------------------------------------------
+
+    def engine_faults(self, target: str = "primary") -> List[FaultSpec]:
+        """CRASH/TORN_WRITE/BIT_FLIP specs aimed at ``target``.
+
+        The WAL cannot consult virtual time, so the driver of the engine
+        (availability evaluator, torture test) arms these explicitly via
+        :meth:`~repro.engine.wal.WriteAheadLog.arm_crash` /
+        :meth:`~repro.engine.wal.WriteAheadLog.flip_bit`.
+        """
+        return [
+            spec for spec in self.plan.by_kind(
+                FaultKind.CRASH, FaultKind.TORN_WRITE, FaultKind.BIT_FLIP
+            )
+            if spec.target == target
+        ]

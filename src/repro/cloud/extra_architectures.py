@@ -29,7 +29,6 @@ from __future__ import annotations
 from repro.cloud.architectures import Architecture, register
 from repro.cloud.specs import (
     GIB,
-    MIB,
     ComputeAllocation,
     InstanceSpec,
     NetworkKind,

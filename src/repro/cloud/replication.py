@@ -24,6 +24,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+from repro.chaos.injector import ChaosInjector
 from repro.cloud.architectures import Architecture
 from repro.engine.database import Database
 from repro.engine.recovery import ReplicaApplier
@@ -51,12 +52,14 @@ class ReplicationPipeline:
         arch: Architecture,
         primary: Database,
         n_replicas: int = 1,
+        chaos: Optional[ChaosInjector] = None,
     ):
         if n_replicas < 1:
             raise ValueError("need at least one replica")
         self.env = env
         self.arch = arch
         self.primary = primary
+        self.chaos = chaos
         self.replicas: List[Database] = [
             primary.clone_full(f"{primary.name}-replica{i}")
             for i in range(n_replicas)
@@ -76,6 +79,11 @@ class ReplicationPipeline:
 
     # -- shipping ------------------------------------------------------------
 
+    @staticmethod
+    def replica_target(index: int) -> str:
+        """Chaos-plan target name of replica ``index``."""
+        return f"replica:{index}"
+
     def _ship_delay_s(self, records: List[LogRecord]) -> float:
         size = sum(record.byte_size() for record in records) + 64
         per_hop = self.arch.network.transfer_time(size)
@@ -84,12 +92,21 @@ class ReplicationPipeline:
     def _on_commit(self, txn_id: int, commit_lsn: int, records: List[LogRecord]) -> None:
         if not records:
             return
+        now = self.env.now
         for index in range(len(self.replicas)):
+            # A severed link holds the batch at the primary until the
+            # partition heals; a degraded link stretches the transfer.
+            depart, factor = now, 1.0
+            if self.chaos is not None:
+                target = self.replica_target(index)
+                if self.chaos.partitioned(target, now):
+                    depart = self.chaos.heal_at(target, now)
+                factor = self.chaos.delay_factor(target, depart)
             # FIFO stream: a batch arrives after its own transfer delay
             # but never before any batch committed earlier.
             arrival = max(
                 self._last_arrival[index],
-                self.env.now + self._ship_delay_s(records),
+                depart + self._ship_delay_s(records) * factor,
             )
             self._last_arrival[index] = arrival
             self.env.process(self._deliver(index, txn_id, list(records), arrival))
@@ -129,6 +146,14 @@ class ReplicationPipeline:
             # Batch cadence: wait for the next replay tick so that more
             # records can coalesce (sequential-replay systems batch long).
             yield self.env.timeout(interval)
+            if self.chaos is not None:
+                # A stalled replayer parks until the stall lifts; the
+                # arrived batches coalesce into one big replay after.
+                target = self.replica_target(index)
+                stall = self.chaos.stalled_until(target, self.env.now)
+                while stall is not None and stall > self.env.now:
+                    yield self.env.timeout(stall - self.env.now)
+                    stall = self.chaos.stalled_until(target, self.env.now)
             drained, queue[:] = queue[:], []
             total_service = sum(
                 self._record_service_s(record)
@@ -136,6 +161,10 @@ class ReplicationPipeline:
                 for record in records
             )
             replay_s = total_service / max(1, storage.replay_parallelism)
+            if self.chaos is not None:
+                replay_s *= self.chaos.slowdown(
+                    self.replica_target(index), self.env.now
+                )
             if replay_s > 0:
                 yield self.env.timeout(replay_s)
             stats.busy_s += replay_s

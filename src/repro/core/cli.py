@@ -20,7 +20,7 @@ from repro.core.runner import CloudyBench
 
 EVALUATIONS = (
     "throughput", "pscore", "elasticity", "multitenancy",
-    "failover", "lagtime", "overall", "report",
+    "failover", "lagtime", "chaos", "overall", "report",
 )
 
 
@@ -43,6 +43,10 @@ def build_parser() -> argparse.ArgumentParser:
         help="fast preset: SF1 only, fewer concurrencies",
     )
     parser.add_argument(
+        "--seed", type=int, default=None,
+        help="master seed for workload and chaos RNGs (pins fault plans)",
+    )
+    parser.add_argument(
         "--out", default=None,
         help="write the --eval report markdown to this file (default stdout)",
     )
@@ -58,6 +62,8 @@ def _config(args: argparse.Namespace) -> BenchConfig:
         config = BenchConfig()
     if args.arch:
         config.architectures = list(args.arch)
+    if args.seed is not None:
+        config.seed = args.seed
     return config
 
 
@@ -138,6 +144,23 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                     round(result.delete_lag_s * 1000, 2),
                     round(result.c_score_s * 1000, 2),
                 )
+        table.print()
+    elif evaluation == "chaos":
+        plan = bench.chaos_plan()
+        print(f"fault plan {plan.name} (seed={plan.seed}, "
+              f"fingerprint {plan.fingerprint()[:16]}):")
+        for line in plan.describe():
+            print(f"  {line}")
+        table = TextTable(
+            ["arch", "requests", "goodput", "budget burn", "opens", "recloses"],
+            title=f"Availability under chaos (SLO {bench.config.chaos_slo:g})",
+        )
+        for arch, score in bench.run_chaos().items():
+            table.add_row(
+                arch, score.requests, round(score.goodput, 4),
+                round(score.error_budget_burn, 3),
+                score.breaker_opened, score.breaker_reclosed,
+            )
         table.print()
     elif evaluation == "report":
         from repro.core.summary import generate_report

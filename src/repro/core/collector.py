@@ -7,7 +7,7 @@ it.  The series are step functions over simulation time.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
 from repro.sim.resources import TimeSeries

@@ -70,6 +70,13 @@ class BenchConfig:
     lag_transactions: int = 240
     lag_replicas: int = 1
 
+    # -- chaos / availability
+    chaos_faults: int = 4
+    chaos_duration_s: float = 40.0
+    chaos_clients: int = 6
+    chaos_replicas: int = 1
+    chaos_slo: float = 0.9
+
     def __post_init__(self) -> None:
         if not self.architectures:
             raise ValueError("configure at least one architecture")
@@ -84,6 +91,12 @@ class BenchConfig:
             raise ValueError("elastic_test_time must be >= 1 slot")
         if self.tenants < 1 or self.tenant_slots < 1:
             raise ValueError("tenants and tenant_slots must be >= 1")
+        if self.chaos_faults < 0 or self.chaos_duration_s <= 0:
+            raise ValueError("chaos needs >= 0 faults over a positive duration")
+        if self.chaos_clients < 1 or self.chaos_replicas < 1:
+            raise ValueError("chaos needs >= 1 client and replica")
+        if not 0.0 < self.chaos_slo < 1.0:
+            raise ValueError("chaos_slo must be in (0, 1)")
 
     # -- construction ---------------------------------------------------------
 
@@ -122,4 +135,6 @@ class BenchConfig:
             measure_window_s=180.0,
             lag_transactions=60,
             row_scale=0.001,
+            chaos_duration_s=20.0,
+            chaos_clients=4,
         )

@@ -20,8 +20,6 @@ from dataclasses import dataclass, field
 from typing import Dict, Optional
 
 from repro.core.schema import (
-    ALL_SCHEMAS,
-    BASE_ROWS,
     ORDERLINE_MULTIPLIER,
     create_sales_schema,
     rows_at_scale,

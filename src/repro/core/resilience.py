@@ -1,0 +1,447 @@
+"""Client-side resilience: retries, backoff, circuit breaking, failover.
+
+What a latency-critical client *observes* during a fault is dominated by
+its own timeout/retry behaviour, not by the server's recovery pipeline.
+This module is that client stack:
+
+* :func:`retry_transaction` -- the minimal classification-driven retry
+  loop the functional workloads use: replay a transaction body when the
+  engine aborts it with a ``retryable`` error (lock timeout, deadlock
+  victim), propagate everything else immediately.
+* :class:`RetryPolicy` -- jittered exponential backoff with a per-call
+  attempt cap.
+* :class:`CircuitBreaker` -- closed / open / half-open per endpoint;
+  opens after consecutive health failures, probes after a reset timeout,
+  re-closes on probe success.
+* :class:`ResilientSession` -- ties it together: endpoint preference
+  order, per-endpoint breakers, per-request timeout budgets, and
+  failover.  One retry state machine drives both a synchronous mode
+  (:meth:`~ResilientSession.call`) and a DES process mode
+  (:meth:`~ResilientSession.call_in`) so tests and the availability
+  evaluator exercise identical logic.
+
+Which failures trip a breaker is deliberately narrower than which are
+retryable: a deadlock victim is retryable but says nothing about
+endpoint health, while an unreachable node is both.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from repro.engine.errors import (
+    EngineError,
+    NodeUnavailableError,
+    RequestTimeout,
+    SimulatedCrash,
+)
+
+#: errors that indict the endpoint (breaker-relevant), not the request
+HEALTH_ERRORS = (NodeUnavailableError, RequestTimeout, SimulatedCrash)
+
+
+def is_retryable(error: BaseException) -> bool:
+    """Classification hook: may the whole request be replayed?"""
+    if isinstance(error, EngineError):
+        return error.retryable
+    return False
+
+
+def counts_against_breaker(error: BaseException) -> bool:
+    """Does this failure signal endpoint ill-health?"""
+    return isinstance(error, HEALTH_ERRORS)
+
+
+# ---------------------------------------------------------------------------
+# transaction-level retry (engine workloads)
+# ---------------------------------------------------------------------------
+
+@dataclass
+class TxnOutcome:
+    """Result of a classification-driven transaction retry loop."""
+
+    value: Any = None
+    committed: bool = False
+    aborts: int = 0
+
+
+def retry_transaction(
+    fn: Callable[[], Any], attempts: int = 3
+) -> TxnOutcome:
+    """Run ``fn``, replaying it on retryable engine aborts.
+
+    Non-retryable errors (bad SQL, duplicate keys) propagate on the
+    first occurrence -- replaying them would fail identically.  After
+    ``attempts`` aborted tries the outcome reports ``committed=False``
+    rather than raising, matching how benchmark drivers account aborted
+    transactions without dying.
+    """
+    if attempts < 1:
+        raise ValueError("attempts must be >= 1")
+    outcome = TxnOutcome()
+    while True:
+        try:
+            outcome.value = fn()
+            outcome.committed = True
+            return outcome
+        except EngineError as error:
+            if not error.retryable:
+                raise
+            outcome.aborts += 1
+            if outcome.aborts >= attempts:
+                return outcome
+
+
+# ---------------------------------------------------------------------------
+# backoff policy
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Jittered exponential backoff.
+
+    Attempt ``n`` (1-based) sleeps ``base * multiplier**(n-1)`` capped at
+    ``max_backoff_s``, scaled by a jitter factor drawn uniformly from
+    ``[1 - jitter, 1 + jitter]``.  Jitter decorrelates retry storms from
+    many clients hitting the same fault.
+    """
+
+    max_attempts: int = 4
+    base_backoff_s: float = 0.05
+    multiplier: float = 2.0
+    max_backoff_s: float = 2.0
+    jitter: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.base_backoff_s < 0 or self.max_backoff_s < self.base_backoff_s:
+            raise ValueError("need 0 <= base_backoff_s <= max_backoff_s")
+        if not 0.0 <= self.jitter < 1.0:
+            raise ValueError("jitter must be in [0, 1)")
+
+    def backoff_s(self, attempt: int, rng: random.Random) -> float:
+        """Sleep before retrying after the ``attempt``-th failure."""
+        raw = min(
+            self.max_backoff_s,
+            self.base_backoff_s * self.multiplier ** max(0, attempt - 1),
+        )
+        if self.jitter == 0.0:
+            return raw
+        return raw * (1.0 - self.jitter + rng.random() * 2.0 * self.jitter)
+
+
+# ---------------------------------------------------------------------------
+# circuit breaker
+# ---------------------------------------------------------------------------
+
+class BreakerState(enum.Enum):
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half_open"
+
+
+class CircuitBreaker:
+    """Per-endpoint circuit breaker with a half-open probe state.
+
+    Time is always passed in by the caller, so the breaker works under
+    both wall-clock and DES virtual time.
+    """
+
+    def __init__(
+        self,
+        failure_threshold: int = 3,
+        reset_timeout_s: float = 5.0,
+        half_open_successes: int = 1,
+    ):
+        if failure_threshold < 1 or half_open_successes < 1:
+            raise ValueError("thresholds must be >= 1")
+        if reset_timeout_s <= 0:
+            raise ValueError("reset timeout must be positive")
+        self.failure_threshold = failure_threshold
+        self.reset_timeout_s = reset_timeout_s
+        self.half_open_successes = half_open_successes
+        self.state = BreakerState.CLOSED
+        self.consecutive_failures = 0
+        self.probe_successes = 0
+        self.opened_at: Optional[float] = None
+        self.times_opened = 0
+        self.times_reclosed = 0
+
+    def allow(self, now: float) -> bool:
+        """May a request be sent to this endpoint at ``now``?"""
+        if self.state is BreakerState.CLOSED:
+            return True
+        if self.state is BreakerState.OPEN:
+            if now - self.opened_at >= self.reset_timeout_s:
+                self.state = BreakerState.HALF_OPEN
+                self.probe_successes = 0
+                return True
+            return False
+        return True  # HALF_OPEN: probes flow until a verdict
+
+    def time_until_probe(self, now: float) -> float:
+        """Seconds until the breaker would admit a request (0 if it would now)."""
+        if self.state is BreakerState.OPEN:
+            return max(0.0, self.opened_at + self.reset_timeout_s - now)
+        return 0.0
+
+    def record_success(self, now: float) -> None:
+        if self.state is BreakerState.HALF_OPEN:
+            self.probe_successes += 1
+            if self.probe_successes >= self.half_open_successes:
+                self.state = BreakerState.CLOSED
+                self.consecutive_failures = 0
+                self.opened_at = None
+                self.times_reclosed += 1
+        else:
+            self.consecutive_failures = 0
+
+    def record_failure(self, now: float) -> None:
+        if self.state is BreakerState.HALF_OPEN:
+            self._open(now)
+            return
+        self.consecutive_failures += 1
+        if self.state is BreakerState.CLOSED and (
+            self.consecutive_failures >= self.failure_threshold
+        ):
+            self._open(now)
+
+    def _open(self, now: float) -> None:
+        self.state = BreakerState.OPEN
+        self.opened_at = now
+        self.times_opened += 1
+        self.probe_successes = 0
+
+
+# ---------------------------------------------------------------------------
+# the session
+# ---------------------------------------------------------------------------
+
+@dataclass
+class AttemptResult:
+    """What one endpoint attempt produced (returned by attempt functions)."""
+
+    ok: bool
+    value: Any = None
+    error: Optional[BaseException] = None
+    latency_s: float = 0.0
+
+
+@dataclass
+class CallOutcome:
+    """End-to-end result of one resilient call."""
+
+    ok: bool
+    value: Any = None
+    error: Optional[BaseException] = None
+    endpoint: Optional[str] = None
+    attempts: int = 0
+    breaker_rejections: int = 0
+    elapsed_s: float = 0.0
+    #: endpoints tried, in order (observability)
+    path: List[str] = field(default_factory=list)
+
+
+class _ManualClock:
+    """Virtual clock for synchronous (non-DES) sessions."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, delta_s: float) -> None:
+        self.now += delta_s
+
+
+def _run_attempt(attempt_fn: Callable[[str], Any], endpoint: str) -> AttemptResult:
+    """Invoke one attempt, normalising returns and exceptions."""
+    try:
+        result = attempt_fn(endpoint)
+    except EngineError as error:
+        return AttemptResult(
+            ok=False, error=error, latency_s=getattr(error, "latency_s", 0.0)
+        )
+    if isinstance(result, AttemptResult):
+        return result
+    return AttemptResult(ok=True, value=result)
+
+
+class ResilientSession:
+    """Failover-aware request executor over a set of named endpoints.
+
+    ``endpoints`` is a preference order (e.g. ``["replica:0",
+    "replica:1", "primary"]`` for reads).  Each call walks the retry
+    state machine: pick the first endpoint whose breaker admits traffic,
+    attempt, classify the failure, back off, fail over.  A per-request
+    ``timeout_budget_s`` bounds total elapsed time (attempt latencies
+    plus backoffs); when the next backoff cannot fit, the call fails
+    with the last error rather than overrunning its budget.
+    """
+
+    def __init__(
+        self,
+        endpoints: Sequence[str],
+        policy: Optional[RetryPolicy] = None,
+        clock: Optional[Callable[[], float]] = None,
+        rng: Optional[random.Random] = None,
+        breaker_threshold: int = 3,
+        breaker_reset_s: float = 5.0,
+    ):
+        if not endpoints:
+            raise ValueError("need at least one endpoint")
+        self.endpoints = list(endpoints)
+        self.policy = policy or RetryPolicy()
+        self._own_clock = _ManualClock() if clock is None else None
+        self._clock = clock or self._own_clock
+        self._rng = rng or random.Random(0)
+        self.breakers: Dict[str, CircuitBreaker] = {
+            name: CircuitBreaker(breaker_threshold, breaker_reset_s)
+            for name in self.endpoints
+        }
+        self.calls = 0
+        self.failures = 0
+
+    # -- bookkeeping ----------------------------------------------------------
+
+    def breaker(self, endpoint: str) -> CircuitBreaker:
+        return self.breakers[endpoint]
+
+    def breaker_opens(self) -> int:
+        return sum(breaker.times_opened for breaker in self.breakers.values())
+
+    def breaker_recloses(self) -> int:
+        return sum(breaker.times_reclosed for breaker in self.breakers.values())
+
+    def _pick(self, now: float) -> Optional[str]:
+        for name in self.endpoints:
+            if self.breakers[name].allow(now):
+                return name
+        return None
+
+    # -- the shared retry state machine ---------------------------------------
+
+    def _script(self, budget_s: Optional[float], now: float):
+        """Generator yielding ("call", endpoint) / ("sleep", delay) actions.
+
+        The driver resumes it with the current time (and, for calls, the
+        :class:`AttemptResult`).  Returns a :class:`CallOutcome`.
+        """
+        outcome = CallOutcome(ok=False)
+        started = now
+        while outcome.attempts < self.policy.max_attempts:
+            endpoint = self._pick(now)
+            if endpoint is None:
+                # Every breaker is open: wait for the earliest probe slot.
+                delay = min(
+                    breaker.time_until_probe(now)
+                    for breaker in self.breakers.values()
+                )
+                delay = max(delay, 1e-6)
+                outcome.breaker_rejections += 1
+                if outcome.breaker_rejections > 2 * self.policy.max_attempts or (
+                    budget_s is not None and (now - started) + delay > budget_s
+                ):
+                    break
+                now = yield ("sleep", delay)
+                continue
+            outcome.attempts += 1
+            outcome.path.append(endpoint)
+            now, result = yield ("call", endpoint)
+            breaker = self.breakers[endpoint]
+            if result.ok:
+                breaker.record_success(now)
+                outcome.ok = True
+                outcome.value = result.value
+                outcome.endpoint = endpoint
+                outcome.elapsed_s = now - started
+                return outcome
+            outcome.error = result.error
+            if result.error is not None and counts_against_breaker(result.error):
+                breaker.record_failure(now)
+            if result.error is not None and not is_retryable(result.error):
+                break
+            if outcome.attempts >= self.policy.max_attempts:
+                break
+            delay = self.policy.backoff_s(outcome.attempts, self._rng)
+            if budget_s is not None and (now - started) + delay > budget_s:
+                break
+            now = yield ("sleep", delay)
+        outcome.elapsed_s = now - started
+        return outcome
+
+    # -- drivers --------------------------------------------------------------
+
+    def call(
+        self,
+        attempt_fn: Callable[[str], Any],
+        timeout_budget_s: Optional[float] = None,
+    ) -> CallOutcome:
+        """Synchronous driver (virtual clock; no real sleeping).
+
+        ``attempt_fn(endpoint)`` either returns a value, returns an
+        :class:`AttemptResult` (to model latency), or raises an
+        :class:`~repro.engine.errors.EngineError`.
+        """
+        self.calls += 1
+        script = self._script(timeout_budget_s, self._clock())
+        payload: Any = None
+        while True:
+            try:
+                action = script.send(payload)
+            except StopIteration as stop:
+                outcome: CallOutcome = stop.value
+                if not outcome.ok:
+                    self.failures += 1
+                return outcome
+            kind, arg = action
+            if kind == "sleep":
+                self._advance(arg)
+                payload = self._clock()
+            else:
+                result = _run_attempt(attempt_fn, arg)
+                self._advance(result.latency_s)
+                payload = (self._clock(), result)
+
+    def call_in(
+        self,
+        env,
+        attempt_fn: Callable[[str], Any],
+        timeout_budget_s: Optional[float] = None,
+    ):
+        """DES driver: a generator for ``env.process``.
+
+        Sleeps and attempt latencies advance *virtual* time, so chaos
+        windows open and close underneath the retries exactly as they
+        would around a real client.  The process value is the
+        :class:`CallOutcome`.
+        """
+        self.calls += 1
+        script = self._script(timeout_budget_s, env.now)
+        payload: Any = None
+        while True:
+            try:
+                action = script.send(payload)
+            except StopIteration as stop:
+                outcome = stop.value
+                if not outcome.ok:
+                    self.failures += 1
+                return outcome
+            kind, arg = action
+            if kind == "sleep":
+                yield env.timeout(arg)
+                payload = env.now
+            else:
+                result = _run_attempt(attempt_fn, arg)
+                if result.latency_s > 0:
+                    yield env.timeout(result.latency_s)
+                payload = (env.now, result)
+
+    def _advance(self, delta_s: float) -> None:
+        if self._own_clock is not None and delta_s > 0:
+            self._own_clock.advance(delta_s)

@@ -10,8 +10,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
+from repro.chaos.availability import AScore, AvailabilityEvaluator
+from repro.chaos.plan import FaultPlan
 from repro.cloud.architectures import Architecture, get as get_architecture
 from repro.cloud.mva_model import estimate_throughput
+from repro.cloud.replication import ReplicationPipeline
 from repro.cloud.workload_model import WorkloadMix
 from repro.core.config import BenchConfig
 from repro.core.elasticity import (
@@ -64,6 +67,7 @@ class CloudyBench:
         self._tenancy: Optional[Dict[str, Dict[str, TenancyResult]]] = None
         self._failover: Optional[Dict[str, FailoverScores]] = None
         self._lag: Optional[Dict[str, Dict[str, LagResult]]] = None
+        self._chaos: Optional[Dict[str, AScore]] = None
 
     # -- workload plumbing -------------------------------------------------------
 
@@ -246,6 +250,45 @@ class CloudyBench:
         self._failover = results
         return results
 
+    # -- chaos / availability -----------------------------------------------------------------
+
+    def chaos_plan(self) -> FaultPlan:
+        """The seeded fault plan every SUT is scored against.
+
+        One plan for all architectures: A-Scores are only comparable
+        when every SUT survives the *same* fault schedule, and the
+        config seed pins that schedule exactly.
+        """
+        targets = ["primary"] + [
+            ReplicationPipeline.replica_target(index)
+            for index in range(self.config.chaos_replicas)
+        ]
+        return FaultPlan.generate(
+            seed=self.config.seed,
+            duration_s=self.config.chaos_duration_s,
+            targets=targets,
+            n_faults=self.config.chaos_faults,
+            name="bench",
+        )
+
+    def run_chaos(self) -> Dict[str, AScore]:
+        if self._chaos is not None:
+            return self._chaos
+        plan = self.chaos_plan()
+        results: Dict[str, AScore] = {}
+        for arch in self.architectures:
+            evaluator = AvailabilityEvaluator(
+                arch,
+                plan,
+                slo=self.config.chaos_slo,
+                n_clients=self.config.chaos_clients,
+                n_replicas=self.config.chaos_replicas,
+                row_scale=self.config.row_scale,
+            )
+            results[arch.name] = evaluator.run()
+        self._chaos = results
+        return results
+
     # -- replication lag (Section III-F) ----------------------------------------------------------
 
     def run_lagtime(
@@ -270,7 +313,7 @@ class CloudyBench:
             self._lag = results
         return results
 
-    # -- the unified metric (Table IX) ----------------------------------------------------------------
+    # -- the unified metric (Table IX) -----------------------------------------
 
     def overall(self, duration_s: float = 300.0) -> Dict[str, PerfectScores]:
         """Compute all seven scores plus O-Score for every SUT."""

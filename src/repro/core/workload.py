@@ -32,9 +32,9 @@ from repro.cloud.workload_model import TxnClass, WorkloadMix
 from repro.core.datagen import nominal_bytes
 from repro.core.distributions import KeyDistribution, UniformDistribution, make_distribution
 from repro.core.schema import BASE_ROWS
+from repro.core.resilience import retry_transaction
 from repro.core.sqlreader import SqlStmts
 from repro.engine.database import Database
-from repro.engine.errors import TransactionAborted
 
 #: calibrated resource footprints of the four transactions
 TXN_CLASSES: Dict[str, TxnClass] = {
@@ -167,6 +167,7 @@ class SalesWorkload:
         self._clock = 1_700_000_000.0
         self.executed: Dict[str, int] = {task: 0 for task in ("T1", "T2", "T3", "T4")}
         self.aborted = 0
+        self.retry_attempts = 3
 
     # -- transaction bodies -----------------------------------------------------
 
@@ -225,17 +226,21 @@ class SalesWorkload:
         return self._rng.choices(tasks, weights=weights, k=1)[0]
 
     def run_one(self, task: Optional[str] = None) -> str:
-        """Execute one transaction (random task unless given); returns it."""
+        """Execute one transaction (random task unless given); returns it.
+
+        Retryable aborts (lock timeouts, deadlock victims) replay the
+        transaction body up to ``retry_attempts`` times; non-retryable
+        engine errors propagate -- replaying them cannot succeed.
+        """
         chosen = task or self.next_task()
         runner = {
             "T1": self.run_t1, "T2": self.run_t2,
             "T3": self.run_t3, "T4": self.run_t4,
         }[chosen]
-        try:
-            runner()
+        outcome = retry_transaction(runner, attempts=self.retry_attempts)
+        self.aborted += outcome.aborts
+        if outcome.committed:
             self.executed[chosen] += 1
-        except TransactionAborted:
-            self.aborted += 1
         return chosen
 
     def run_many(self, count: int) -> Dict[str, int]:

@@ -68,7 +68,8 @@ class Database:
 
     def table(self, name: str) -> Table:
         try:
-            return self._tables[name.upper()] if name.upper() in self._tables else self._tables[name]
+            upper = name.upper()
+            return self._tables[upper] if upper in self._tables else self._tables[name]
         except KeyError:
             raise SchemaError(f"unknown table {name!r}") from None
 
@@ -77,7 +78,8 @@ class Database:
         return tuple(self._tables)
 
     def create_index(
-        self, table: str, name: str, columns: Sequence[str], unique: bool = False, ordered: bool = False
+        self, table: str, name: str, columns: Sequence[str],
+        unique: bool = False, ordered: bool = False,
     ) -> None:
         self.table(table).create_index(name, tuple(columns), unique=unique, ordered=ordered)
 
@@ -320,6 +322,9 @@ class Database:
         # engines recover the XID high-water mark from the log.
         self.txns = TransactionManager(start_id=self.wal.max_txn_id() + 1)
         self._txn_records.clear()
+        # A fired crash point left the log refusing appends; the restart
+        # revives it (the durable records themselves survived).
+        self.wal.revive()
 
     def recover(self) -> RecoveryReport:
         """ARIES-style restart recovery (see :mod:`repro.engine.recovery`)."""

@@ -1,10 +1,22 @@
-"""Exception hierarchy for the storage engine."""
+"""Exception hierarchy for the storage engine.
+
+Every error carries a ``retryable`` class attribute: ``True`` means the
+failure is transient (a lock timeout, a deadlock victim, a node that
+vanished mid-request) and the *whole transaction* may safely be replayed
+by a client; ``False`` means replaying the identical request would fail
+identically (bad SQL, duplicate key).  The client resilience stack
+(:mod:`repro.core.resilience`) drives its retry decisions off this flag
+instead of matching exception types ad hoc.
+"""
 
 from __future__ import annotations
 
 
 class EngineError(Exception):
     """Base class for all storage-engine errors."""
+
+    #: May a client safely retry the enclosing transaction?
+    retryable: bool = False
 
 
 class SchemaError(EngineError):
@@ -19,8 +31,19 @@ class DuplicateKeyError(EngineError):
     """Insert violates a primary-key or unique-index constraint."""
 
 
+class WalCorruptionError(EngineError):
+    """A WAL record failed its CRC check outside recovery.
+
+    Restart recovery never raises this -- it truncates the log at the
+    first corrupt record instead -- but strict readers (log shipping
+    verifiers, audits) surface corruption as an error.
+    """
+
+
 class TransactionAborted(EngineError):
     """The transaction was rolled back and cannot be used further."""
+
+    retryable = True
 
 
 class LockTimeoutError(TransactionAborted):
@@ -29,3 +52,25 @@ class LockTimeoutError(TransactionAborted):
 
 class DeadlockError(TransactionAborted):
     """The lock manager chose this transaction as a deadlock victim."""
+
+
+class SimulatedCrash(EngineError):
+    """A fault-injection crash point fired; the node is gone mid-request.
+
+    Retryable: the request may be replayed against the recovered node or
+    a healthy peer once fail-over completes.
+    """
+
+    retryable = True
+
+
+class NodeUnavailableError(EngineError):
+    """The target node is unreachable (partition, crash, stopped)."""
+
+    retryable = True
+
+
+class RequestTimeout(EngineError):
+    """The per-request timeout budget elapsed before a response."""
+
+    retryable = True

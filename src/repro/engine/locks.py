@@ -109,13 +109,32 @@ class LockManager:
         self._waits_for[txn_id] = blockers
         return LockOutcome.BLOCKED
 
-    def cancel_wait(self, txn_id: int) -> None:
-        """Remove ``txn_id`` from every wait queue (abort path)."""
+    def cancel_wait(self, txn_id: int) -> List[Tuple[int, LockKey]]:
+        """Remove ``txn_id`` from every wait queue and the waits-for graph.
+
+        Called on the timeout/abort path.  Three things must happen or
+        the manager leaks ghost waiters: the waiter leaves every queue,
+        every *other* waiter's blocker set drops the departed txn (stale
+        edges cause false deadlock verdicts), and queues whose head
+        became grantable are promoted (a cancelled head must not stall
+        the compatible waiters behind it).  Returns the promoted grants
+        so a cooperative scheduler can resume them.
+        """
         self._waits_for.pop(txn_id, None)
-        for lock in self._locks.values():
+        for blockers in self._waits_for.values():
+            blockers.discard(txn_id)
+        granted: List[Tuple[int, LockKey]] = []
+        for key in list(self._locks):
+            lock = self._locks[key]
+            if not any(waiter == txn_id for waiter, _ in lock.queue):
+                continue
             lock.queue = deque(
                 (waiter, mode) for waiter, mode in lock.queue if waiter != txn_id
             )
+            granted.extend(self._promote(key, lock))
+            if not lock.holders and not lock.queue:
+                del self._locks[key]
+        return granted
 
     def release_one(self, txn_id: int, key: LockKey) -> List[Tuple[int, LockKey]]:
         """Early release of a single shared lock (READ COMMITTED).
@@ -141,8 +160,7 @@ class LockManager:
         Returns the ``(txn_id, key)`` grants promoted from wait queues so a
         cooperative scheduler can resume them.
         """
-        self.cancel_wait(txn_id)
-        granted: List[Tuple[int, LockKey]] = []
+        granted: List[Tuple[int, LockKey]] = self.cancel_wait(txn_id)
         for key in self._held_by_txn.pop(txn_id, set()):
             lock = self._locks.get(key)
             if lock is None:  # pragma: no cover - defensive
@@ -164,6 +182,16 @@ class LockManager:
             self._held_by_txn.setdefault(waiter, set()).add(key)
             self._waits_for.pop(waiter, None)
             granted.append((waiter, key))
+        # Refresh the wait-for edges of whoever is still queued: their
+        # blockers are the current holders plus the waiters ahead of
+        # them -- anything else is a stale edge to a departed txn.
+        earlier: Set[int] = set()
+        for waiter, _mode in lock.queue:
+            self._waits_for[waiter] = (
+                {holder for holder in lock.holders if holder != waiter}
+                | {ahead for ahead in earlier if ahead != waiter}
+            )
+            earlier.add(waiter)
         return granted
 
     # -- deadlock detection ------------------------------------------------------
@@ -191,3 +219,19 @@ class LockManager:
             for holder in lock.holders:
                 if key not in self._held_by_txn.get(holder, set()):
                     raise EngineError(f"holder bookkeeping broken for {key}")
+        # wait-for graph <-> queue consistency (no ghost waiters)
+        queued = {
+            waiter for lock in self._locks.values() for waiter, _ in lock.queue
+        }
+        live = queued | {
+            holder for lock in self._locks.values() for holder in lock.holders
+        }
+        for waiter, blockers in self._waits_for.items():
+            if waiter not in queued:
+                raise EngineError(f"ghost waiter {waiter} in waits-for graph")
+            stale = blockers - live
+            if stale:
+                raise EngineError(f"waiter {waiter} has stale edges to {sorted(stale)}")
+        for waiter in queued:
+            if waiter not in self._waits_for:
+                raise EngineError(f"queued waiter {waiter} missing from waits-for graph")

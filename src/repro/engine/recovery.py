@@ -16,7 +16,7 @@ Two consumers of the WAL live here:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, Set, TYPE_CHECKING
+from typing import Iterable, Optional, Set, TYPE_CHECKING
 
 from repro.engine.errors import EngineError
 from repro.engine.wal import DATA_KINDS, LogKind, LogRecord
@@ -35,6 +35,10 @@ class RecoveryReport:
     records_undone: int = 0
     winners: Set[int] = field(default_factory=set)
     losers: Set[int] = field(default_factory=set)
+    #: first LSN whose CRC failed (None when the tail was intact)
+    corrupt_from_lsn: Optional[int] = None
+    #: records dropped when the corrupt tail was truncated
+    records_discarded: int = 0
 
 
 def _apply_redo(db: "Database", record: LogRecord) -> None:
@@ -82,9 +86,19 @@ def recover(db: "Database") -> RecoveryReport:
 
     The database must already be reset to its last checkpoint image
     (``Database.crash`` does that); this function replays the log tail.
+
+    Corruption tolerance: the log tail is CRC-verified first, and the
+    log is truncated at the first corrupt record (torn write, bit flip).
+    Everything after that point is discarded -- a transaction whose
+    COMMIT lies beyond the corruption never committed, so exactly the
+    committed prefix survives.
     """
     report = RecoveryReport(checkpoint_lsn=db.checkpoint_lsn)
     start_lsn = db.checkpoint_lsn + 1
+    corrupt_lsn = db.wal.first_corrupt_lsn(start_lsn)
+    if corrupt_lsn is not None:
+        report.corrupt_from_lsn = corrupt_lsn
+        report.records_discarded = db.wal.discard_from(corrupt_lsn)
     records = [record for record in db.wal.records_from(start_lsn)]
     report.records_scanned = len(records)
 

@@ -4,13 +4,25 @@ Log records carry *logical* before/after images keyed by primary key,
 which makes them equally usable for ARIES-style crash recovery on the
 primary and for log shipping to read replicas (the paper's replication
 lag-time evaluator reads exactly this stream).
+
+Every record carries a **CRC32 checksum** over its logical payload,
+computed at append time.  The chaos layer can corrupt retained records
+(bit flips) or arm **crash points** that fire during an append -- before
+the write (record lost), after it (record durable), or mid-write (a
+*torn* record: a truncated image whose stored checksum no longer
+matches).  Recovery detects either corruption mode by re-computing the
+CRC and truncates the log at the first corrupt record, which is exactly
+what a real engine does with a torn tail.
 """
 
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass
+import zlib
+from dataclasses import dataclass, replace
 from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+from repro.engine.errors import SimulatedCrash
 
 
 class LogKind(enum.Enum):
@@ -26,6 +38,24 @@ class LogKind(enum.Enum):
 #: Record kinds that change data and therefore must be redone/shipped.
 DATA_KINDS = (LogKind.INSERT, LogKind.UPDATE, LogKind.DELETE)
 
+#: Crash-point modes accepted by :meth:`WriteAheadLog.arm_crash`.
+CRASH_MODES = ("before", "after", "torn")
+
+
+def record_crc(
+    lsn: int,
+    txn_id: int,
+    kind: LogKind,
+    table: Optional[str],
+    key: Any,
+    before: Optional[Tuple[Any, ...]],
+    after: Optional[Tuple[Any, ...]],
+    prev_lsn: int,
+) -> int:
+    """CRC32 over the canonical encoding of one record's logical payload."""
+    payload = repr((lsn, txn_id, kind.value, table, key, before, after, prev_lsn))
+    return zlib.crc32(payload.encode("utf-8"))
+
 
 @dataclass(frozen=True)
 class LogRecord:
@@ -34,6 +64,8 @@ class LogRecord:
     ``before``/``after`` are full row tuples (or ``None``), ``key`` is the
     primary-key value of the affected row.  ``prev_lsn`` links the record
     to the previous record of the same transaction, enabling undo chains.
+    ``crc`` is the CRC32 the record was written with; :attr:`is_intact`
+    re-computes it from the current field values.
     """
 
     lsn: int
@@ -44,6 +76,18 @@ class LogRecord:
     before: Optional[Tuple[Any, ...]] = None
     after: Optional[Tuple[Any, ...]] = None
     prev_lsn: int = 0
+    crc: int = 0
+
+    def expected_crc(self) -> int:
+        return record_crc(
+            self.lsn, self.txn_id, self.kind, self.table,
+            self.key, self.before, self.after, self.prev_lsn,
+        )
+
+    @property
+    def is_intact(self) -> bool:
+        """Does the stored checksum match the payload?"""
+        return self.crc == self.expected_crc()
 
     def byte_size(self) -> int:
         """Nominal record size used by the replication bandwidth model."""
@@ -66,6 +110,10 @@ class WriteAheadLog:
         self._next_lsn = 1
         self._last_lsn_of_txn: Dict[int, int] = {}
         self._truncated_before = 1  # lowest LSN still retained
+        self._armed_crash: Optional[Tuple[int, str]] = None  # (lsn, mode)
+        #: once a crash point fires the instance is down: every further
+        #: append is rejected until Database.crash() revives the log
+        self._dead = False
 
     @property
     def last_lsn(self) -> int:
@@ -97,23 +145,124 @@ class WriteAheadLog:
         before: Optional[Tuple[Any, ...]] = None,
         after: Optional[Tuple[Any, ...]] = None,
     ) -> LogRecord:
+        if self._dead:
+            raise SimulatedCrash("instance is down: append rejected until restart")
+        if self._armed_crash is not None and self._next_lsn >= self._armed_crash[0]:
+            mode = self._armed_crash[1]
+            self._armed_crash = None
+            if mode == "before":
+                self._dead = True
+                raise SimulatedCrash(
+                    f"crash point: LSN {self._next_lsn} lost before reaching the log"
+                )
+        else:
+            mode = None
+        lsn = self._next_lsn
+        prev_lsn = self._last_lsn_of_txn.get(txn_id, 0)
         record = LogRecord(
-            lsn=self._next_lsn,
+            lsn=lsn,
             txn_id=txn_id,
             kind=kind,
             table=table,
             key=key,
             before=before,
             after=after,
-            prev_lsn=self._last_lsn_of_txn.get(txn_id, 0),
+            prev_lsn=prev_lsn,
+            crc=record_crc(lsn, txn_id, kind, table, key, before, after, prev_lsn),
         )
+        if mode == "torn":
+            # Half the after image reached storage before the crash; the
+            # stored CRC is the full record's, so verification fails.
+            torn_after = record.after[: len(record.after) // 2] if record.after else None
+            record = replace(record, after=torn_after)
         self._next_lsn += 1
         self._records.append(record)
         if kind in (LogKind.COMMIT, LogKind.ABORT):
             self._last_lsn_of_txn.pop(txn_id, None)
         else:
             self._last_lsn_of_txn[record.txn_id] = record.lsn
+        if mode in ("after", "torn"):
+            self._dead = True
+            raise SimulatedCrash(f"crash point: instance died writing LSN {lsn}")
         return record
+
+    # -- fault injection -----------------------------------------------------
+
+    def arm_crash(self, at_lsn: int, mode: str = "after") -> None:
+        """Arm a one-shot crash point at the append of ``at_lsn``.
+
+        ``mode`` is one of :data:`CRASH_MODES`: ``"before"`` loses the
+        record entirely, ``"after"`` crashes with the record durable, and
+        ``"torn"`` leaves a half-written record whose CRC fails.  The
+        append raises :class:`~repro.engine.errors.SimulatedCrash`.
+        """
+        if mode not in CRASH_MODES:
+            raise ValueError(f"crash mode must be one of {CRASH_MODES}, got {mode!r}")
+        if at_lsn < self._next_lsn:
+            raise ValueError(f"LSN {at_lsn} already written (next is {self._next_lsn})")
+        self._armed_crash = (at_lsn, mode)
+
+    def disarm_crash(self) -> None:
+        self._armed_crash = None
+
+    @property
+    def is_dead(self) -> bool:
+        """Did a crash point fire (instance down until restart)?"""
+        return self._dead
+
+    def revive(self) -> None:
+        """Restart after a fired crash point; the durable log survives."""
+        self._dead = False
+
+    def flip_bit(self, lsn: int, bit: int = 0) -> LogRecord:
+        """Corrupt a retained record in place (a bit flip on the tail).
+
+        The flip lands in the key when it is an integer, otherwise in the
+        stored CRC itself; either way re-verification fails.  Returns the
+        corrupted record.
+        """
+        index = lsn - self._truncated_before
+        if index < 0 or index >= len(self._records):
+            raise ValueError(f"LSN {lsn} is not retained")
+        record = self._records[index]
+        if isinstance(record.key, int):
+            corrupted = replace(record, key=record.key ^ (1 << (bit % 31)))
+        else:
+            corrupted = replace(record, crc=record.crc ^ (1 << (bit % 32)))
+        self._records[index] = corrupted
+        return corrupted
+
+    def first_corrupt_lsn(self, from_lsn: int = 0) -> Optional[int]:
+        """LSN of the first retained record failing its CRC, if any."""
+        start = max(from_lsn, self._truncated_before)
+        for record in self.records_from(start):
+            if not record.is_intact:
+                return record.lsn
+        return None
+
+    def discard_from(self, lsn: int) -> int:
+        """Drop every record with LSN >= ``lsn`` (a corrupt tail).
+
+        Future appends reuse the discarded LSNs, exactly as a real engine
+        overwrites a torn tail.  Returns the number of records dropped.
+        """
+        if lsn < self._truncated_before:
+            raise ValueError(f"cannot discard below retained LSN {self._truncated_before}")
+        keep = lsn - self._truncated_before
+        dropped = len(self._records) - keep
+        if dropped <= 0:
+            return 0
+        self._records = self._records[:keep]
+        self._next_lsn = lsn
+        self._last_lsn_of_txn = {}
+        for record in self._records:
+            if record.kind in (LogKind.COMMIT, LogKind.ABORT):
+                self._last_lsn_of_txn.pop(record.txn_id, None)
+            elif record.kind is not LogKind.CHECKPOINT:
+                self._last_lsn_of_txn[record.txn_id] = record.lsn
+        return dropped
+
+    # -- reading -------------------------------------------------------------
 
     def records_from(self, lsn: int) -> Iterator[LogRecord]:
         """All retained records with LSN >= ``lsn``, in LSN order."""

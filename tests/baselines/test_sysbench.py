@@ -5,7 +5,6 @@ import pytest
 from repro.baselines.sysbench import (
     DATASET_BYTES,
     SysbenchWorkload,
-    create_sysbench_schema,
     load_sysbench,
     sysbench_mix,
 )

@@ -1,0 +1,85 @@
+"""Fault plans: validation, windows, flapping, and the determinism contract."""
+
+import pytest
+
+from repro.chaos.plan import ENGINE_KINDS, FaultKind, FaultPlan, FaultSpec
+
+
+def test_spec_validation():
+    with pytest.raises(ValueError):
+        FaultSpec(FaultKind.DELAY, "primary", start_s=-1.0, duration_s=5.0)
+    with pytest.raises(ValueError):
+        FaultSpec(FaultKind.DELAY, "primary", start_s=0.0, duration_s=-5.0)
+    with pytest.raises(ValueError):
+        FaultSpec(FaultKind.LOSS, "primary", start_s=0.0, duration_s=5.0, intensity=1.5)
+    with pytest.raises(ValueError):
+        FaultSpec(FaultKind.FLAP, "primary", start_s=0.0, duration_s=5.0, period_s=-1.0)
+
+
+def test_window_membership():
+    spec = FaultSpec(FaultKind.PARTITION, "replica:0", start_s=10.0, duration_s=5.0)
+    assert not spec.active_at(9.999)
+    assert spec.active_at(10.0)
+    assert spec.active_at(14.999)
+    assert not spec.active_at(15.0)
+    assert spec.end_s == 15.0
+    assert spec.heal_at(12.0) == 15.0
+
+
+def test_flap_duty_cycle():
+    """A flap with period 2 over an 8s window: down, up, down, up."""
+    spec = FaultSpec(
+        FaultKind.FLAP, "replica:0", start_s=0.0, duration_s=8.0, period_s=2.0
+    )
+    assert spec.active_at(1.0)        # first half-period: down
+    assert not spec.active_at(3.0)    # second: up
+    assert spec.active_at(5.0)        # third: down
+    assert not spec.active_at(7.0)    # fourth: up
+    # heal_at points at the end of the *current* down half-period
+    assert spec.heal_at(1.0) == 2.0
+    assert spec.heal_at(5.0) == 6.0
+
+
+def test_flap_default_period_is_quarter_window():
+    spec = FaultSpec(FaultKind.FLAP, "x", start_s=0.0, duration_s=8.0)
+    assert spec.flap_period_s == 2.0
+
+
+def test_plan_active_filters():
+    plan = FaultPlan([
+        FaultSpec(FaultKind.PARTITION, "replica:0", start_s=0.0, duration_s=10.0),
+        FaultSpec(FaultKind.GRAY, "primary", start_s=5.0, duration_s=10.0),
+    ])
+    assert len(plan.active(6.0)) == 2
+    assert len(plan.active(6.0, kind=FaultKind.GRAY)) == 1
+    assert len(plan.active(6.0, target="replica:0")) == 1
+    assert plan.active(20.0) == []
+    assert plan.horizon_s == 15.0
+    assert len(plan.by_kind(*ENGINE_KINDS)) == 0
+
+
+def test_fingerprint_is_order_independent():
+    a = FaultSpec(FaultKind.DELAY, "primary", start_s=1.0, duration_s=2.0)
+    b = FaultSpec(FaultKind.LOSS, "replica:0", start_s=3.0, duration_s=4.0)
+    assert FaultPlan([a, b], seed=1).fingerprint() == FaultPlan([b, a], seed=1).fingerprint()
+    assert FaultPlan([a, b], seed=1).fingerprint() != FaultPlan([a, b], seed=2).fingerprint()
+
+
+def test_generate_is_deterministic_per_seed():
+    kwargs = dict(duration_s=60.0, targets=["primary", "replica:0"], n_faults=6)
+    one = FaultPlan.generate(seed=123, **kwargs)
+    two = FaultPlan.generate(seed=123, **kwargs)
+    other = FaultPlan.generate(seed=124, **kwargs)
+    assert one.fingerprint() == two.fingerprint()
+    assert one.specs == two.specs
+    assert one.describe() == two.describe()
+    assert other.fingerprint() != one.fingerprint()
+    for spec in one:
+        assert 0.0 <= spec.start_s and spec.end_s <= 60.0
+
+
+def test_generate_validates_inputs():
+    with pytest.raises(ValueError):
+        FaultPlan.generate(seed=1, duration_s=10.0, targets=[])
+    with pytest.raises(ValueError):
+        FaultPlan.generate(seed=1, duration_s=0.0, targets=["primary"])

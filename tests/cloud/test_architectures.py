@@ -3,7 +3,6 @@
 import pytest
 
 from repro.cloud.architectures import (
-    Architecture,
     all_architectures,
     aws_rds,
     cdb1,

@@ -1,6 +1,5 @@
 """Replication convergence via content hashing."""
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.cloud.architectures import cdb3, cdb4

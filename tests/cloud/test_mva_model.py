@@ -11,7 +11,6 @@ from repro.cloud.mva_model import (
     required_vcores,
 )
 from repro.cloud.specs import ComputeAllocation
-from repro.core.datagen import nominal_bytes
 from repro.core.workload import THROUGHPUT_PATTERNS
 
 GIB = 2**30

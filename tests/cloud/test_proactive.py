@@ -2,11 +2,10 @@
 
 import dataclasses
 
-import pytest
 
 from repro.cloud.architectures import cdb2
 from repro.cloud.autoscaler import Autoscaler
-from repro.cloud.specs import ScalingKind, ScalingPolicySpec
+from repro.cloud.specs import ScalingKind
 from repro.core.elasticity import ELASTIC_PATTERNS, ElasticityEvaluator
 from repro.core.workload import READ_WRITE
 

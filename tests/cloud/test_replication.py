@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.cloud.architectures import all_architectures, cdb1, cdb2, cdb3, cdb4
+from repro.cloud.architectures import cdb1, cdb2, cdb3, cdb4
 from repro.cloud.replication import ReplicationPipeline
 from repro.engine.database import Database
 from repro.engine.types import Column, ColumnType, Schema

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.cloud.architectures import aws_rds, cdb1, cdb2, cdb3, cdb4
+from repro.cloud.architectures import aws_rds, cdb1, cdb2, cdb3
 from repro.cloud.tenancy import TenantScheduler, _cold_slot_fraction
 from repro.core.workload import READ_WRITE
 

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.cloud.architectures import aws_rds, cdb1, cdb2, cdb3, cdb4
+from repro.cloud.architectures import aws_rds, cdb1, cdb3, cdb4
 from repro.core.failover import FailOverEvaluator, FailoverScores
 from repro.core.lagtime import LagResult, LagTimeEvaluator
 from repro.core.workload import LAG_PATTERNS, READ_WRITE, iud_mix

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.cloud.architectures import all_architectures, aws_rds, cdb1, cdb2, cdb3, cdb4
-from repro.cloud.specs import TenancyKind
 from repro.core.multitenancy import (
     TENANCY_PATTERNS,
     MultiTenancyEvaluator,

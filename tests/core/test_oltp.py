@@ -1,6 +1,5 @@
 """Tests for the OLTP evaluator (functional + modelled sweeps)."""
 
-import pytest
 
 from repro.cloud.architectures import aws_rds
 from repro.core.oltp import OltpEvaluator

@@ -1,0 +1,292 @@
+"""Client resilience stack: retry classification, backoff, circuit
+breaker state machine, and the ResilientSession failover driver."""
+
+import random
+
+import pytest
+
+from repro.core.resilience import (
+    AttemptResult,
+    BreakerState,
+    CircuitBreaker,
+    ResilientSession,
+    RetryPolicy,
+    counts_against_breaker,
+    is_retryable,
+    retry_transaction,
+)
+from repro.engine.errors import (
+    DeadlockError,
+    DuplicateKeyError,
+    LockTimeoutError,
+    NodeUnavailableError,
+    RequestTimeout,
+    SqlError,
+)
+
+
+# -- classification ------------------------------------------------------------
+
+
+def test_retryable_classification_follows_the_flag():
+    assert is_retryable(LockTimeoutError("waited too long"))
+    assert is_retryable(DeadlockError("victim"))
+    assert is_retryable(NodeUnavailableError("gone"))
+    assert not is_retryable(DuplicateKeyError("pk"))
+    assert not is_retryable(SqlError("parse"))
+    assert not is_retryable(ValueError("not an engine error"))
+
+
+def test_breaker_counting_is_narrower_than_retryable():
+    # a deadlock victim is retryable but says nothing about endpoint health
+    assert is_retryable(DeadlockError("victim"))
+    assert not counts_against_breaker(DeadlockError("victim"))
+    assert counts_against_breaker(NodeUnavailableError("gone"))
+    assert counts_against_breaker(RequestTimeout("late"))
+
+
+# -- retry_transaction ---------------------------------------------------------
+
+
+def test_retry_transaction_replays_retryable_aborts():
+    calls = {"n": 0}
+
+    def flaky():
+        calls["n"] += 1
+        if calls["n"] < 3:
+            raise LockTimeoutError("contended")
+        return "done"
+
+    outcome = retry_transaction(flaky, attempts=5)
+    assert outcome.committed and outcome.value == "done"
+    assert outcome.aborts == 2
+
+
+def test_retry_transaction_propagates_non_retryable_immediately():
+    calls = {"n": 0}
+
+    def broken():
+        calls["n"] += 1
+        raise DuplicateKeyError("pk")
+
+    with pytest.raises(DuplicateKeyError):
+        retry_transaction(broken, attempts=5)
+    assert calls["n"] == 1
+
+
+def test_retry_transaction_gives_up_without_raising():
+    outcome = retry_transaction(
+        lambda: (_ for _ in ()).throw(DeadlockError("victim")), attempts=3
+    )
+    assert not outcome.committed
+    assert outcome.aborts == 3
+
+
+def test_retry_transaction_validates_attempts():
+    with pytest.raises(ValueError):
+        retry_transaction(lambda: None, attempts=0)
+
+
+# -- RetryPolicy ---------------------------------------------------------------
+
+
+def test_backoff_grows_exponentially_and_caps():
+    policy = RetryPolicy(base_backoff_s=0.1, multiplier=2.0,
+                         max_backoff_s=0.5, jitter=0.0)
+    rng = random.Random(0)
+    delays = [policy.backoff_s(n, rng) for n in range(1, 6)]
+    assert delays == [0.1, 0.2, 0.4, 0.5, 0.5]
+
+
+def test_backoff_jitter_stays_in_band():
+    policy = RetryPolicy(base_backoff_s=0.1, jitter=0.5)
+    rng = random.Random(7)
+    for attempt in range(1, 5):
+        raw = min(policy.max_backoff_s,
+                  policy.base_backoff_s * policy.multiplier ** (attempt - 1))
+        for _ in range(50):
+            delay = policy.backoff_s(attempt, rng)
+            assert raw * 0.5 <= delay <= raw * 1.5
+
+
+def test_policy_validation():
+    with pytest.raises(ValueError):
+        RetryPolicy(max_attempts=0)
+    with pytest.raises(ValueError):
+        RetryPolicy(base_backoff_s=1.0, max_backoff_s=0.5)
+    with pytest.raises(ValueError):
+        RetryPolicy(jitter=1.0)
+
+
+# -- CircuitBreaker ------------------------------------------------------------
+
+
+def test_breaker_opens_at_threshold():
+    breaker = CircuitBreaker(failure_threshold=3, reset_timeout_s=5.0)
+    for _ in range(2):
+        breaker.record_failure(0.0)
+        assert breaker.state is BreakerState.CLOSED
+    breaker.record_failure(0.0)
+    assert breaker.state is BreakerState.OPEN
+    assert breaker.times_opened == 1
+    assert not breaker.allow(1.0)
+
+
+def test_success_resets_the_failure_streak():
+    breaker = CircuitBreaker(failure_threshold=3)
+    breaker.record_failure(0.0)
+    breaker.record_failure(0.0)
+    breaker.record_success(0.0)
+    breaker.record_failure(0.0)
+    breaker.record_failure(0.0)
+    assert breaker.state is BreakerState.CLOSED  # never 3 in a row
+
+
+def test_half_open_probe_recloses_on_success():
+    breaker = CircuitBreaker(failure_threshold=1, reset_timeout_s=5.0)
+    breaker.record_failure(0.0)
+    assert not breaker.allow(4.9)
+    assert breaker.time_until_probe(4.9) == pytest.approx(0.1)
+    assert breaker.allow(5.0)                    # probe admitted
+    assert breaker.state is BreakerState.HALF_OPEN
+    breaker.record_success(5.1)
+    assert breaker.state is BreakerState.CLOSED
+    assert breaker.times_reclosed == 1
+
+
+def test_half_open_probe_failure_reopens():
+    breaker = CircuitBreaker(failure_threshold=1, reset_timeout_s=5.0)
+    breaker.record_failure(0.0)
+    assert breaker.allow(5.0)
+    breaker.record_failure(5.1)                  # the probe failed
+    assert breaker.state is BreakerState.OPEN
+    assert breaker.times_opened == 2
+    assert not breaker.allow(9.0)                # timer restarted at 5.1
+    assert breaker.allow(10.2)
+
+
+def test_breaker_validation():
+    with pytest.raises(ValueError):
+        CircuitBreaker(failure_threshold=0)
+    with pytest.raises(ValueError):
+        CircuitBreaker(reset_timeout_s=0.0)
+
+
+# -- ResilientSession ----------------------------------------------------------
+
+
+def flaky_endpoint(down):
+    """Attempt function where endpoints listed in ``down`` are unreachable."""
+
+    def attempt(endpoint):
+        if endpoint in down:
+            raise NodeUnavailableError(f"{endpoint} unreachable")
+        return AttemptResult(ok=True, value=endpoint, latency_s=0.01)
+
+    return attempt
+
+
+def test_session_fails_over_to_healthy_endpoint():
+    session = ResilientSession(["replica:0", "primary"])
+    outcome = session.call(flaky_endpoint({"replica:0"}))
+    assert outcome.ok and outcome.value == "primary"
+    assert outcome.path[0] == "replica:0"        # preferred first, then failover
+    assert "primary" in outcome.path
+
+
+def test_non_retryable_error_fails_on_first_attempt():
+    session = ResilientSession(["primary"])
+
+    def attempt(endpoint):
+        raise DuplicateKeyError("pk")
+
+    outcome = session.call(attempt)
+    assert not outcome.ok
+    assert outcome.attempts == 1
+    assert isinstance(outcome.error, DuplicateKeyError)
+    assert session.failures == 1
+
+
+def test_attempts_capped_by_policy():
+    session = ResilientSession(
+        ["primary"], policy=RetryPolicy(max_attempts=3, jitter=0.0)
+    )
+    outcome = session.call(flaky_endpoint({"primary"}))
+    assert not outcome.ok
+    assert outcome.attempts == 3
+
+
+def test_timeout_budget_bounds_elapsed_time():
+    session = ResilientSession(
+        ["primary"],
+        policy=RetryPolicy(max_attempts=10, base_backoff_s=0.2, jitter=0.0),
+        breaker_threshold=100,
+    )
+
+    def slow_failure(endpoint):
+        raise_with_latency = NodeUnavailableError("down")
+        raise_with_latency.latency_s = 0.05
+        raise raise_with_latency
+
+    outcome = session.call(slow_failure, timeout_budget_s=0.5)
+    assert not outcome.ok
+    assert outcome.attempts < 10                 # budget cut the loop short
+    assert outcome.elapsed_s <= 0.5 + 1e-9
+
+
+def test_breaker_opens_then_recloses_after_heal():
+    session = ResilientSession(
+        ["primary"],
+        policy=RetryPolicy(max_attempts=2, base_backoff_s=0.01, jitter=0.0),
+        breaker_threshold=2,
+        breaker_reset_s=1.0,
+    )
+    healthy = {"now": False}
+
+    def attempt(endpoint):
+        if not healthy["now"]:
+            raise NodeUnavailableError("down")
+        return "pong"
+
+    assert not session.call(attempt).ok          # two failures open the breaker
+    assert session.breaker("primary").state is BreakerState.OPEN
+    assert session.breaker_opens() == 1
+
+    healthy["now"] = True
+    # before the reset timeout the breaker rejects without attempting,
+    # then gives up once rejections exceed the bound
+    rejected = session.call(attempt, timeout_budget_s=0.1)
+    assert not rejected.ok and rejected.attempts == 0
+    assert rejected.breaker_rejections >= 1
+
+    session._own_clock.advance(1.0)              # past breaker_reset_s
+    probed = session.call(attempt)
+    assert probed.ok and probed.value == "pong"
+    assert session.breaker("primary").state is BreakerState.CLOSED
+    assert session.breaker_recloses() == 1
+
+
+def test_all_breakers_open_waits_for_probe_slot():
+    session = ResilientSession(
+        ["a", "b"],
+        policy=RetryPolicy(max_attempts=2, base_backoff_s=0.01, jitter=0.0),
+        breaker_threshold=1,
+        breaker_reset_s=0.05,
+    )
+    calls = {"n": 0}
+
+    def attempt(endpoint):
+        calls["n"] += 1
+        if calls["n"] <= 2:
+            raise NodeUnavailableError("down")
+        return endpoint
+
+    assert not session.call(attempt).ok          # opens both breakers
+    outcome = session.call(attempt)              # sleeps until the probe slot
+    assert outcome.ok
+    assert outcome.breaker_rejections >= 1
+
+
+def test_session_requires_endpoints():
+    with pytest.raises(ValueError):
+        ResilientSession([])

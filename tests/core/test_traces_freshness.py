@@ -4,7 +4,7 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.core.datagen import load_sales_database
-from repro.core.elasticity import SLOT_SECONDS, pattern_from_trace
+from repro.core.elasticity import pattern_from_trace
 from repro.core.workload import SalesWorkload, TransactionMix
 
 

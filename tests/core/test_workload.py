@@ -20,8 +20,7 @@ from repro.core.workload import (
     WRITE_ONLY,
     SalesWorkload,
     TransactionMix,
-    iud_mix,
-)
+    )
 
 
 class TestDistributions:

@@ -7,7 +7,6 @@ money is conserved -- the sum of balances only changes by exactly the
 committed transfers, regardless of interleaving and aborts.
 """
 
-import pytest
 
 from repro.engine.database import Database
 from repro.engine.errors import TransactionAborted

@@ -152,3 +152,66 @@ def test_locks_held_bookkeeping():
     locks.release_all(1)
     assert locks.locks_held(1) == set()
     locks.sanity_check()
+
+
+# -- ghost-waiter regression (timeout path) -----------------------------------
+
+
+def test_cancelled_head_promotes_compatible_followers():
+    """A cancelled queue head must not stall the waiters behind it."""
+    locks = LockManager()
+    locks.acquire(1, KEY_A, S)
+    locks.acquire(2, KEY_A, X)      # queued head, conflicts with S
+    locks.acquire(3, KEY_A, S)      # queued behind the X (FIFO fairness)
+    granted = locks.cancel_wait(2)  # the X waiter times out
+    # the S follower is compatible with the S holder: granted now
+    assert granted == [(3, KEY_A)]
+    assert set(locks.holders(KEY_A)) == {1, 3}
+    locks.sanity_check()
+
+
+def test_timeout_scrubs_waits_for_edges():
+    """Stale edges to a timed-out waiter caused false deadlock verdicts."""
+    locks = LockManager()
+    locks.acquire(1, KEY_A, X)
+    locks.acquire(2, KEY_A, X)      # 2 waits for 1
+    locks.acquire(3, KEY_A, X)      # 3 waits for {1, 2}
+    locks.cancel_wait(2)
+    locks.sanity_check()
+    # txn 2 is gone; if 3 still carried an edge to it, a fresh request
+    # by 2 against a lock held by 3 would close a phantom cycle.
+    locks.acquire(3, KEY_B, X)
+    assert locks.acquire(2, KEY_B, S) is LockOutcome.BLOCKED  # no DeadlockError
+    locks.sanity_check()
+
+
+def test_release_all_returns_grants_from_own_wait_queues():
+    """release_all on a txn that was itself queued must surface the
+    promotions its departure enables."""
+    locks = LockManager()
+    locks.acquire(1, KEY_A, S)
+    locks.acquire(2, KEY_A, X)
+    locks.acquire(3, KEY_A, S)
+    # txn 2 aborts while still queued on KEY_A
+    granted = locks.release_all(2)
+    assert granted == [(3, KEY_A)]
+    locks.sanity_check()
+
+
+def test_grant_after_timeout_loop():
+    """Regression loop: repeated block -> timeout -> release cycles must
+    keep granting; a ghost waiter anywhere stalls the queue or raises a
+    false deadlock."""
+    locks = LockManager()
+    for round_no in range(50):
+        holder, waiter, victim = 3 * round_no + 1, 3 * round_no + 2, 3 * round_no + 3
+        assert locks.acquire(holder, KEY_A, X) is LockOutcome.GRANTED
+        assert locks.acquire(waiter, KEY_A, X) is LockOutcome.BLOCKED
+        assert locks.acquire(victim, KEY_A, S) is LockOutcome.BLOCKED
+        locks.cancel_wait(victim)          # the S waiter times out
+        granted = locks.release_all(holder)
+        assert granted == [(waiter, KEY_A)]   # the X waiter is promoted
+        locks.sanity_check()
+        assert locks.release_all(waiter) == []
+        locks.sanity_check()
+    assert locks.deadlocks_detected == 0

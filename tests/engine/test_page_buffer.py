@@ -4,7 +4,7 @@ import pytest
 
 from repro.engine.buffer import BufferPool
 from repro.engine.errors import EngineError
-from repro.engine.page import PAGE_SIZE_BYTES, Page, RowId, rows_per_page
+from repro.engine.page import PAGE_SIZE_BYTES, Page, rows_per_page
 
 
 class TestPage:

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.engine.buffer import BufferPool
-from repro.engine.errors import DuplicateKeyError, EngineError, SchemaError
+from repro.engine.errors import DuplicateKeyError, SchemaError
 from repro.engine.page import PAGE_SIZE_BYTES
 from repro.engine.table import Table
 from repro.engine.types import Column, ColumnType, Schema

@@ -1,6 +1,5 @@
 """Property tests on WAL invariants under appends and truncations."""
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.engine.wal import DATA_KINDS, LogKind, WriteAheadLog
