@@ -32,6 +32,7 @@ from repro.core.datagen import load_sales_database
 from repro.core.resilience import AttemptResult, ResilientSession, RetryPolicy
 from repro.core.workload import READ_WRITE, SalesWorkload, TransactionMix
 from repro.engine.errors import NodeUnavailableError, RequestTimeout
+from repro.obs import NULL_OBSERVER, Observer
 from repro.sim.events import Environment
 from repro.sim.rng import RngRegistry
 
@@ -104,6 +105,7 @@ class AvailabilityEvaluator:
         budget_s: float = 2.0,
         scale_factor: int = 1,
         row_scale: float = 0.001,
+        observer: Optional[Observer] = None,
     ):
         if not 0.0 < slo < 1.0:
             raise ValueError("slo must be in (0, 1)")
@@ -111,7 +113,8 @@ class AvailabilityEvaluator:
             raise ValueError("need at least one client and one replica")
         self.arch = arch
         self.plan = plan
-        self.injector = ChaosInjector(plan)
+        self.obs = observer or NULL_OBSERVER
+        self.injector = ChaosInjector(plan, observer=self.obs)
         self.slo = slo
         self.n_clients = n_clients
         self.n_replicas = n_replicas
@@ -211,15 +214,19 @@ class AvailabilityEvaluator:
 
     def run(self) -> AScore:
         self._env = Environment()
+        # The whole run lives in virtual time, including engine spans.
+        self.obs.bind_clock(lambda: self._env.now)
         self._primary, _data = load_sales_database(
             "primary",
             scale_factor=self.scale_factor,
             row_scale=self.row_scale,
             seed=self.plan.seed,
+            observer=self.obs,
         )
         self._pipeline = ReplicationPipeline(
             self._env, self.arch, self._primary,
             n_replicas=self.n_replicas, chaos=self.injector,
+            observer=self.obs,
         )
         self._workload = SalesWorkload(
             self._primary, self.mix, seed=self.plan.seed
@@ -235,6 +242,7 @@ class AvailabilityEvaluator:
             clock=lambda: self._env.now,
             rng=self.rngs.stream("chaos.retry.read"),
             breaker_reset_s=1.0,
+            observer=self.obs,
         )
         self._writes = ResilientSession(
             ["primary"],
@@ -242,6 +250,7 @@ class AvailabilityEvaluator:
             clock=lambda: self._env.now,
             rng=self.rngs.stream("chaos.retry.write"),
             breaker_reset_s=1.0,
+            observer=self.obs,
         )
         score = AScore(
             arch_name=self.arch.name,

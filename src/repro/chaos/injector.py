@@ -12,9 +12,10 @@ request.  All queries are pure functions of the plan and the current
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Set, Tuple
 
 from repro.chaos.plan import FaultKind, FaultPlan, FaultSpec
+from repro.obs import NULL_OBSERVER, Observer
 
 #: cap on the modelled retransmit blow-up of a lossy link
 MAX_LOSS = 0.95
@@ -25,13 +26,35 @@ GRAY_SLOWDOWN = 10.0
 class ChaosInjector:
     """Evaluates a :class:`FaultPlan` against query time-points."""
 
-    def __init__(self, plan: FaultPlan):
+    def __init__(self, plan: FaultPlan, observer: Optional[Observer] = None):
         self.plan = plan
+        self.obs = observer or NULL_OBSERVER
         #: how often each kind was observed biting (observability only)
         self.observed: Dict[str, int] = {}
+        #: specs whose first bite was already traced (one marker each)
+        self._bitten: Set[Tuple] = set()
+        # The scheduled fault windows are known up-front: emit them as
+        # complete spans so the timeline shows fault -> degradation ->
+        # recovery causality even before anything consults the injector.
+        if self.obs.enabled:
+            for spec in plan.specs:
+                self.obs.complete(
+                    spec.kind.value, "chaos", spec.start_s, spec.end_s,
+                    track="chaos",
+                    attrs={"target": spec.target, "intensity": spec.intensity},
+                )
+                self.obs.count(f"chaos.fault.{spec.kind.value}")
 
-    def _note(self, spec: FaultSpec) -> None:
+    def _note(self, spec: FaultSpec, now: Optional[float] = None) -> None:
         self.observed[spec.kind.value] = self.observed.get(spec.kind.value, 0) + 1
+        if self.obs.enabled and now is not None:
+            key = spec.canonical()
+            if key not in self._bitten:
+                self._bitten.add(key)
+                self.obs.event(
+                    "fault.bite", "chaos", ts=now, track="chaos",
+                    attrs={"kind": spec.kind.value, "target": spec.target},
+                )
 
     # -- network path to a target -------------------------------------------
 
@@ -39,7 +62,7 @@ class ChaosInjector:
         """Is the path to ``target`` severed at ``now``?"""
         for kind in (FaultKind.PARTITION, FaultKind.FLAP):
             for spec in self.plan.active(now, kind=kind, target=target):
-                self._note(spec)
+                self._note(spec, now)
                 return True
         return False
 
@@ -64,10 +87,10 @@ class ChaosInjector:
         """
         factor = 1.0
         for spec in self.plan.active(now, kind=FaultKind.DELAY, target=target):
-            self._note(spec)
+            self._note(spec, now)
             factor *= 1.0 + spec.intensity
         for spec in self.plan.active(now, kind=FaultKind.LOSS, target=target):
-            self._note(spec)
+            self._note(spec, now)
             factor *= 1.0 / (1.0 - min(MAX_LOSS, spec.intensity))
         return factor
 
@@ -77,7 +100,7 @@ class ChaosInjector:
         """Service-time multiplier of a gray (slow-but-alive) node."""
         factor = 1.0
         for spec in self.plan.active(now, kind=FaultKind.GRAY, target=target):
-            self._note(spec)
+            self._note(spec, now)
             factor *= 1.0 + spec.intensity * (GRAY_SLOWDOWN - 1.0)
         return factor
 
@@ -90,7 +113,7 @@ class ChaosInjector:
         if not ends:
             return None
         for spec in self.plan.active(now, kind=FaultKind.STALL, target=target):
-            self._note(spec)
+            self._note(spec, now)
         return max(ends)
 
     def degraded(self, target: str, now: float) -> bool:

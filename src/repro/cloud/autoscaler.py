@@ -33,6 +33,7 @@ from repro.cloud.architectures import Architecture
 from repro.cloud.mva_model import required_vcores
 from repro.cloud.specs import ComputeAllocation, ScalingKind
 from repro.cloud.workload_model import WorkloadMix
+from repro.obs import NULL_OBSERVER, Observer
 
 
 @dataclass(frozen=True)
@@ -55,11 +56,13 @@ class Autoscaler:
         arch: Architecture,
         workload: WorkloadMix,
         forecast: Optional[Sequence[Tuple[float, int]]] = None,
+        observer: Optional[Observer] = None,
     ):
         """``forecast`` is a step schedule of (start_s, demand) pairs,
         consumed by the PROACTIVE policy (ignored by the others)."""
         self.arch = arch
         self.workload = workload
+        self.obs = observer or NULL_OBSERVER
         self.policy = arch.scaling
         self.forecast = sorted(forecast) if forecast else None
         spec = arch.instance
@@ -136,6 +139,15 @@ class Autoscaler:
                 trigger=trigger,
             )
         )
+        if self.obs.enabled:
+            self.obs.count(f"cloud.autoscaler.{trigger}")
+            self.obs.event(
+                trigger, "autoscaler", ts=now_s, track="autoscaler",
+                attrs={
+                    "from_vcores": self.allocation.vcores,
+                    "to_vcores": target.vcores,
+                },
+            )
         self.allocation = target
 
     def _target_vcores(self, demand: int) -> float:

@@ -29,6 +29,7 @@ from repro.cloud.architectures import Architecture
 from repro.cloud.mva_model import estimate_throughput
 from repro.cloud.specs import ComputeAllocation
 from repro.cloud.workload_model import WorkloadMix
+from repro.obs import NULL_OBSERVER, Observer
 
 #: log records produced per writing transaction (begin + data + commit)
 RECORDS_PER_WRITE_TXN = 3.0
@@ -86,9 +87,11 @@ class FailoverSimulator:
         concurrency: int = 150,
         allocation: Optional[ComputeAllocation] = None,
         recovery_threshold: float = 0.95,
+        observer: Optional[Observer] = None,
     ):
         self.arch = arch
         self.workload = workload
+        self.obs = observer or NULL_OBSERVER
         self.concurrency = concurrency
         self.allocation = allocation or arch.instance.max_allocation
         self.recovery_threshold = recovery_threshold
@@ -201,6 +204,18 @@ class FailoverSimulator:
         backlog_records = write_tps * RECORDS_PER_WRITE_TXN * interval / 2.0
         return backlog_records / recovery.redo_rate_records_s
 
+    def _emit_phases(self, node: str, phases: List[FailoverPhase]) -> None:
+        """One complete span per recovery phase on the node's track."""
+        if not self.obs.enabled:
+            return
+        for phase in phases:
+            self.obs.complete(
+                phase.name, "failover", phase.start_s, phase.end_s,
+                track=f"failover:{node}",
+                attrs={"description": phase.description},
+            )
+            self.obs.count(f"cloud.failover.phase.{phase.name}")
+
     # -- the run ----------------------------------------------------------------------
 
     def run(
@@ -250,6 +265,7 @@ class FailoverSimulator:
             t += tick_s
         if tps_recovered is None:
             tps_recovered = max_duration_s
+        self._emit_phases(node, phases)
         return FailoverResult(
             arch_name=self.arch.name,
             node=node,
@@ -382,6 +398,7 @@ class FailoverSimulator:
             t += tick_s
         if tps_recovered is None:
             tps_recovered = max_duration_s
+        self._emit_phases(spec.target, phases)
         return FailoverResult(
             arch_name=self.arch.name,
             node=spec.target,

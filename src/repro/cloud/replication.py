@@ -29,6 +29,7 @@ from repro.cloud.architectures import Architecture
 from repro.engine.database import Database
 from repro.engine.recovery import ReplicaApplier
 from repro.engine.wal import LogKind, LogRecord
+from repro.obs import NULL_OBSERVER, Observer
 from repro.sim.events import Environment, Event
 
 
@@ -53,6 +54,7 @@ class ReplicationPipeline:
         primary: Database,
         n_replicas: int = 1,
         chaos: Optional[ChaosInjector] = None,
+        observer: Optional[Observer] = None,
     ):
         if n_replicas < 1:
             raise ValueError("need at least one replica")
@@ -60,13 +62,15 @@ class ReplicationPipeline:
         self.arch = arch
         self.primary = primary
         self.chaos = chaos
+        self.obs = observer or NULL_OBSERVER
         self.replicas: List[Database] = [
             primary.clone_full(f"{primary.name}-replica{i}")
             for i in range(n_replicas)
         ]
         self.appliers = [ReplicaApplier(replica) for replica in self.replicas]
         self.stats = [ReplicationStats() for _ in self.replicas]
-        self._queues: List[List[Tuple[float, int, List[LogRecord]]]] = [
+        #: queued batches: (arrived_s, txn_id, records, commit_s)
+        self._queues: List[List[Tuple[float, int, List[LogRecord], float]]] = [
             [] for _ in self.replicas
         ]
         self._wakeups: List[Optional[Event]] = [None] * n_replicas
@@ -109,12 +113,23 @@ class ReplicationPipeline:
                 depart + self._ship_delay_s(records) * factor,
             )
             self._last_arrival[index] = arrival
-            self.env.process(self._deliver(index, txn_id, list(records), arrival))
+            self.env.process(
+                self._deliver(index, txn_id, list(records), arrival, now)
+            )
 
-    def _deliver(self, index: int, txn_id: int, records: List[LogRecord], arrival: float):
+    def _deliver(self, index: int, txn_id: int, records: List[LogRecord],
+                 arrival: float, commit_s: float):
         yield self.env.timeout(max(0.0, arrival - self.env.now))
-        self._queues[index].append((self.env.now, txn_id, records))
+        self._queues[index].append((self.env.now, txn_id, records, commit_s))
         self.stats[index].batches_shipped += 1
+        if self.obs.enabled:
+            self.obs.count("repl.batches")
+            self.obs.count("repl.records", len(records))
+            self.obs.complete(
+                "ship", "replication", commit_s, self.env.now,
+                track=self.replica_target(index),
+                attrs={"txn_id": txn_id, "records": len(records)},
+            )
         wakeup = self._wakeups[index]
         if wakeup is not None and not wakeup.triggered:
             wakeup.succeed()
@@ -157,7 +172,7 @@ class ReplicationPipeline:
             drained, queue[:] = queue[:], []
             total_service = sum(
                 self._record_service_s(record)
-                for _arrived, _txn, records in drained
+                for _arrived, _txn, records, _commit in drained
                 for record in records
             )
             replay_s = total_service / max(1, storage.replay_parallelism)
@@ -165,15 +180,27 @@ class ReplicationPipeline:
                 replay_s *= self.chaos.slowdown(
                     self.replica_target(index), self.env.now
                 )
+            replay_start = self.env.now
             if replay_s > 0:
                 yield self.env.timeout(replay_s)
             stats.busy_s += replay_s
-            for _arrived, txn_id, records in drained:
+            if drained and self.obs.enabled:
+                self.obs.complete(
+                    "replay", "replication", replay_start, self.env.now,
+                    track=self.replica_target(index),
+                    attrs={
+                        "batches": len(drained),
+                        "records": sum(len(r) for _, _, r, _ in drained),
+                    },
+                )
+            for _arrived, txn_id, records, commit_s in drained:
                 applier.apply_batch(records)
                 stats.records_applied += sum(
                     1 for record in records if record.kind is not LogKind.COMMIT
                 )
                 stats.applied_at[txn_id] = self.env.now
+                if self.obs.enabled:
+                    self.obs.observe("repl.lag_s", self.env.now - commit_s)
 
     # -- observability -----------------------------------------------------------
 

@@ -20,7 +20,7 @@ from repro.core.runner import CloudyBench
 
 EVALUATIONS = (
     "throughput", "pscore", "elasticity", "multitenancy",
-    "failover", "lagtime", "chaos", "overall", "report",
+    "failover", "lagtime", "chaos", "oltp", "overall", "report",
 )
 
 
@@ -49,6 +49,15 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--out", default=None,
         help="write the --eval report markdown to this file (default stdout)",
+    )
+    parser.add_argument(
+        "--trace", default=None, metavar="FILE",
+        help="write a Chrome trace_event timeline of the run "
+             "(open in chrome://tracing or Perfetto)",
+    )
+    parser.add_argument(
+        "--metrics-out", default=None, metavar="FILE",
+        help="write a Prometheus-style text snapshot of the run's metrics",
     )
     return parser
 
@@ -162,6 +171,21 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 score.breaker_opened, score.breaker_reclosed,
             )
         table.print()
+    elif evaluation == "oltp":
+        table = TextTable(
+            ["arch", "requests", "goodput", "commits", "lag p99 ms", "call p99 ms"],
+            title="Instrumented OLTP run (fault-free)",
+        )
+        metrics = bench.observer.metrics
+        for arch, score in bench.run_oltp().items():
+            commits = metrics.counter("engine.txn.commit").value
+            lag_p99 = metrics.histogram("repl.lag_s").percentile(99.0)
+            call_p99 = metrics.histogram("client.call_s").percentile(99.0)
+            table.add_row(
+                arch, score.requests, round(score.goodput, 4), int(commits),
+                round(lag_p99 * 1000, 3), round(call_p99 * 1000, 3),
+            )
+        table.print()
     elif evaluation == "report":
         from repro.core.summary import generate_report
 
@@ -181,6 +205,17 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         for scores in bench.overall().values():
             table.add_row(*scores.as_row())
         table.print()
+
+    if args.trace:
+        from repro.obs import write_chrome_trace
+
+        events = write_chrome_trace(bench.observer, args.trace)
+        print(f"trace written to {args.trace} ({events} events)")
+    if args.metrics_out:
+        from repro.obs import write_prometheus
+
+        write_prometheus(bench.observer, args.metrics_out)
+        print(f"metrics written to {args.metrics_out}")
     return 0
 
 

@@ -25,6 +25,25 @@ class CollectorSummary:
     avg_vcores: float
     avg_memory_gb: float
 
+    @classmethod
+    def zeroed(cls, start_s: float, end_s: float) -> "CollectorSummary":
+        """The well-defined summary of nothing: every aggregate is 0.0.
+
+        Returned for empty collectors and degenerate (zero-length or
+        inverted) windows, where averages would otherwise divide by a
+        zero-length window and the peak would leak values from outside
+        the requested range.
+        """
+        return cls(
+            start_s=start_s,
+            end_s=end_s,
+            avg_tps=0.0,
+            peak_tps=0.0,
+            total_cost=0.0,
+            avg_vcores=0.0,
+            avg_memory_gb=0.0,
+        )
+
 
 class PerformanceCollector:
     """Accumulates step-function series during a simulated run."""
@@ -70,11 +89,13 @@ class PerformanceCollector:
         return max(self.tps.values, default=0.0)
 
     def cost_between(self, start_s: float, end_s: float) -> float:
-        if len(self.cost) == 0:
+        if len(self.cost) == 0 or end_s <= start_s:
             return 0.0
         return self.cost.value_at(end_s) - self.cost.value_at(start_s)
 
     def summary(self, start_s: float, end_s: float) -> CollectorSummary:
+        if len(self.tps) == 0 or end_s <= start_s:
+            return CollectorSummary.zeroed(start_s, end_s)
         return CollectorSummary(
             start_s=start_s,
             end_s=end_s,

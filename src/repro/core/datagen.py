@@ -151,8 +151,9 @@ def load_sales_database(
     row_scale: float = 0.01,
     seed: int = 42,
     buffer_size_bytes: Optional[int] = None,
+    observer=None,
 ) -> tuple[Database, GeneratedData]:
     """One-call helper: new engine database with the sales data loaded."""
-    db = Database(name, buffer_size_bytes=buffer_size_bytes)
+    db = Database(name, buffer_size_bytes=buffer_size_bytes, observer=observer)
     data = DataGenerator(scale_factor, row_scale, seed).populate(db)
     return db, data

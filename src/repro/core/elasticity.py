@@ -377,6 +377,14 @@ class ElasticityEvaluator:
             )
             t += self.tick_s
 
+        # Scaling decisions become collector annotations, so exports and
+        # reports can line the allocation steps up with the TPS series.
+        for event in autoscaler.events:
+            collector.note(
+                event.time_s,
+                f"{event.trigger}: {event.from_vcores:g} -> {event.to_vcores:g} vcores",
+            )
+
         # Figure 6 reports average throughput over the *pattern* (costs
         # keep accruing over the full ten-minute window).
         avg_tps = collector.avg_tps(0.0, pattern_duration)

@@ -58,6 +58,27 @@ def collector_to_csv_string(collector: PerformanceCollector) -> str:
     return buffer.getvalue()
 
 
+def events_to_csv(collector: PerformanceCollector, out: TextIO) -> int:
+    """Write the collector's annotations (``note`` calls) as CSV rows.
+
+    Columns: ``time_s, message``.  Returns the number of event rows.
+    """
+    writer = csv.writer(out)
+    writer.writerow(["time_s", "message"])
+    for time_s, message in collector.events:
+        writer.writerow([time_s, message])
+    return len(collector.events)
+
+
+def events_to_json(collector: PerformanceCollector, indent: int = 2) -> str:
+    """Serialise collector annotations as a JSON event list."""
+    return json.dumps(
+        [{"time_s": time_s, "message": message}
+         for time_s, message in collector.events],
+        indent=indent,
+    )
+
+
 def scores_to_json(scores: Mapping[str, PerfectScores], indent: int = 2) -> str:
     """Serialise a Table IX score card (one entry per SUT) to JSON."""
     payload = {}

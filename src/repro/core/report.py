@@ -74,6 +74,26 @@ def figure_series(
     return table.render()
 
 
+def events_table(
+    events: Sequence[tuple],
+    title: str = "Timeline events",
+    limit: Optional[int] = None,
+) -> str:
+    """Render collector annotations (``(time_s, message)`` pairs).
+
+    ``limit`` keeps long runs readable: the first ``limit`` events are
+    shown and a trailing row counts the elision.
+    """
+    table = TextTable(["t (s)", "event"], title=title)
+    shown = list(events) if limit is None else list(events)[:limit]
+    for time_s, message in shown:
+        table.add_row(round(float(time_s), 1), message)
+    hidden = len(events) - len(shown)
+    if hidden > 0:
+        table.add_row("...", f"({hidden} more events)")
+    return table.render()
+
+
 def sparkline(values: Sequence[float], width: int = 60) -> str:
     """A coarse unicode sparkline for timeline sanity checks."""
     if not values:

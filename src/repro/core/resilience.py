@@ -38,6 +38,7 @@ from repro.engine.errors import (
     RequestTimeout,
     SimulatedCrash,
 )
+from repro.obs import NULL_OBSERVER, Observer
 
 #: errors that indict the endpoint (breaker-relevant), not the request
 HEALTH_ERRORS = (NodeUnavailableError, RequestTimeout, SimulatedCrash)
@@ -156,11 +157,15 @@ class CircuitBreaker:
         failure_threshold: int = 3,
         reset_timeout_s: float = 5.0,
         half_open_successes: int = 1,
+        name: str = "",
+        observer: Optional[Observer] = None,
     ):
         if failure_threshold < 1 or half_open_successes < 1:
             raise ValueError("thresholds must be >= 1")
         if reset_timeout_s <= 0:
             raise ValueError("reset timeout must be positive")
+        self.name = name
+        self.obs = observer or NULL_OBSERVER
         self.failure_threshold = failure_threshold
         self.reset_timeout_s = reset_timeout_s
         self.half_open_successes = half_open_successes
@@ -197,6 +202,12 @@ class CircuitBreaker:
                 self.consecutive_failures = 0
                 self.opened_at = None
                 self.times_reclosed += 1
+                if self.obs.enabled:
+                    self.obs.count("client.breaker.close")
+                    self.obs.event(
+                        "breaker.close", "client", ts=now, track="client",
+                        attrs={"endpoint": self.name},
+                    )
         else:
             self.consecutive_failures = 0
 
@@ -215,6 +226,12 @@ class CircuitBreaker:
         self.opened_at = now
         self.times_opened += 1
         self.probe_successes = 0
+        if self.obs.enabled:
+            self.obs.count("client.breaker.open")
+            self.obs.event(
+                "breaker.open", "client", ts=now, track="client",
+                attrs={"endpoint": self.name},
+            )
 
 
 # ---------------------------------------------------------------------------
@@ -292,16 +309,21 @@ class ResilientSession:
         rng: Optional[random.Random] = None,
         breaker_threshold: int = 3,
         breaker_reset_s: float = 5.0,
+        observer: Optional[Observer] = None,
     ):
         if not endpoints:
             raise ValueError("need at least one endpoint")
         self.endpoints = list(endpoints)
         self.policy = policy or RetryPolicy()
+        self.obs = observer or NULL_OBSERVER
         self._own_clock = _ManualClock() if clock is None else None
         self._clock = clock or self._own_clock
         self._rng = rng or random.Random(0)
         self.breakers: Dict[str, CircuitBreaker] = {
-            name: CircuitBreaker(breaker_threshold, breaker_reset_s)
+            name: CircuitBreaker(
+                breaker_threshold, breaker_reset_s,
+                name=name, observer=self.obs,
+            )
             for name in self.endpoints
         }
         self.calls = 0
@@ -389,7 +411,8 @@ class ResilientSession:
         :class:`~repro.engine.errors.EngineError`.
         """
         self.calls += 1
-        script = self._script(timeout_budget_s, self._clock())
+        started = self._clock()
+        script = self._script(timeout_budget_s, started)
         payload: Any = None
         while True:
             try:
@@ -398,9 +421,13 @@ class ResilientSession:
                 outcome: CallOutcome = stop.value
                 if not outcome.ok:
                     self.failures += 1
+                self._observe_outcome(started, self._clock(), outcome)
                 return outcome
             kind, arg = action
             if kind == "sleep":
+                if self.obs.enabled:
+                    self.obs.count("client.backoff")
+                    self.obs.observe("client.backoff_s", arg)
                 self._advance(arg)
                 payload = self._clock()
             else:
@@ -422,7 +449,8 @@ class ResilientSession:
         :class:`CallOutcome`.
         """
         self.calls += 1
-        script = self._script(timeout_budget_s, env.now)
+        started = env.now
+        script = self._script(timeout_budget_s, started)
         payload: Any = None
         while True:
             try:
@@ -431,9 +459,13 @@ class ResilientSession:
                 outcome = stop.value
                 if not outcome.ok:
                     self.failures += 1
+                self._observe_outcome(started, env.now, outcome)
                 return outcome
             kind, arg = action
             if kind == "sleep":
+                if self.obs.enabled:
+                    self.obs.count("client.backoff")
+                    self.obs.observe("client.backoff_s", arg)
                 yield env.timeout(arg)
                 payload = env.now
             else:
@@ -445,3 +477,23 @@ class ResilientSession:
     def _advance(self, delta_s: float) -> None:
         if self._own_clock is not None and delta_s > 0:
             self._own_clock.advance(delta_s)
+
+    def _observe_outcome(
+        self, started: float, ended: float, outcome: CallOutcome
+    ) -> None:
+        if not self.obs.enabled:
+            return
+        self.obs.count("client.calls")
+        if not outcome.ok:
+            self.obs.count("client.failures")
+        if outcome.attempts > 1:
+            self.obs.count("client.retries", outcome.attempts - 1)
+        self.obs.observe("client.call_s", ended - started)
+        self.obs.complete(
+            "call", "client", started, ended, track="client",
+            attrs={
+                "endpoint": outcome.endpoint,
+                "ok": outcome.ok,
+                "attempts": outcome.attempts,
+            },
+        )

@@ -33,6 +33,7 @@ from repro.core.pricing import (
     package_cost_per_minute,
 )
 from repro.core.workload import LAG_PATTERNS, THROUGHPUT_PATTERNS, TransactionMix
+from repro.obs import Observer
 
 #: key of one throughput measurement: (arch, scale factor, mode, concurrency)
 ThroughputKey = Tuple[str, int, str, int]
@@ -57,8 +58,16 @@ class PScoreRow:
 class CloudyBench:
     """End-to-end testbed over the configured architectures."""
 
-    def __init__(self, config: Optional[BenchConfig] = None):
+    def __init__(
+        self,
+        config: Optional[BenchConfig] = None,
+        observer: Optional[Observer] = None,
+    ):
         self.config = config or BenchConfig()
+        #: one observer spans the whole bench run: engine, DES and client
+        #: events land in a single timeline/metrics registry, and
+        #: :meth:`snapshot` / the CLI exporters read it back out.
+        self.observer = observer if observer is not None else Observer()
         self.architectures: List[Architecture] = [
             get_architecture(name) for name in self.config.architectures
         ]
@@ -68,6 +77,11 @@ class CloudyBench:
         self._failover: Optional[Dict[str, FailoverScores]] = None
         self._lag: Optional[Dict[str, Dict[str, LagResult]]] = None
         self._chaos: Optional[Dict[str, AScore]] = None
+        self._oltp: Optional[Dict[str, AScore]] = None
+
+    def snapshot(self) -> Dict[str, object]:
+        """Point-in-time observability snapshot (metrics + trace stats)."""
+        return self.observer.snapshot()
 
     # -- workload plumbing -------------------------------------------------------
 
@@ -284,10 +298,40 @@ class CloudyBench:
                 n_clients=self.config.chaos_clients,
                 n_replicas=self.config.chaos_replicas,
                 row_scale=self.config.row_scale,
+                observer=self.observer,
             )
             results[arch.name] = evaluator.run()
         self._chaos = results
         return results
+
+    # -- instrumented OLTP run (observability timeline) -------------------------
+
+    def run_oltp(self) -> Dict[str, AScore]:
+        """A fault-free end-to-end run that exercises every layer.
+
+        Reuses the availability machinery with an *empty* fault plan, so
+        real transactions hit the engine, WAL records ship through the
+        replication DES, and every request crosses the client resilience
+        stack -- one run produces engine, replication and client spans on
+        the shared observer.  Only the first configured architecture runs:
+        the point is one clean timeline, not a cross-SUT comparison.
+        """
+        if self._oltp is not None:
+            return self._oltp
+        plan = FaultPlan((), seed=self.config.seed, name="healthy")
+        arch = self.architectures[0]
+        evaluator = AvailabilityEvaluator(
+            arch,
+            plan,
+            slo=self.config.chaos_slo,
+            n_clients=self.config.chaos_clients,
+            n_replicas=self.config.chaos_replicas,
+            duration_s=self.config.chaos_duration_s,
+            row_scale=self.config.row_scale,
+            observer=self.observer,
+        )
+        self._oltp = {arch.name: evaluator.run()}
+        return self._oltp
 
     # -- replication lag (Section III-F) ----------------------------------------------------------
 

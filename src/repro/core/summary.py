@@ -80,6 +80,27 @@ def generate_report(bench: CloudyBench, out: Optional[TextIO] = None) -> str:
                 ])
     _table(buffer, ["system", "pattern", "mode", "avg TPS", "cost", "E1"], rows)
 
+    # Scaling decisions recorded by the collectors: one representative
+    # run (first pattern/mode) per system, capped to stay readable.
+    _heading(buffer, 3, "Scaling events (representative runs)")
+    event_cap = 12
+    rows = []
+    for arch_name, by_pattern in bench.run_elasticity().items():
+        pattern_key, by_mode = next(iter(by_pattern.items()))
+        mode, result = next(iter(by_mode.items()))
+        events = result.collector.events
+        for time_s, message in events[:event_cap]:
+            rows.append([arch_name, pattern_key, mode, f"{time_s:.0f}", message])
+        if len(events) > event_cap:
+            rows.append([
+                arch_name, pattern_key, mode, "...",
+                f"({len(events) - event_cap} more events)",
+            ])
+    if rows:
+        _table(buffer, ["system", "pattern", "mode", "t (s)", "event"], rows)
+    else:
+        buffer.write("(no scaling events recorded)\n")
+
     # -- multi-tenancy ----------------------------------------------------------------
     _heading(buffer, 2, "Multi-tenancy (Table VII)")
     rows = []

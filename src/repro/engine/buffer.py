@@ -12,10 +12,11 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Tuple
+from typing import Optional, Tuple
 
 from repro.engine.errors import EngineError
 from repro.engine.page import PAGE_SIZE_BYTES
+from repro.obs import NULL_OBSERVER, Observer
 
 #: Key identifying a page across all tables of one database.
 PageKey = Tuple[str, int]
@@ -44,11 +45,29 @@ class BufferStats:
 class BufferPool:
     """Fixed-size LRU cache of page residency with dirty tracking."""
 
-    def __init__(self, size_bytes: int, page_size: int = PAGE_SIZE_BYTES):
+    def __init__(
+        self,
+        size_bytes: int,
+        page_size: int = PAGE_SIZE_BYTES,
+        observer: Optional[Observer] = None,
+    ):
         if size_bytes <= 0:
             raise EngineError("buffer pool size must be positive")
         if page_size <= 0:
             raise EngineError("page size must be positive")
+        self.obs = observer or NULL_OBSERVER
+        # Pre-resolved counters: page access is the engine's hottest
+        # instrumented path, so an enabled observation must be a single
+        # attribute bump rather than a name lookup per touch.
+        if self.obs.enabled:
+            metrics = self.obs.metrics
+            self._c_hit = metrics.counter("engine.buffer.hit")
+            self._c_miss = metrics.counter("engine.buffer.miss")
+            self._c_evict = metrics.counter("engine.buffer.eviction")
+            self._c_writeback = metrics.counter("engine.buffer.dirty_writeback")
+        else:
+            self._c_hit = self._c_miss = None
+            self._c_evict = self._c_writeback = None
         self.page_size = page_size
         self._capacity_pages = max(1, size_bytes // page_size)
         #: OrderedDict preserves recency: the last key is the most recent.
@@ -89,6 +108,8 @@ class BufferPool:
         else:
             self.stats.misses += 1
             previous = False
+        if self._c_hit is not None:
+            (self._c_hit if hit else self._c_miss).value += 1.0
         now_dirty = previous or dirty
         self._resident[key] = now_dirty
         if now_dirty:
@@ -128,6 +149,10 @@ class BufferPool:
     def _evict_one(self) -> None:
         _key, dirty = self._resident.popitem(last=False)
         self.stats.evictions += 1
+        if self._c_evict is not None:
+            self._c_evict.value += 1.0
+            if dirty:
+                self._c_writeback.value += 1.0
         if dirty:
             self.stats.dirty_writebacks += 1
             self._dirty_count -= 1

@@ -27,6 +27,7 @@ from repro.engine.table import Table, TableSnapshot
 from repro.engine.txn import IsolationLevel, Transaction, TransactionManager, TxnState
 from repro.engine.types import Schema
 from repro.engine.wal import LogKind, LogRecord, WriteAheadLog
+from repro.obs import NULL_OBSERVER, Observer
 
 #: Signature of commit listeners: (txn_id, commit_lsn, data_records).
 CommitListener = Callable[[int, int, List[LogRecord]], None]
@@ -40,13 +41,28 @@ class Database:
         name: str = "db",
         buffer_size_bytes: Optional[int] = None,
         default_isolation: IsolationLevel = IsolationLevel.READ_COMMITTED,
+        observer: Optional[Observer] = None,
     ):
         self.name = name
+        self.obs = observer or NULL_OBSERVER
+        # Pre-resolved txn metrics keep begin/commit on the counter fast
+        # path; the per-txn timeline span stays on the tracer API.
+        if self.obs.enabled:
+            metrics = self.obs.metrics
+            self._c_txn = {
+                outcome: metrics.counter(f"engine.txn.{outcome}")
+                for outcome in ("begin", "commit", "abort")
+            }
+            self._h_txn_s = metrics.histogram("engine.txn.duration_s")
+        else:
+            self._c_txn = None
+            self._h_txn_s = None
         self.buffer: Optional[BufferPool] = (
-            BufferPool(buffer_size_bytes) if buffer_size_bytes else None
+            BufferPool(buffer_size_bytes, observer=self.obs)
+            if buffer_size_bytes else None
         )
-        self.wal = WriteAheadLog()
-        self.locks = LockManager()
+        self.wal = WriteAheadLog(observer=self.obs)
+        self.locks = LockManager(observer=self.obs)
         self.txns = TransactionManager()
         self.default_isolation = default_isolation
         self._tables: Dict[str, Table] = {}
@@ -97,6 +113,9 @@ class Database:
 
     def begin(self, isolation: Optional[IsolationLevel] = None) -> Transaction:
         txn = self.txns.begin(self, isolation or self.default_isolation)
+        if self._c_txn is not None:
+            txn.start_s = self.obs.now()
+            self._c_txn["begin"].value += 1.0
         record = self.wal.append(txn.txn_id, LogKind.BEGIN)
         txn.first_lsn = record.lsn
         txn.last_lsn = record.lsn
@@ -110,6 +129,8 @@ class Database:
         records = self._txn_records.pop(txn.txn_id, [])
         self.locks.release_all(txn.txn_id)
         self.txns.finish(txn, committed=True)
+        if self.obs.enabled:
+            self._observe_txn_end(txn, "commit")
         for listener in self._commit_listeners:
             listener(txn.txn_id, record.lsn, records)
 
@@ -127,6 +148,20 @@ class Database:
         self.locks.cancel_wait(txn.txn_id)
         self.locks.release_all(txn.txn_id)
         self.txns.finish(txn, committed=False)
+        if self.obs.enabled:
+            self._observe_txn_end(txn, "abort")
+
+    def _observe_txn_end(self, txn: Transaction, outcome: str) -> None:
+        end_s = self.obs.now()
+        self._c_txn[outcome].value += 1.0
+        self._h_txn_s.observe(end_s - txn.start_s)
+        self.obs.complete(
+            "txn", "engine", txn.start_s, end_s, track="engine",
+            attrs={
+                "txn_id": txn.txn_id, "outcome": outcome,
+                "reads": txn.reads, "writes": txn.writes,
+            },
+        )
 
     # -- SQL entry points -------------------------------------------------------------
 
@@ -315,7 +350,11 @@ class Database:
         # In-flight transaction handles die with the instance.
         for txn in list(self.txns.active.values()):
             txn.state = TxnState.ABORTED
-        self.locks = LockManager()
+        self.locks = LockManager(observer=self.obs)
+        if self.obs.enabled:
+            self.obs.count("engine.crash")
+            self.obs.event("db.crash", "engine", track="engine",
+                           attrs={"db": self.name})
         # Transaction ids must stay monotone across restarts: a reused id
         # would let a post-crash ABORT record poison an identically-
         # numbered committed transaction from before the crash.  Real
@@ -360,10 +399,16 @@ class Database:
 
     # -- cloning (replica bootstrap) ----------------------------------------------------
 
-    def clone_schema(self, name: str, buffer_size_bytes: Optional[int] = None) -> "Database":
+    def clone_schema(
+        self,
+        name: str,
+        buffer_size_bytes: Optional[int] = None,
+        observer: Optional[Observer] = None,
+    ) -> "Database":
         """A new empty database with the same tables and indexes."""
         clone = Database(name, buffer_size_bytes=buffer_size_bytes,
-                         default_isolation=self.default_isolation)
+                         default_isolation=self.default_isolation,
+                         observer=observer)
         for table in self._tables.values():
             clone.create_table(table.schema)
             for index in table.secondary_indexes.values():

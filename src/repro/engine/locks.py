@@ -17,9 +17,10 @@ from __future__ import annotations
 
 import enum
 from collections import deque
-from typing import Any, Deque, Dict, List, Set, Tuple
+from typing import Any, Deque, Dict, List, Optional, Set, Tuple
 
 from repro.engine.errors import DeadlockError, EngineError
+from repro.obs import NULL_OBSERVER, Observer
 
 LockKey = Tuple[str, Any]
 
@@ -53,12 +54,28 @@ class _Lock:
 class LockManager:
     """All row locks of one database."""
 
-    def __init__(self) -> None:
+    def __init__(self, observer: Optional[Observer] = None) -> None:
+        self.obs = observer or NULL_OBSERVER
+        # Pre-resolved metrics: acquire/release run per row access, so
+        # the enabled path bumps counters directly instead of paying a
+        # registry lookup per lock operation.
+        if self.obs.enabled:
+            metrics = self.obs.metrics
+            self._c_granted = metrics.counter("engine.lock.granted")
+            self._c_blocked = metrics.counter("engine.lock.blocked")
+            self._h_wait = metrics.histogram("engine.lock.wait_s")
+            self._h_hold = metrics.histogram("engine.lock.hold_s")
+        else:
+            self._c_granted = self._c_blocked = None
+            self._h_wait = self._h_hold = None
         self._locks: Dict[LockKey, _Lock] = {}
         self._held_by_txn: Dict[int, Set[LockKey]] = {}
         #: wait-for graph: waiter txn -> set of holder txns
         self._waits_for: Dict[int, Set[int]] = {}
         self.deadlocks_detected = 0
+        #: observability bookkeeping (populated only when obs is enabled)
+        self._wait_since: Dict[int, float] = {}
+        self._held_since: Dict[Tuple[int, LockKey], float] = {}
 
     # -- queries ------------------------------------------------------------
 
@@ -95,18 +112,31 @@ class LockManager:
         if lock.compatible(txn_id, mode) and not blocked_by_queue:
             lock.holders[txn_id] = mode
             self._held_by_txn.setdefault(txn_id, set()).add(key)
+            if self._c_granted is not None:
+                self._c_granted.value += 1.0
+                self._held_since.setdefault((txn_id, key), self.obs.now())
             return LockOutcome.GRANTED
         blockers = {holder for holder in lock.holders if holder != txn_id}
         blockers.update(waiter for waiter, _ in lock.queue if waiter != txn_id)
         if self._would_deadlock(txn_id, blockers):
             self.deadlocks_detected += 1
+            if self.obs.enabled:
+                self.obs.count("engine.lock.deadlock")
+                self.obs.event(
+                    "lock.deadlock", "engine", track="engine",
+                    attrs={"victim": txn_id, "blockers": sorted(blockers)},
+                )
             raise DeadlockError(
                 f"transaction {txn_id} would deadlock waiting for {sorted(blockers)}"
             )
+        if self._c_blocked is not None:
+            self._c_blocked.value += 1.0
         if not queue_on_conflict:
             return LockOutcome.BLOCKED
         lock.queue.append((txn_id, mode))
         self._waits_for[txn_id] = blockers
+        if self.obs.enabled:
+            self._wait_since.setdefault(txn_id, self.obs.now())
         return LockOutcome.BLOCKED
 
     def cancel_wait(self, txn_id: int) -> List[Tuple[int, LockKey]]:
@@ -123,6 +153,10 @@ class LockManager:
         self._waits_for.pop(txn_id, None)
         for blockers in self._waits_for.values():
             blockers.discard(txn_id)
+        if self._h_wait is not None:
+            since = self._wait_since.pop(txn_id, None)
+            if since is not None:
+                self._h_wait.observe(self.obs.now() - since)
         granted: List[Tuple[int, LockKey]] = []
         for key in list(self._locks):
             lock = self._locks[key]
@@ -146,6 +180,7 @@ class LockManager:
         if lock is None or lock.holders.get(txn_id) is not LockMode.SHARED:
             return []
         lock.holders.pop(txn_id)
+        self._observe_release(txn_id, key)
         held = self._held_by_txn.get(txn_id)
         if held is not None:
             held.discard(key)
@@ -166,10 +201,18 @@ class LockManager:
             if lock is None:  # pragma: no cover - defensive
                 continue
             lock.holders.pop(txn_id, None)
+            self._observe_release(txn_id, key)
             granted.extend(self._promote(key, lock))
             if not lock.holders and not lock.queue:
                 del self._locks[key]
         return granted
+
+    def _observe_release(self, txn_id: int, key: LockKey) -> None:
+        if self._h_hold is None:
+            return
+        since = self._held_since.pop((txn_id, key), None)
+        if since is not None:
+            self._h_hold.observe(self.obs.now() - since)
 
     def _promote(self, key: LockKey, lock: _Lock) -> List[Tuple[int, LockKey]]:
         granted: List[Tuple[int, LockKey]] = []
@@ -181,6 +224,12 @@ class LockManager:
             lock.holders[waiter] = mode
             self._held_by_txn.setdefault(waiter, set()).add(key)
             self._waits_for.pop(waiter, None)
+            if self._h_wait is not None:
+                now = self.obs.now()
+                since = self._wait_since.pop(waiter, None)
+                if since is not None:
+                    self._h_wait.observe(now - since)
+                self._held_since.setdefault((waiter, key), now)
             granted.append((waiter, key))
         # Refresh the wait-for edges of whoever is still queued: their
         # blockers are the current holders plus the waiters ahead of

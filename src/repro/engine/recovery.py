@@ -93,41 +93,57 @@ def recover(db: "Database") -> RecoveryReport:
     COMMIT lies beyond the corruption never committed, so exactly the
     committed prefix survives.
     """
+    obs = db.obs
     report = RecoveryReport(checkpoint_lsn=db.checkpoint_lsn)
     start_lsn = db.checkpoint_lsn + 1
-    corrupt_lsn = db.wal.first_corrupt_lsn(start_lsn)
-    if corrupt_lsn is not None:
-        report.corrupt_from_lsn = corrupt_lsn
-        report.records_discarded = db.wal.discard_from(corrupt_lsn)
-    records = [record for record in db.wal.records_from(start_lsn)]
-    report.records_scanned = len(records)
+    with obs.span("recovery", "engine", track="engine") as root:
+        corrupt_lsn = db.wal.first_corrupt_lsn(start_lsn)
+        if corrupt_lsn is not None:
+            report.corrupt_from_lsn = corrupt_lsn
+            report.records_discarded = db.wal.discard_from(corrupt_lsn)
+            obs.count("engine.recovery.discarded", report.records_discarded)
+            obs.event(
+                "wal.corruption", "engine", track="engine",
+                attrs={"lsn": corrupt_lsn, "discarded": report.records_discarded},
+            )
+        records = [record for record in db.wal.records_from(start_lsn)]
+        report.records_scanned = len(records)
 
-    # Analysis: who committed, who aborted, who was in flight?
-    seen: Set[int] = set()
-    aborted: Set[int] = set()
-    for record in records:
-        if record.kind in DATA_KINDS or record.kind is LogKind.BEGIN:
-            seen.add(record.txn_id)
-        elif record.kind is LogKind.COMMIT:
-            report.winners.add(record.txn_id)
-        elif record.kind is LogKind.ABORT:
-            aborted.add(record.txn_id)
-    report.losers = seen - report.winners - aborted
+        # Analysis: who committed, who aborted, who was in flight?
+        seen: Set[int] = set()
+        aborted: Set[int] = set()
+        with obs.span("recovery.analysis", "engine", track="engine"):
+            for record in records:
+                if record.kind in DATA_KINDS or record.kind is LogKind.BEGIN:
+                    seen.add(record.txn_id)
+                elif record.kind is LogKind.COMMIT:
+                    report.winners.add(record.txn_id)
+                elif record.kind is LogKind.ABORT:
+                    aborted.add(record.txn_id)
+            report.losers = seen - report.winners - aborted
 
-    # Redo: replay history (repeating history, ARIES-style).  Aborted
-    # transactions are skipped entirely: their rollback ran synchronously
-    # before the crash and compensations are not logged (no CLRs), so
-    # neither their changes nor their undo exist in the checkpoint image.
-    for record in records:
-        if record.kind in DATA_KINDS and record.txn_id not in aborted:
-            _apply_redo(db, record)
-            report.records_redone += 1
+        # Redo: replay history (repeating history, ARIES-style).  Aborted
+        # transactions are skipped entirely: their rollback ran synchronously
+        # before the crash and compensations are not logged (no CLRs), so
+        # neither their changes nor their undo exist in the checkpoint image.
+        with obs.span("recovery.redo", "engine", track="engine"):
+            for record in records:
+                if record.kind in DATA_KINDS and record.txn_id not in aborted:
+                    _apply_redo(db, record)
+                    report.records_redone += 1
 
-    # Undo losers in reverse LSN order.
-    for record in reversed(records):
-        if record.kind in DATA_KINDS and record.txn_id in report.losers:
-            _apply_undo(db, record)
-            report.records_undone += 1
+        # Undo losers in reverse LSN order.
+        with obs.span("recovery.undo", "engine", track="engine"):
+            for record in reversed(records):
+                if record.kind in DATA_KINDS and record.txn_id in report.losers:
+                    _apply_undo(db, record)
+                    report.records_undone += 1
+        root.set("scanned", report.records_scanned)
+        root.set("redone", report.records_redone)
+        root.set("undone", report.records_undone)
+        obs.count("engine.recovery.runs")
+        obs.count("engine.recovery.redone", report.records_redone)
+        obs.count("engine.recovery.undone", report.records_undone)
     return report
 
 

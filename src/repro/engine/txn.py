@@ -53,6 +53,8 @@ class Transaction:
         #: statement-level counters consumed by the cost model
         self.reads = 0
         self.writes = 0
+        #: begin timestamp stamped by the database's observer (0.0 when off)
+        self.start_s = 0.0
 
     # -- lifecycle -------------------------------------------------------------
 

@@ -23,6 +23,7 @@ from dataclasses import dataclass, replace
 from typing import Any, Dict, Iterator, List, Optional, Tuple
 
 from repro.engine.errors import SimulatedCrash
+from repro.obs import NULL_OBSERVER, Observer
 
 
 class LogKind(enum.Enum):
@@ -105,7 +106,17 @@ class WriteAheadLog:
     all records until :meth:`truncate` (checkpointing calls it).
     """
 
-    def __init__(self) -> None:
+    def __init__(self, observer: Optional[Observer] = None) -> None:
+        self.obs = observer or NULL_OBSERVER
+        # Pre-resolved counters: append is per-record, so the enabled
+        # path must not pay three call frames per metric.
+        if self.obs.enabled:
+            metrics = self.obs.metrics
+            self._c_append = metrics.counter("engine.wal.append")
+            self._c_bytes = metrics.counter("engine.wal.bytes")
+            self._c_fsync = metrics.counter("engine.wal.fsync")
+        else:
+            self._c_append = self._c_bytes = self._c_fsync = None
         self._records: List[LogRecord] = []
         self._next_lsn = 1
         self._last_lsn_of_txn: Dict[int, int] = {}
@@ -152,6 +163,10 @@ class WriteAheadLog:
             self._armed_crash = None
             if mode == "before":
                 self._dead = True
+                self.obs.event(
+                    "wal.crash_point", "engine", track="engine",
+                    attrs={"mode": "before", "lsn": self._next_lsn},
+                )
                 raise SimulatedCrash(
                     f"crash point: LSN {self._next_lsn} lost before reaching the log"
                 )
@@ -181,8 +196,24 @@ class WriteAheadLog:
             self._last_lsn_of_txn.pop(txn_id, None)
         else:
             self._last_lsn_of_txn[record.txn_id] = record.lsn
+        if self._c_append is not None:
+            self._c_append.value += 1.0
+            # inline byte_size(): this runs once per record appended
+            size = 32
+            if record.before is not None:
+                size += 8 * len(record.before) + 16
+            if record.after is not None:
+                size += 8 * len(record.after) + 16
+            self._c_bytes.value += size
+            if kind is LogKind.COMMIT:
+                # commit is the group-fsync point of the in-memory log
+                self._c_fsync.value += 1.0
         if mode in ("after", "torn"):
             self._dead = True
+            self.obs.event(
+                "wal.crash_point", "engine", track="engine",
+                attrs={"mode": mode, "lsn": lsn},
+            )
             raise SimulatedCrash(f"crash point: instance died writing LSN {lsn}")
         return record
 

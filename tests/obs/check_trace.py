@@ -1,0 +1,115 @@
+"""Schema checks for the CLI's observability exports.
+
+Usage (CI smoke job)::
+
+    python tests/obs/check_trace.py /tmp/t.json [/tmp/m.prom]
+
+Validates that the Chrome ``trace_event`` file is structurally sound
+(metadata rows, microsecond timestamps, well-formed phases) and covers
+all three instrumented layers, and that the Prometheus snapshot parses
+with cumulative histogram buckets.  Exits non-zero with a message on
+the first violation, so it doubles as a pytest helper and a CLI gate.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+
+#: every one-run timeline must show all three instrumented layers
+REQUIRED_CATEGORIES = {"engine", "replication", "client"}
+
+
+def check_chrome_trace(path: str) -> dict:
+    """Validate the trace file; returns {category: event count}."""
+    with open(path) as handle:
+        document = json.load(handle)
+    if not isinstance(document, dict) or "traceEvents" not in document:
+        raise AssertionError("trace document must be a dict with 'traceEvents'")
+    events = document["traceEvents"]
+    if not events:
+        raise AssertionError("trace contains no events")
+
+    thread_names = set()
+    categories: dict = {}
+    for event in events:
+        for key in ("ph", "pid", "tid", "name"):
+            if key not in event:
+                raise AssertionError(f"event missing {key!r}: {event}")
+        phase = event["ph"]
+        if phase == "M":
+            if event["name"] == "thread_name":
+                thread_names.add(event["args"]["name"])
+            continue
+        if phase not in ("X", "i"):
+            raise AssertionError(f"unexpected phase {phase!r}")
+        if "ts" not in event or event["ts"] < 0:
+            raise AssertionError(f"event needs a non-negative ts: {event}")
+        if phase == "X" and event.get("dur", -1.0) < 0:
+            raise AssertionError(f"complete event needs dur >= 0: {event}")
+        if phase == "i" and event.get("s") not in ("t", "p", "g"):
+            raise AssertionError(f"instant event needs a scope: {event}")
+        categories[event["cat"]] = categories.get(event["cat"], 0) + 1
+
+    if not thread_names:
+        raise AssertionError("no thread_name metadata (tracks) in trace")
+    missing = REQUIRED_CATEGORIES - set(categories)
+    if missing:
+        raise AssertionError(
+            f"trace covers {sorted(categories)} but lacks {sorted(missing)}"
+        )
+    return categories
+
+
+def check_prometheus(path: str) -> int:
+    """Validate the text snapshot; returns the number of sample lines."""
+    with open(path) as handle:
+        lines = [line.rstrip("\n") for line in handle if line.strip()]
+    if not lines:
+        raise AssertionError("prometheus snapshot is empty")
+    samples = 0
+    bucket_state: dict = {}
+    for line in lines:
+        if line.startswith("# TYPE "):
+            parts = line.split()
+            if len(parts) != 4 or parts[3] not in ("counter", "gauge", "histogram"):
+                raise AssertionError(f"malformed TYPE line: {line}")
+            continue
+        if line.startswith("#"):
+            continue
+        name, _, value = line.rpartition(" ")
+        if not name:
+            raise AssertionError(f"malformed sample line: {line}")
+        if value not in ("+Inf", "-Inf"):
+            float(value)  # raises on malformed numbers
+        samples += 1
+        if "_bucket{" in name:
+            metric = name.split("_bucket{", 1)[0]
+            count = float(value)
+            if count < bucket_state.get(metric, 0.0):
+                raise AssertionError(f"non-cumulative buckets for {metric}")
+            bucket_state[metric] = count
+    if samples == 0:
+        raise AssertionError("prometheus snapshot has no samples")
+    return samples
+
+
+def main(argv) -> int:
+    if not argv:
+        print("usage: check_trace.py TRACE_JSON [METRICS_PROM]", file=sys.stderr)
+        return 2
+    try:
+        categories = check_chrome_trace(argv[0])
+        print(f"trace ok: {sum(categories.values())} events, "
+              f"categories {dict(sorted(categories.items()))}")
+        if len(argv) > 1:
+            samples = check_prometheus(argv[1])
+            print(f"metrics ok: {samples} samples")
+    except AssertionError as failure:
+        print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -1,0 +1,68 @@
+"""The CI schema checker accepts real exports and rejects broken ones."""
+
+import json
+
+import pytest
+
+from repro.obs import Observer, write_chrome_trace, write_prometheus
+from tests.obs.check_trace import check_chrome_trace, check_prometheus, main
+
+
+def full_observer():
+    obs = Observer(clock=lambda: 0.0)
+    obs.complete("txn", "engine", 0.0, 0.5, track="engine")
+    obs.complete("ship", "replication", 0.5, 0.6, track="replica:0")
+    obs.complete("call", "client", 0.0, 0.7, track="client")
+    obs.event("fault.bite", "chaos", ts=0.2, track="chaos")
+    obs.count("engine.txn.commit")
+    obs.observe("repl.lag_s", 0.1)
+    obs.observe("repl.lag_s", 0.3)
+    return obs
+
+
+def test_checker_accepts_valid_exports(tmp_path, capsys):
+    obs = full_observer()
+    trace = tmp_path / "t.json"
+    prom = tmp_path / "m.prom"
+    write_chrome_trace(obs, str(trace))
+    write_prometheus(obs, str(prom))
+
+    categories = check_chrome_trace(str(trace))
+    assert categories["engine"] == 1 and categories["chaos"] == 1
+    assert check_prometheus(str(prom)) > 0
+    assert main([str(trace), str(prom)]) == 0
+    assert "trace ok" in capsys.readouterr().out
+
+
+def test_checker_rejects_missing_layer(tmp_path):
+    obs = Observer(clock=lambda: 0.0)
+    obs.complete("txn", "engine", 0.0, 0.5)  # engine only
+    trace = tmp_path / "t.json"
+    write_chrome_trace(obs, str(trace))
+    with pytest.raises(AssertionError, match="lacks"):
+        check_chrome_trace(str(trace))
+
+
+def test_checker_rejects_malformed_documents(tmp_path):
+    empty = tmp_path / "empty.json"
+    empty.write_text(json.dumps({"traceEvents": []}))
+    with pytest.raises(AssertionError, match="no events"):
+        check_chrome_trace(str(empty))
+
+    bad = tmp_path / "bad.json"
+    bad.write_text(json.dumps({"traceEvents": [{"ph": "X"}]}))
+    with pytest.raises(AssertionError, match="missing"):
+        check_chrome_trace(str(bad))
+
+    prom = tmp_path / "bad.prom"
+    prom.write_text("# TYPE weird summary\n")
+    with pytest.raises(AssertionError, match="malformed TYPE"):
+        check_prometheus(str(prom))
+
+
+def test_checker_cli_exit_codes(tmp_path, capsys):
+    assert main([]) == 2
+    bad = tmp_path / "bad.json"
+    bad.write_text(json.dumps({"traceEvents": []}))
+    assert main([str(bad)]) == 1
+    assert "FAIL" in capsys.readouterr().err
