@@ -285,6 +285,10 @@ def estimate_throughput(
         )
         hold_s = cpu_demand + storage.log_write_s
         contention_demand = collision * workload.rows_written * hold_s
+        if workload.mvcc:
+            # Snapshot reads bypass the lock manager entirely: only the
+            # writing fraction of transactions can collide on hot rows.
+            contention_demand *= workload.write_fraction
         if contention_demand > 0:
             centers.append(Center("contention", contention_demand, "delay"))
 

@@ -50,6 +50,9 @@ class WorkloadMix:
     hot_fraction: float = 0.0
     #: size of the hot set, bytes
     hot_set_bytes: float = 0.0
+    #: True when the engine reads through MVCC snapshots: readers skip
+    #: the lock manager, so only writer-writer collisions contend
+    mvcc: bool = False
 
     def __post_init__(self) -> None:
         if not self.classes:

@@ -11,6 +11,14 @@ Public entry points:
 
 from repro.core.config import BenchConfig
 from repro.core.datagen import DataGenerator, load_sales_database, nominal_bytes
+from repro.core.evalapi import (
+    EvalOption,
+    EvalOutcome,
+    EvaluatorSpec,
+    evaluator_names,
+    evaluator_specs,
+    get_evaluator,
+)
 from repro.core.elasticity import ELASTIC_PATTERNS, ElasticityEvaluator
 from repro.core.failover import FailOverEvaluator
 from repro.core.lagtime import LagTimeEvaluator
@@ -38,6 +46,12 @@ __all__ = [
     "DataGenerator",
     "ELASTIC_PATTERNS",
     "ElasticityEvaluator",
+    "EvalOption",
+    "EvalOutcome",
+    "EvaluatorSpec",
+    "evaluator_names",
+    "evaluator_specs",
+    "get_evaluator",
     "FailOverEvaluator",
     "LAG_PATTERNS",
     "LagTimeEvaluator",

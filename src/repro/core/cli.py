@@ -6,6 +6,11 @@ architectures and prints paper-style tables::
     cloudybench --eval throughput
     cloudybench --config props.toml --eval elasticity
     cloudybench --eval overall --quick
+    cloudybench --eval list            # show every registered evaluator
+
+Evaluators are resolved through the registry in
+:mod:`repro.core.evalapi`; each one declares its option schema, which
+``--opt name=value`` feeds (e.g. ``--eval pscore --opt n_ro_nodes=2``).
 """
 
 from __future__ import annotations
@@ -15,13 +20,19 @@ import sys
 from typing import Optional, Sequence
 
 from repro.core.config import BenchConfig
-from repro.core.report import TextTable
+from repro.core.evalapi import evaluator_names, evaluator_specs, get_evaluator
+from repro.core.report import TextTable, outcome_table
 from repro.core.runner import CloudyBench
 
-EVALUATIONS = (
-    "throughput", "pscore", "elasticity", "multitenancy",
-    "failover", "lagtime", "chaos", "oltp", "overall", "report",
-)
+
+def _evaluations() -> tuple:
+    """Valid ``--eval`` values: the registry plus the two CLI-only verbs."""
+    return (*evaluator_names(), "report", "list")
+
+
+#: kept as a module-level name for back compatibility with callers that
+#: introspect the CLI's evaluation set.
+EVALUATIONS = _evaluations()
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -31,8 +42,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument("--config", help="props TOML file", default=None)
     parser.add_argument(
-        "--eval", dest="evaluation", choices=EVALUATIONS, default="throughput",
-        help="which evaluator to run",
+        "--eval", dest="evaluation", choices=_evaluations(), default="throughput",
+        help="which evaluator to run ('list' shows them all)",
+    )
+    parser.add_argument(
+        "--opt", action="append", default=None, metavar="NAME=VALUE",
+        help="evaluator option (repeatable); see --eval list for schemas",
     )
     parser.add_argument(
         "--arch", action="append", default=None,
@@ -76,117 +91,50 @@ def _config(args: argparse.Namespace) -> BenchConfig:
     return config
 
 
+def _parse_opts(args: argparse.Namespace, eval_name: str) -> dict:
+    """Parse ``--opt name=value`` pairs against the evaluator's schema."""
+    if not args.opt:
+        return {}
+    spec = get_evaluator(eval_name)
+    by_name = {option.name: option for option in spec.options}
+    opts = {}
+    for raw in args.opt:
+        name, sep, value = raw.partition("=")
+        if not sep:
+            raise SystemExit(f"--opt expects NAME=VALUE, got {raw!r}")
+        option = by_name.get(name)
+        if option is None:
+            known = ", ".join(sorted(by_name)) or "(none)"
+            raise SystemExit(
+                f"evaluator {eval_name!r} has no option {name!r}; known: {known}"
+            )
+        opts[name] = option.type(value)
+    return opts
+
+
+def _print_registry() -> None:
+    table = TextTable(
+        ["evaluator", "options", "summary"], title="Registered evaluators"
+    )
+    for spec in evaluator_specs():
+        options = ", ".join(
+            f"{option.name}={option.default!r}" for option in spec.options
+        ) or "-"
+        table.add_row(spec.name, options, spec.summary)
+    table.print()
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    bench = CloudyBench(_config(args))
     evaluation = args.evaluation
 
-    if evaluation == "throughput":
-        table = TextTable(
-            ["arch", "SF", "mode", "concurrency", "TPS"],
-            title="Transaction processing throughput (Figure 5)",
-        )
-        for (arch, sf, mode, con), tps in bench.run_throughput().items():
-            table.add_row(arch, sf, mode, con, round(tps))
-        table.print()
-    elif evaluation == "pscore":
-        table = TextTable(
-            ["arch", "cost/min", *bench.config.modes, "AVG"],
-            title="P-Score (Table V)",
-        )
-        for row in bench.run_pscore():
-            table.add_row(
-                row.arch_name,
-                round(row.total_cost_per_minute, 4),
-                *[round(row.p_by_mode[mode]) for mode in bench.config.modes],
-                round(row.p_avg),
-            )
-        table.print()
-    elif evaluation == "elasticity":
-        table = TextTable(
-            ["arch", "pattern", "mode", "avg TPS", "total cost", "E1"],
-            title="Elasticity (Figure 6)",
-        )
-        for arch, by_pattern in bench.run_elasticity().items():
-            for pattern, by_mode in by_pattern.items():
-                for mode, result in by_mode.items():
-                    table.add_row(
-                        arch, pattern, mode, round(result.avg_tps),
-                        round(result.total_cost, 4), round(result.e1_score),
-                    )
-        table.print()
-    elif evaluation == "multitenancy":
-        table = TextTable(
-            ["arch", "pattern", "total TPS", "cost/min", "T-Score"],
-            title="Multi-tenancy (Table VII)",
-        )
-        for arch, by_pattern in bench.run_multitenancy().items():
-            for pattern, result in by_pattern.items():
-                table.add_row(
-                    arch, pattern, round(result.total_tps),
-                    round(result.cost_per_minute, 4), round(result.t_score),
-                )
-        table.print()
-    elif evaluation == "failover":
-        table = TextTable(
-            ["arch", "F(RW)", "F(RO)", "R(RW)", "R(RO)", "total"],
-            title="Fail-over (Table VIII), seconds",
-        )
-        for arch, scores in bench.run_failover().items():
-            table.add_row(
-                arch, round(scores.f_rw_s, 1), round(scores.f_ro_s, 1),
-                round(scores.r_rw_s, 1), round(scores.r_ro_s, 1),
-                round(scores.total_s, 1),
-            )
-        table.print()
-    elif evaluation == "lagtime":
-        table = TextTable(
-            ["arch", "pattern", "insert ms", "update ms", "delete ms", "C ms"],
-            title="Replication lag (Section III-F)",
-        )
-        for arch, by_pattern in bench.run_lagtime().items():
-            for pattern, result in by_pattern.items():
-                table.add_row(
-                    arch, pattern,
-                    round(result.insert_lag_s * 1000, 2),
-                    round(result.update_lag_s * 1000, 2),
-                    round(result.delete_lag_s * 1000, 2),
-                    round(result.c_score_s * 1000, 2),
-                )
-        table.print()
-    elif evaluation == "chaos":
-        plan = bench.chaos_plan()
-        print(f"fault plan {plan.name} (seed={plan.seed}, "
-              f"fingerprint {plan.fingerprint()[:16]}):")
-        for line in plan.describe():
-            print(f"  {line}")
-        table = TextTable(
-            ["arch", "requests", "goodput", "budget burn", "opens", "recloses"],
-            title=f"Availability under chaos (SLO {bench.config.chaos_slo:g})",
-        )
-        for arch, score in bench.run_chaos().items():
-            table.add_row(
-                arch, score.requests, round(score.goodput, 4),
-                round(score.error_budget_burn, 3),
-                score.breaker_opened, score.breaker_reclosed,
-            )
-        table.print()
-    elif evaluation == "oltp":
-        table = TextTable(
-            ["arch", "requests", "goodput", "commits", "lag p99 ms", "call p99 ms"],
-            title="Instrumented OLTP run (fault-free)",
-        )
-        metrics = bench.observer.metrics
-        for arch, score in bench.run_oltp().items():
-            commits = metrics.counter("engine.txn.commit").value
-            lag_p99 = metrics.histogram("repl.lag_s").percentile(99.0)
-            call_p99 = metrics.histogram("client.call_s").percentile(99.0)
-            table.add_row(
-                arch, score.requests, round(score.goodput, 4), int(commits),
-                round(lag_p99 * 1000, 3), round(call_p99 * 1000, 3),
-            )
-        table.print()
-    elif evaluation == "report":
+    if evaluation == "list":
+        _print_registry()
+        return 0
+
+    bench = CloudyBench(_config(args))
+
+    if evaluation == "report":
         from repro.core.summary import generate_report
 
         markdown = generate_report(bench)
@@ -196,15 +144,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             print(f"report written to {args.out}")
         else:
             print(markdown)
-    elif evaluation == "overall":
-        table = TextTable(
-            ["arch", "P", "P*", "E1", "E1*", "R", "F", "E2", "C(ms)", "T", "T*",
-             "O", "O*"],
-            title="Overall performance (Table IX)",
-        )
-        for scores in bench.overall().values():
-            table.add_row(*scores.as_row())
-        table.print()
+    else:
+        outcome = bench.run(evaluation, **_parse_opts(args, evaluation))
+        if outcome.notes:
+            print(outcome.notes)
+        outcome_table(outcome).print()
 
     if args.trace:
         from repro.obs import write_chrome_trace

@@ -28,6 +28,9 @@ from typing import Any, Dict, List, Optional
 
 DEFAULT_ARCHITECTURES = ["aws_rds", "cdb1", "cdb2", "cdb3", "cdb4"]
 
+#: accepted values for the ``isolation`` knob
+ISOLATION_NAMES = ("read_committed", "repeatable_read", "snapshot", "serializable")
+
 
 @dataclass
 class BenchConfig:
@@ -43,6 +46,11 @@ class BenchConfig:
     distribution: str = "uniform"
     latest_k: int = 10
     seed: int = 42
+    #: engine isolation level for the functional evaluators and the
+    #: analytic contention model: "read_committed" (the seed behavior),
+    #: "repeatable_read"/"snapshot" (MVCC; what the paper's PostgreSQL-
+    #: backed CDBs default to), or "serializable" (strict 2PL).
+    isolation: str = "read_committed"
 
     # -- functional data loading
     row_scale: float = 0.002
@@ -97,6 +105,27 @@ class BenchConfig:
             raise ValueError("chaos needs >= 1 client and replica")
         if not 0.0 < self.chaos_slo < 1.0:
             raise ValueError("chaos_slo must be in (0, 1)")
+        if self.isolation not in ISOLATION_NAMES:
+            raise ValueError(
+                f"isolation must be one of {sorted(ISOLATION_NAMES)}, "
+                f"got {self.isolation!r}"
+            )
+
+    @property
+    def uses_mvcc(self) -> bool:
+        """True when the configured isolation reads through snapshots."""
+        return self.isolation in ("repeatable_read", "snapshot")
+
+    def isolation_level(self):
+        """The configured :class:`~repro.engine.txn.IsolationLevel`."""
+        from repro.engine.txn import IsolationLevel
+
+        return {
+            "read_committed": IsolationLevel.READ_COMMITTED,
+            "repeatable_read": IsolationLevel.REPEATABLE_READ,
+            "snapshot": IsolationLevel.SNAPSHOT,
+            "serializable": IsolationLevel.SERIALIZABLE,
+        }[self.isolation]
 
     # -- construction ---------------------------------------------------------
 

@@ -1,0 +1,154 @@
+"""The unified evaluator surface: ``EvalOutcome`` plus the registry.
+
+Every evaluation the testbed can run — throughput, P-Score, elasticity,
+multi-tenancy, fail-over, replication lag, chaos, the instrumented OLTP
+run and the Table IX score card — is registered here as an
+:class:`EvaluatorSpec` and produces the *same* result shape, an
+:class:`EvalOutcome`.  ``CloudyBench.run(name, **opts)`` dispatches
+through the registry; the CLI, the markdown report and the exporters
+consume only outcomes, never per-evaluator result types.
+
+The per-evaluator result objects still exist (they are rich and typed)
+— an outcome carries them in :attr:`EvalOutcome.payload`, which is what
+the legacy ``run_*`` wrappers return for back compatibility.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
+
+__all__ = [
+    "EvalOption",
+    "EvalOutcome",
+    "EvaluatorSpec",
+    "evaluator",
+    "get_evaluator",
+    "evaluator_names",
+    "evaluator_specs",
+]
+
+
+@dataclass(frozen=True)
+class EvalOption:
+    """One option an evaluator accepts, typed so the CLI can parse it."""
+
+    name: str
+    type: Callable[[str], Any]
+    default: Any
+    help: str = ""
+
+
+@dataclass
+class EvalOutcome:
+    """What every evaluator returns.
+
+    * ``headers``/``rows`` — the paper-style table, ready to render.
+    * ``scores`` — flat ``metric.arch -> value`` summary numbers.
+    * ``events`` — ``(time_s, message)`` timeline annotations (scaling
+      decisions, fault injections, ...), possibly empty.
+    * ``obs`` — the shared observer's metrics/trace snapshot taken when
+      the evaluation finished.
+    * ``payload`` — the evaluator's native result object (the exact
+      value the legacy ``run_*`` method used to return).
+    * ``notes`` — free-form preamble text (e.g. the chaos fault plan).
+    """
+
+    name: str
+    title: str
+    headers: Tuple[str, ...]
+    rows: List[Tuple[Any, ...]]
+    scores: Dict[str, float] = field(default_factory=dict)
+    events: List[Tuple[float, str]] = field(default_factory=list)
+    obs: Dict[str, Any] = field(default_factory=dict)
+    payload: Any = None
+    notes: str = ""
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-serialisable view (drops the native payload)."""
+        return {
+            "name": self.name,
+            "title": self.title,
+            "headers": list(self.headers),
+            "rows": [list(row) for row in self.rows],
+            "scores": dict(self.scores),
+            "events": [
+                {"time_s": time_s, "message": message}
+                for time_s, message in self.events
+            ],
+            "notes": self.notes,
+        }
+
+
+@dataclass(frozen=True)
+class EvaluatorSpec:
+    """A registered evaluator: its name, option schema, and runner."""
+
+    name: str
+    title: str
+    summary: str
+    options: Tuple[EvalOption, ...]
+    runner: Callable[..., EvalOutcome]
+
+    def validate(self, opts: Dict[str, Any]) -> Dict[str, Any]:
+        """Fill defaults and reject unknown option names."""
+        known = {option.name: option for option in self.options}
+        unknown = sorted(set(opts) - set(known))
+        if unknown:
+            raise TypeError(
+                f"evaluator {self.name!r} accepts {sorted(known) or 'no options'}, "
+                f"got unknown option(s) {unknown}"
+            )
+        resolved = {option.name: option.default for option in self.options}
+        resolved.update(opts)
+        return resolved
+
+
+_REGISTRY: Dict[str, EvaluatorSpec] = {}
+
+
+def evaluator(
+    name: str,
+    title: str,
+    summary: str,
+    options: Tuple[EvalOption, ...] = (),
+) -> Callable[[Callable[..., EvalOutcome]], Callable[..., EvalOutcome]]:
+    """Class-level decorator registering ``runner(bench, **opts)``."""
+
+    def decorate(runner: Callable[..., EvalOutcome]) -> Callable[..., EvalOutcome]:
+        if name in _REGISTRY:
+            raise ValueError(f"evaluator {name!r} already registered")
+        _REGISTRY[name] = EvaluatorSpec(
+            name=name, title=title, summary=summary,
+            options=options, runner=runner,
+        )
+        return runner
+
+    return decorate
+
+
+def get_evaluator(name: str) -> EvaluatorSpec:
+    _ensure_registered()
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown evaluator {name!r}; known: {', '.join(evaluator_names())}"
+        ) from None
+
+
+def evaluator_names() -> Tuple[str, ...]:
+    _ensure_registered()
+    return tuple(sorted(_REGISTRY))
+
+
+def evaluator_specs() -> Iterator[EvaluatorSpec]:
+    _ensure_registered()
+    for name in sorted(_REGISTRY):
+        yield _REGISTRY[name]
+
+
+def _ensure_registered() -> None:
+    # The registrations live beside the runners; importing the module is
+    # what populates the registry (idempotent thanks to sys.modules).
+    from repro.core import evaluators  # noqa: F401

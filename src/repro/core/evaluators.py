@@ -1,0 +1,276 @@
+"""Registered evaluators: one :class:`~repro.core.evalapi.EvalOutcome`
+builder per evaluation the testbed supports.
+
+Each runner receives the :class:`~repro.core.runner.CloudyBench`
+instance, invokes its cached ``_compute_*`` method, and reshapes the
+native result into the shared outcome form (paper-style table rows,
+flat scores, timeline events).  The native result rides along as
+``payload`` — that is what the legacy ``run_*`` wrappers still return.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.core.evalapi import EvalOption, EvalOutcome, evaluator
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.runner import CloudyBench
+
+
+def _outcome(bench: "CloudyBench", **kwargs) -> EvalOutcome:
+    return EvalOutcome(obs=bench.snapshot(), **kwargs)
+
+
+@evaluator(
+    "throughput",
+    title="Transaction processing throughput (Figure 5)",
+    summary="TPS over architectures x scale factors x modes x concurrencies",
+)
+def _throughput(bench: "CloudyBench") -> EvalOutcome:
+    data = bench._compute_throughput()
+    rows = [
+        (arch, sf, mode, con, round(tps))
+        for (arch, sf, mode, con), tps in data.items()
+    ]
+    scores = {
+        f"tps.{arch.name}.{mode}": bench.average_tps(arch.name, mode)
+        for arch in bench.architectures
+        for mode in bench.config.modes
+    }
+    return _outcome(
+        bench, name="throughput",
+        title="Transaction processing throughput (Figure 5)",
+        headers=("arch", "SF", "mode", "concurrency", "TPS"),
+        rows=rows, scores=scores, payload=data,
+    )
+
+
+@evaluator(
+    "pscore",
+    title="P-Score (Table V)",
+    summary="cost-normalised throughput per architecture",
+    options=(
+        EvalOption("n_ro_nodes", int, 1, "read-only nodes charged per SUT"),
+    ),
+)
+def _pscore(bench: "CloudyBench", n_ro_nodes: int = 1) -> EvalOutcome:
+    data = bench._compute_pscore(n_ro_nodes=n_ro_nodes)
+    modes = bench.config.modes
+    rows = [
+        (
+            row.arch_name,
+            round(row.total_cost_per_minute, 4),
+            *(round(row.p_by_mode[mode]) for mode in modes),
+            round(row.p_avg),
+        )
+        for row in data
+    ]
+    return _outcome(
+        bench, name="pscore", title="P-Score (Table V)",
+        headers=("arch", "cost/min", *modes, "AVG"),
+        rows=rows,
+        scores={f"p.{row.arch_name}": row.p_avg for row in data},
+        payload=data,
+    )
+
+
+@evaluator(
+    "elasticity",
+    title="Elasticity (Figure 6)",
+    summary="E1 over scaling patterns and workload modes",
+)
+def _elasticity(bench: "CloudyBench") -> EvalOutcome:
+    data = bench._compute_elasticity()
+    rows = []
+    events = []
+    scores = {}
+    for arch, by_pattern in data.items():
+        e1_values = []
+        for pattern, by_mode in by_pattern.items():
+            for mode, result in by_mode.items():
+                rows.append((
+                    arch, pattern, mode, round(result.avg_tps),
+                    round(result.total_cost, 4), round(result.e1_score),
+                ))
+                e1_values.append(result.e1_score)
+        scores[f"e1.{arch}"] = (
+            sum(e1_values) / len(e1_values) if e1_values else 0.0
+        )
+        # one representative run's scaling decisions per architecture
+        pattern, by_mode = next(iter(by_pattern.items()))
+        _mode, result = next(iter(by_mode.items()))
+        events.extend(
+            (time_s, f"{arch}/{pattern}: {message}")
+            for time_s, message in result.collector.events
+        )
+    return _outcome(
+        bench, name="elasticity", title="Elasticity (Figure 6)",
+        headers=("arch", "pattern", "mode", "avg TPS", "total cost", "E1"),
+        rows=rows, scores=scores, events=events, payload=data,
+    )
+
+
+@evaluator(
+    "multitenancy",
+    title="Multi-tenancy (Table VII)",
+    summary="T-Score under the contention patterns",
+)
+def _multitenancy(bench: "CloudyBench") -> EvalOutcome:
+    data = bench._compute_multitenancy()
+    rows = []
+    scores = {}
+    for arch, by_pattern in data.items():
+        t_values = []
+        for pattern, result in by_pattern.items():
+            rows.append((
+                arch, pattern, round(result.total_tps),
+                round(result.cost_per_minute, 4), round(result.t_score),
+            ))
+            t_values.append(result.t_score)
+        scores[f"t.{arch}"] = sum(t_values) / len(t_values) if t_values else 0.0
+    return _outcome(
+        bench, name="multitenancy", title="Multi-tenancy (Table VII)",
+        headers=("arch", "pattern", "total TPS", "cost/min", "T-Score"),
+        rows=rows, scores=scores, payload=data,
+    )
+
+
+@evaluator(
+    "failover",
+    title="Fail-over (Table VIII), seconds",
+    summary="fault and recovery times for RW/RO interruption",
+)
+def _failover(bench: "CloudyBench") -> EvalOutcome:
+    data = bench._compute_failover()
+    rows = [
+        (
+            arch, round(scores.f_rw_s, 1), round(scores.f_ro_s, 1),
+            round(scores.r_rw_s, 1), round(scores.r_ro_s, 1),
+            round(scores.total_s, 1),
+        )
+        for arch, scores in data.items()
+    ]
+    flat = {}
+    for arch, scores in data.items():
+        flat[f"f_s.{arch}"] = scores.f_avg_s
+        flat[f"r_s.{arch}"] = scores.r_avg_s
+    return _outcome(
+        bench, name="failover", title="Fail-over (Table VIII), seconds",
+        headers=("arch", "F(RW)", "F(RO)", "R(RW)", "R(RO)", "total"),
+        rows=rows, scores=flat, payload=data,
+    )
+
+
+@evaluator(
+    "lagtime",
+    title="Replication lag (Section III-F)",
+    summary="per-kind replication lag over the IUD patterns",
+)
+def _lagtime(bench: "CloudyBench") -> EvalOutcome:
+    data = bench._compute_lagtime()
+    rows = []
+    scores = {}
+    for arch, by_pattern in data.items():
+        for pattern, result in by_pattern.items():
+            rows.append((
+                arch, pattern,
+                round(result.insert_lag_s * 1000, 2),
+                round(result.update_lag_s * 1000, 2),
+                round(result.delete_lag_s * 1000, 2),
+                round(result.c_score_s * 1000, 2),
+            ))
+        mixed = by_pattern.get("mixed") or next(iter(by_pattern.values()))
+        scores[f"c_ms.{arch}"] = mixed.avg_lag_s * 1000.0
+    return _outcome(
+        bench, name="lagtime", title="Replication lag (Section III-F)",
+        headers=("arch", "pattern", "insert ms", "update ms", "delete ms", "C ms"),
+        rows=rows, scores=scores, payload=data,
+    )
+
+
+@evaluator(
+    "chaos",
+    title="Availability under chaos",
+    summary="goodput and error-budget burn under the seeded fault plan",
+)
+def _chaos(bench: "CloudyBench") -> EvalOutcome:
+    plan = bench.chaos_plan()
+    data = bench._compute_chaos()
+    rows = [
+        (
+            arch, score.requests, round(score.goodput, 4),
+            round(score.error_budget_burn, 3),
+            score.breaker_opened, score.breaker_reclosed,
+        )
+        for arch, score in data.items()
+    ]
+    notes = "\n".join(
+        [
+            f"fault plan {plan.name} (seed={plan.seed}, "
+            f"fingerprint {plan.fingerprint()[:16]}):",
+            *(f"  {line}" for line in plan.describe()),
+        ]
+    )
+    events = [(spec.start_s, f"{spec.kind.value} @ {spec.target}")
+              for spec in plan.specs]
+    return _outcome(
+        bench, name="chaos",
+        title=f"Availability under chaos (SLO {bench.config.chaos_slo:g})",
+        headers=("arch", "requests", "goodput", "budget burn",
+                 "opens", "recloses"),
+        rows=rows,
+        scores={f"goodput.{arch}": score.goodput for arch, score in data.items()},
+        events=events, notes=notes, payload=data,
+    )
+
+
+@evaluator(
+    "oltp",
+    title="Instrumented OLTP run (fault-free)",
+    summary="end-to-end run exercising engine, replication and clients",
+)
+def _oltp(bench: "CloudyBench") -> EvalOutcome:
+    data = bench._compute_oltp()
+    metrics = bench.observer.metrics
+    commits = metrics.counter("engine.txn.commit").value
+    lag_p99 = metrics.histogram("repl.lag_s").percentile(99.0)
+    call_p99 = metrics.histogram("client.call_s").percentile(99.0)
+    rows = [
+        (
+            arch, score.requests, round(score.goodput, 4), int(commits),
+            round(lag_p99 * 1000, 3), round(call_p99 * 1000, 3),
+        )
+        for arch, score in data.items()
+    ]
+    return _outcome(
+        bench, name="oltp", title="Instrumented OLTP run (fault-free)",
+        headers=("arch", "requests", "goodput", "commits",
+                 "lag p99 ms", "call p99 ms"),
+        rows=rows,
+        scores={f"goodput.{arch}": score.goodput for arch, score in data.items()},
+        payload=data,
+    )
+
+
+@evaluator(
+    "overall",
+    title="Overall performance (Table IX)",
+    summary="the unified PERFECT score card",
+    options=(
+        EvalOption("duration_s", float, 300.0, "billing window in seconds"),
+    ),
+)
+def _overall(bench: "CloudyBench", duration_s: float = 300.0) -> EvalOutcome:
+    data = bench._compute_overall(duration_s=duration_s)
+    rows = [tuple(scores.as_row()) for scores in data.values()]
+    flat = {}
+    for arch, scores in data.items():
+        flat[f"o.{arch}"] = scores.o
+        flat[f"o_star.{arch}"] = scores.o_star
+    return _outcome(
+        bench, name="overall", title="Overall performance (Table IX)",
+        headers=("arch", "P", "P*", "E1", "E1*", "R", "F", "E2",
+                 "C(ms)", "T", "T*", "O", "O*"),
+        rows=rows, scores=flat, payload=data,
+    )

@@ -100,6 +100,27 @@ def scores_to_json(scores: Mapping[str, PerfectScores], indent: int = 2) -> str:
     return json.dumps(payload, indent=indent, sort_keys=True)
 
 
+def outcome_to_json(outcome, indent: int = 2) -> str:
+    """Serialise an :class:`~repro.core.evalapi.EvalOutcome` to JSON.
+
+    Every evaluator exports identically: name, title, table headers and
+    rows, flat scores, timeline events, notes.  The native payload is
+    dropped (it is not, in general, JSON-serialisable).
+    """
+    return json.dumps(outcome.to_dict(), indent=indent, sort_keys=True)
+
+
+def outcome_to_csv(outcome, out: TextIO) -> int:
+    """Write an outcome's table rows as CSV. Returns the row count."""
+    writer = csv.writer(out)
+    writer.writerow(list(outcome.headers))
+    rows = 0
+    for row in outcome.rows:
+        writer.writerow(list(row))
+        rows += 1
+    return rows
+
+
 def throughput_to_csv(
     data: Mapping[tuple, float], out: TextIO
 ) -> int:

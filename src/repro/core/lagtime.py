@@ -100,6 +100,7 @@ class LagTimeEvaluator:
         seed: int = 42,
         distribution: str = "uniform",
         latest_k: int = 10,
+        isolation=None,
     ):
         self.arch = arch
         self.scale_factor = scale_factor
@@ -110,6 +111,10 @@ class LagTimeEvaluator:
         self.seed = seed
         self.distribution = distribution
         self.latest_k = latest_k
+        #: engine isolation the writer transactions run under (None =
+        #: engine default); MVCC levels also discount the model's
+        #: contention center when pacing workers
+        self.isolation = isolation
 
     def run(self, mix: TransactionMix, label: Optional[str] = None) -> LagResult:
         env = Environment()
@@ -119,6 +124,8 @@ class LagTimeEvaluator:
             row_scale=self.row_scale,
             seed=self.seed,
         )
+        if self.isolation is not None:
+            primary.default_isolation = self.isolation
         pipeline = ReplicationPipeline(env, self.arch, primary, self.n_replicas)
         workload = SalesWorkload(
             primary, mix, distribution=self.distribution,
@@ -132,9 +139,11 @@ class LagTimeEvaluator:
 
         # Pace workers at the modelled per-transaction latency so the
         # write rate matches what this architecture would sustain.
+        from repro.engine.txn import MVCC_LEVELS
+
         model_mix = mix.to_workload_mix(
             self.scale_factor, distribution=self.distribution,
-            latest_k=self.latest_k,
+            latest_k=self.latest_k, mvcc=self.isolation in MVCC_LEVELS,
         )
         estimate = estimate_throughput(self.arch, model_mix, self.concurrency)
         cycle_s = max(1e-4, estimate.latency_s)

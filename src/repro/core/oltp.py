@@ -24,6 +24,7 @@ from repro.cloud.mva_model import estimate_throughput
 from repro.core.datagen import load_sales_database
 from repro.core.manager import OltpResult, WorkloadManager
 from repro.core.workload import TransactionMix
+from repro.engine.txn import MVCC_LEVELS, IsolationLevel
 
 
 @dataclass
@@ -75,6 +76,7 @@ class OltpEvaluator:
         latest_k: int = 10,
         row_scale: float = 0.002,
         seed: int = 42,
+        isolation: Optional[IsolationLevel] = None,
     ):
         self.mix = mix
         self.scale_factor = scale_factor
@@ -82,6 +84,12 @@ class OltpEvaluator:
         self.latest_k = latest_k
         self.row_scale = row_scale
         self.seed = seed
+        #: engine isolation for the functional runs (None = engine default);
+        #: MVCC levels also flip the analytic model's contention discount
+        self.isolation = isolation
+
+    def _uses_mvcc(self) -> bool:
+        return self.isolation in MVCC_LEVELS
 
     def run_functional(
         self,
@@ -96,6 +104,8 @@ class OltpEvaluator:
                 row_scale=self.row_scale,
                 seed=self.seed,
             )
+            if self.isolation is not None:
+                db.default_isolation = self.isolation
             manager = WorkloadManager(
                 db,
                 self.mix,
@@ -119,6 +129,7 @@ class OltpEvaluator:
             self.scale_factor,
             distribution=self.distribution,
             latest_k=self.latest_k,
+            mvcc=self._uses_mvcc(),
         )
         report = OltpReport(self.mix.label, self.distribution)
         for concurrency in concurrencies or [50, 100, 150, 200]:

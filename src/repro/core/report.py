@@ -60,6 +60,14 @@ class TextTable:
         print()
 
 
+def outcome_table(outcome) -> TextTable:
+    """Render an :class:`~repro.core.evalapi.EvalOutcome` as a TextTable."""
+    table = TextTable(outcome.headers, title=outcome.title)
+    for row in outcome.rows:
+        table.add_row(*row)
+    return table
+
+
 def figure_series(
     title: str,
     x_label: str,

@@ -17,6 +17,7 @@ from repro.cloud.mva_model import estimate_throughput
 from repro.cloud.replication import ReplicationPipeline
 from repro.cloud.workload_model import WorkloadMix
 from repro.core.config import BenchConfig
+from repro.core.evalapi import EvalOutcome, get_evaluator
 from repro.core.elasticity import (
     ELASTIC_PATTERNS,
     ElasticityEvaluator,
@@ -83,6 +84,20 @@ class CloudyBench:
         """Point-in-time observability snapshot (metrics + trace stats)."""
         return self.observer.snapshot()
 
+    # -- the unified evaluator entry point ---------------------------------------
+
+    def run(self, eval_name: str, **opts) -> EvalOutcome:
+        """Run one registered evaluator and return its :class:`EvalOutcome`.
+
+        ``eval_name`` is any name from the evaluator registry
+        (:func:`repro.core.evalapi.evaluator_names`); ``opts`` are
+        validated against the evaluator's declared option schema.
+        Results are cached per underlying computation, so repeated runs
+        (and the legacy ``run_*`` wrappers) return identical payloads.
+        """
+        spec = get_evaluator(eval_name)
+        return spec.runner(self, **spec.validate(opts))
+
     # -- workload plumbing -------------------------------------------------------
 
     def mix_for(self, mode: str) -> TransactionMix:
@@ -96,11 +111,16 @@ class CloudyBench:
             scale_factor,
             distribution=self.config.distribution,
             latest_k=self.config.latest_k,
+            mvcc=self.config.uses_mvcc,
         )
 
     # -- throughput (Figure 5) -----------------------------------------------------
 
     def run_throughput(self) -> Dict[ThroughputKey, float]:
+        """Deprecated: use ``run("throughput").payload``."""
+        return self.run("throughput").payload
+
+    def _compute_throughput(self) -> Dict[ThroughputKey, float]:
         if self._throughput is not None:
             return self._throughput
         results: Dict[ThroughputKey, float] = {}
@@ -116,7 +136,7 @@ class CloudyBench:
 
     def average_tps(self, arch_name: str, mode: str) -> float:
         """Average TPS of one mode over all SFs and concurrencies."""
-        data = self.run_throughput()
+        data = self._compute_throughput()
         values = [
             tps for (name, _sf, m, _con), tps in data.items()
             if name == arch_name and m == mode
@@ -126,6 +146,10 @@ class CloudyBench:
     # -- P-Score (Table V) ------------------------------------------------------------
 
     def run_pscore(self, n_ro_nodes: int = 1) -> List[PScoreRow]:
+        """Deprecated: use ``run("pscore", n_ro_nodes=...).payload``."""
+        return self.run("pscore", n_ro_nodes=n_ro_nodes).payload
+
+    def _compute_pscore(self, n_ro_nodes: int = 1) -> List[PScoreRow]:
         """Table V rows.
 
         The paper deploys one RW plus one RO node per SUT, so the total
@@ -180,6 +204,12 @@ class CloudyBench:
     # -- elasticity (Figure 6, Table VI) --------------------------------------------------
 
     def run_elasticity(self) -> Dict[str, Dict[str, Dict[str, ElasticityResult]]]:
+        """Deprecated: use ``run("elasticity").payload``."""
+        return self.run("elasticity").payload
+
+    def _compute_elasticity(
+        self,
+    ) -> Dict[str, Dict[str, Dict[str, ElasticityResult]]]:
         if self._elasticity is not None:
             return self._elasticity
         sf = min(self.config.scale_factors)
@@ -227,6 +257,10 @@ class CloudyBench:
         return high, low
 
     def run_multitenancy(self) -> Dict[str, Dict[str, TenancyResult]]:
+        """Deprecated: use ``run("multitenancy").payload``."""
+        return self.run("multitenancy").payload
+
+    def _compute_multitenancy(self) -> Dict[str, Dict[str, TenancyResult]]:
         if self._tenancy is not None:
             return self._tenancy
         tau_high, tau_low = self.tenancy_taus()
@@ -248,6 +282,10 @@ class CloudyBench:
     # -- fail-over (Table VIII, Figure 7) ------------------------------------------------------
 
     def run_failover(self) -> Dict[str, FailoverScores]:
+        """Deprecated: use ``run("failover").payload``."""
+        return self.run("failover").payload
+
+    def _compute_failover(self) -> Dict[str, FailoverScores]:
         if self._failover is not None:
             return self._failover
         sf = min(self.config.scale_factors)
@@ -286,6 +324,10 @@ class CloudyBench:
         )
 
     def run_chaos(self) -> Dict[str, AScore]:
+        """Deprecated: use ``run("chaos").payload``."""
+        return self.run("chaos").payload
+
+    def _compute_chaos(self) -> Dict[str, AScore]:
         if self._chaos is not None:
             return self._chaos
         plan = self.chaos_plan()
@@ -307,6 +349,10 @@ class CloudyBench:
     # -- instrumented OLTP run (observability timeline) -------------------------
 
     def run_oltp(self) -> Dict[str, AScore]:
+        """Deprecated: use ``run("oltp").payload``."""
+        return self.run("oltp").payload
+
+    def _compute_oltp(self) -> Dict[str, AScore]:
         """A fault-free end-to-end run that exercises every layer.
 
         Reuses the availability machinery with an *empty* fault plan, so
@@ -338,6 +384,15 @@ class CloudyBench:
     def run_lagtime(
         self, patterns: Optional[Dict[str, TransactionMix]] = None
     ) -> Dict[str, Dict[str, LagResult]]:
+        """Deprecated: use ``run("lagtime").payload`` (custom ``patterns``
+        still go through this wrapper; they bypass the cache)."""
+        if patterns is not None:
+            return self._compute_lagtime(patterns)
+        return self.run("lagtime").payload
+
+    def _compute_lagtime(
+        self, patterns: Optional[Dict[str, TransactionMix]] = None
+    ) -> Dict[str, Dict[str, LagResult]]:
         if self._lag is not None and patterns is None:
             return self._lag
         chosen = patterns or LAG_PATTERNS
@@ -351,6 +406,7 @@ class CloudyBench:
                 n_replicas=self.config.lag_replicas,
                 transactions=self.config.lag_transactions,
                 seed=self.config.seed,
+                isolation=self.config.isolation_level(),
             )
             results[arch.name] = evaluator.run_patterns(chosen)
         if patterns is None:
@@ -360,12 +416,16 @@ class CloudyBench:
     # -- the unified metric (Table IX) -----------------------------------------
 
     def overall(self, duration_s: float = 300.0) -> Dict[str, PerfectScores]:
+        """Deprecated: use ``run("overall", duration_s=...).payload``."""
+        return self.run("overall", duration_s=duration_s).payload
+
+    def _compute_overall(self, duration_s: float = 300.0) -> Dict[str, PerfectScores]:
         """Compute all seven scores plus O-Score for every SUT."""
-        pscore_rows = {row.arch_name: row for row in self.run_pscore()}
-        elasticity = self.run_elasticity()
-        tenancy = self.run_multitenancy()
-        failover = self.run_failover()
-        lag = self.run_lagtime()
+        pscore_rows = {row.arch_name: row for row in self._compute_pscore()}
+        elasticity = self._compute_elasticity()
+        tenancy = self._compute_multitenancy()
+        failover = self._compute_failover()
+        lag = self._compute_lagtime()
         sf = min(self.config.scale_factors)
 
         scores: Dict[str, PerfectScores] = {}

@@ -1,10 +1,11 @@
 """One-shot markdown report over a full testbed run.
 
-``generate_report(bench)`` runs every evaluator of a
-:class:`~repro.core.runner.CloudyBench` instance and renders a single
-markdown document -- throughput matrix, P-Scores, elasticity, tenancy,
-fail-over, replication lag, and the Table IX score card -- suitable
-for committing next to a paper draft or attaching to CI output.
+``generate_report(bench)`` runs every registered evaluator through the
+unified :class:`~repro.core.evalapi.EvalOutcome` surface and renders a
+single markdown document -- throughput matrix, P-Scores, elasticity,
+tenancy, fail-over, replication lag, and the Table IX score card --
+suitable for committing next to a paper draft or attaching to CI
+output.
 
 Wired into the CLI as ``cloudybench --eval report [--out FILE]``.
 """
@@ -14,7 +15,22 @@ from __future__ import annotations
 import io
 from typing import Optional, TextIO
 
+from repro.core.evalapi import EvalOutcome
 from repro.core.runner import CloudyBench
+
+#: report sections, in paper order; each is one evaluator run
+_SECTIONS = (
+    ("throughput", "Throughput (Figure 5)"),
+    ("pscore", "P-Score (Table V)"),
+    ("elasticity", "Elasticity (Figure 6)"),
+    ("multitenancy", "Multi-tenancy (Table VII)"),
+    ("failover", "Fail-over (Table VIII)"),
+    ("lagtime", "Replication lag (Section III-F)"),
+    ("overall", "Overall (Table IX)"),
+)
+
+#: cap on per-section timeline events, to keep long runs readable
+_EVENT_CAP = 12
 
 
 def _heading(out: TextIO, level: int, text: str) -> None:
@@ -26,6 +42,15 @@ def _table(out: TextIO, headers, rows) -> None:
     out.write("|" + "|".join("---" for _ in headers) + "|\n")
     for row in rows:
         out.write("| " + " | ".join(str(cell) for cell in row) + " |\n")
+
+
+def _events(out: TextIO, outcome: EvalOutcome) -> None:
+    shown = outcome.events[:_EVENT_CAP]
+    rows = [[f"{time_s:.0f}", message] for time_s, message in shown]
+    hidden = len(outcome.events) - len(shown)
+    if hidden > 0:
+        rows.append(["...", f"({hidden} more events)"])
+    _table(out, ["t (s)", "event"], rows)
 
 
 def generate_report(bench: CloudyBench, out: Optional[TextIO] = None) -> str:
@@ -41,108 +66,15 @@ def generate_report(bench: CloudyBench, out: Optional[TextIO] = None) -> str:
         f"distribution {config.distribution}\n"
     )
 
-    # -- throughput ---------------------------------------------------------
-    _heading(buffer, 2, "Throughput (Figure 5)")
-    data = bench.run_throughput()
-    for sf in config.scale_factors:
-        _heading(buffer, 3, f"Scale factor {sf}")
-        rows = []
-        for arch in bench.architectures:
-            for mode in config.modes:
-                rows.append([
-                    arch.display_name, mode,
-                    *(round(data[(arch.name, sf, mode, con)])
-                      for con in config.concurrencies),
-                ])
-        _table(buffer, ["system", "mode",
-                        *(f"con={c}" for c in config.concurrencies)], rows)
-
-    # -- P-Score ---------------------------------------------------------------
-    _heading(buffer, 2, "P-Score (Table V)")
-    rows = []
-    for row in bench.run_pscore():
-        rows.append([
-            row.arch_name, f"{row.total_cost_per_minute:.4f}",
-            *(round(row.p_by_mode[mode]) for mode in config.modes),
-            round(row.p_avg),
-        ])
-    _table(buffer, ["system", "cost/min", *config.modes, "P(avg)"], rows)
-
-    # -- elasticity ---------------------------------------------------------------
-    _heading(buffer, 2, "Elasticity (Figure 6)")
-    rows = []
-    for arch_name, by_pattern in bench.run_elasticity().items():
-        for pattern_key, by_mode in by_pattern.items():
-            for mode, result in by_mode.items():
-                rows.append([
-                    arch_name, pattern_key, mode, round(result.avg_tps),
-                    f"{result.total_cost:.4f}", round(result.e1_score),
-                ])
-    _table(buffer, ["system", "pattern", "mode", "avg TPS", "cost", "E1"], rows)
-
-    # Scaling decisions recorded by the collectors: one representative
-    # run (first pattern/mode) per system, capped to stay readable.
-    _heading(buffer, 3, "Scaling events (representative runs)")
-    event_cap = 12
-    rows = []
-    for arch_name, by_pattern in bench.run_elasticity().items():
-        pattern_key, by_mode = next(iter(by_pattern.items()))
-        mode, result = next(iter(by_mode.items()))
-        events = result.collector.events
-        for time_s, message in events[:event_cap]:
-            rows.append([arch_name, pattern_key, mode, f"{time_s:.0f}", message])
-        if len(events) > event_cap:
-            rows.append([
-                arch_name, pattern_key, mode, "...",
-                f"({len(events) - event_cap} more events)",
-            ])
-    if rows:
-        _table(buffer, ["system", "pattern", "mode", "t (s)", "event"], rows)
-    else:
-        buffer.write("(no scaling events recorded)\n")
-
-    # -- multi-tenancy ----------------------------------------------------------------
-    _heading(buffer, 2, "Multi-tenancy (Table VII)")
-    rows = []
-    for arch_name, by_pattern in bench.run_multitenancy().items():
-        for pattern_key, result in by_pattern.items():
-            rows.append([
-                arch_name, pattern_key, round(result.total_tps),
-                f"{result.cost_per_minute:.4f}", round(result.t_score),
-            ])
-    _table(buffer, ["system", "pattern", "total TPS", "cost/min", "T-Score"], rows)
-
-    # -- fail-over -------------------------------------------------------------------
-    _heading(buffer, 2, "Fail-over (Table VIII)")
-    rows = []
-    for arch_name, scores in bench.run_failover().items():
-        rows.append([
-            arch_name, round(scores.f_rw_s, 1), round(scores.f_ro_s, 1),
-            round(scores.r_rw_s, 1), round(scores.r_ro_s, 1),
-            round(scores.total_s, 1),
-        ])
-    _table(buffer, ["system", "F(RW)", "F(RO)", "R(RW)", "R(RO)", "total s"], rows)
-
-    # -- replication lag -----------------------------------------------------------------
-    _heading(buffer, 2, "Replication lag (Section III-F)")
-    rows = []
-    for arch_name, by_pattern in bench.run_lagtime().items():
-        for pattern, result in by_pattern.items():
-            rows.append([
-                arch_name, pattern,
-                f"{result.insert_lag_s * 1000:.2f}",
-                f"{result.update_lag_s * 1000:.2f}",
-                f"{result.delete_lag_s * 1000:.2f}",
-                f"{result.avg_lag_s * 1000:.2f}",
-            ])
-    _table(buffer, ["system", "pattern", "insert ms", "update ms",
-                    "delete ms", "avg ms"], rows)
-
-    # -- overall -------------------------------------------------------------------------
-    _heading(buffer, 2, "Overall (Table IX)")
-    rows = [scores.as_row() for scores in bench.overall().values()]
-    _table(buffer, ["system", "P", "P*", "E1", "E1*", "R", "F", "E2",
-                    "C(ms)", "T", "T*", "O", "O*"], rows)
+    for eval_name, section_title in _SECTIONS:
+        outcome = bench.run(eval_name)
+        _heading(buffer, 2, section_title)
+        if outcome.notes:
+            buffer.write(outcome.notes + "\n\n")
+        _table(buffer, outcome.headers, outcome.rows)
+        if outcome.events:
+            _heading(buffer, 3, "Timeline events")
+            _events(buffer, outcome)
 
     if isinstance(buffer, io.StringIO):
         return buffer.getvalue()

@@ -92,6 +92,7 @@ class TransactionMix:
         scale_factor: int = 1,
         distribution: str = "uniform",
         latest_k: int = 10,
+        mvcc: bool = False,
     ) -> WorkloadMix:
         """Map this mix onto the analytical model's workload abstraction."""
         working_set = nominal_bytes(scale_factor)
@@ -113,6 +114,7 @@ class TransactionMix:
             working_set_bytes=working_set,
             hot_fraction=hot_fraction,
             hot_set_bytes=hot_bytes,
+            mvcc=mvcc,
         )
 
 

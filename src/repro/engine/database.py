@@ -19,12 +19,24 @@ from __future__ import annotations
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.engine.buffer import BufferPool
-from repro.engine.errors import EngineError, LockTimeoutError, SchemaError
+from repro.engine.errors import (
+    EngineError,
+    LockTimeoutError,
+    SchemaError,
+    SqlError,
+    WriteConflictError,
+)
 from repro.engine.executor import Executor, Prepared, ResultSet
 from repro.engine.locks import LockManager, LockMode, LockOutcome
 from repro.engine.recovery import RecoveryReport, recover
-from repro.engine.table import Table, TableSnapshot
-from repro.engine.txn import IsolationLevel, Transaction, TransactionManager, TxnState
+from repro.engine.table import RowVersion, Table, TableSnapshot
+from repro.engine.txn import (
+    MVCC_LEVELS,
+    IsolationLevel,
+    Transaction,
+    TransactionManager,
+    TxnState,
+)
 from repro.engine.types import Schema
 from repro.engine.wal import LogKind, LogRecord, WriteAheadLog
 from repro.obs import NULL_OBSERVER, Observer
@@ -42,6 +54,7 @@ class Database:
         buffer_size_bytes: Optional[int] = None,
         default_isolation: IsolationLevel = IsolationLevel.READ_COMMITTED,
         observer: Optional[Observer] = None,
+        auto_vacuum_versions: int = 4096,
     ):
         self.name = name
         self.obs = observer or NULL_OBSERVER
@@ -54,9 +67,17 @@ class Database:
                 for outcome in ("begin", "commit", "abort")
             }
             self._h_txn_s = metrics.histogram("engine.txn.duration_s")
+            self._c_mvcc = {
+                event: metrics.counter(f"engine.mvcc.{event}")
+                for event in (
+                    "versions_created", "versions_gc",
+                    "conflicts", "snapshot_reads",
+                )
+            }
         else:
             self._c_txn = None
             self._h_txn_s = None
+            self._c_mvcc = None
         self.buffer: Optional[BufferPool] = (
             BufferPool(buffer_size_bytes, observer=self.obs)
             if buffer_size_bytes else None
@@ -72,6 +93,13 @@ class Database:
         self._commit_listeners: List[CommitListener] = []
         self.checkpoint_lsn = 0
         self._checkpoint_snapshots: Dict[str, TableSnapshot] = {}
+        #: MVCC: snapshots never start below this LSN.  Replica appliers
+        #: raise it to the applied primary LSN so snapshot reads on a
+        #: replica see the shipped versions (which carry primary LSNs).
+        self.snapshot_floor = 0
+        #: vacuum automatically once this many versions accumulate
+        self.auto_vacuum_versions = auto_vacuum_versions
+        self.vacuum_runs = 0
 
     # -- catalog ----------------------------------------------------------------
 
@@ -119,12 +147,24 @@ class Database:
         record = self.wal.append(txn.txn_id, LogKind.BEGIN)
         txn.first_lsn = record.lsn
         txn.last_lsn = record.lsn
+        if txn.isolation in MVCC_LEVELS:
+            # Commit LSNs are strictly greater than the BEGIN record's
+            # LSN, so this snapshot excludes every later commit.
+            txn.snapshot_lsn = max(record.lsn, self.snapshot_floor)
         self._txn_records[txn.txn_id] = []
         return txn
 
     def _commit(self, txn: Transaction) -> None:
         txn.ensure_active()
         record = self.wal.append(txn.txn_id, LogKind.COMMIT)
+        # Stamp this transaction's version-chain entries with the commit
+        # LSN: they become visible to snapshots taken from here on.
+        for version in txn.created_versions:
+            version.begin_lsn = record.lsn
+            version.begin_txn = None
+        for version in txn.ended_versions:
+            version.end_lsn = record.lsn
+            version.end_txn = None
         txn.state = TxnState.COMMITTED
         records = self._txn_records.pop(txn.txn_id, [])
         self.locks.release_all(txn.txn_id)
@@ -133,6 +173,11 @@ class Database:
             self._observe_txn_end(txn, "commit")
         for listener in self._commit_listeners:
             listener(txn.txn_id, record.lsn, records)
+        if (
+            txn.created_versions
+            and self.live_versions() >= self.auto_vacuum_versions
+        ):
+            self.vacuum()
 
     def _rollback(self, txn: Transaction) -> None:
         if txn.state is not TxnState.ACTIVE:
@@ -193,8 +238,20 @@ class Database:
             raise
 
     def query(self, sql: str, params: Sequence[Any] = ()) -> ResultSet:
-        """Alias of :meth:`execute` that reads better at call sites."""
-        return self.execute(sql, params)
+        """Read-only :meth:`execute`: rejects anything but SELECT.
+
+        Historically this silently executed writes and returned an empty
+        :class:`ResultSet`; it now raises :class:`SqlError` so callers
+        can't mutate through the read path by accident.
+        """
+        from repro.engine.sql import SelectStatement
+
+        prepared = self.prepare(sql)
+        if not isinstance(prepared.statement, SelectStatement):
+            raise SqlError(
+                f"query() is read-only; use execute() for: {sql.strip()[:60]!r}"
+            )
+        return self.execute(prepared, params)
 
     def explain(self, sql: str, params: Sequence[Any] = ()) -> str:
         """Describe the access plan a statement would use, without running it."""
@@ -230,6 +287,72 @@ class Database:
     def _unlock_row(self, txn: Transaction, table: str, key: Any) -> None:
         self.locks.release_one(txn.txn_id, (table, key))
 
+    # -- MVCC write-path helpers ---------------------------------------------
+
+    def _check_write_conflict(self, txn: Transaction, table: Table, key: Any) -> None:
+        """First-updater-wins: abort a snapshot writer whose target row
+        gained a committed version after the writer's snapshot."""
+        if txn.snapshot_lsn is None:
+            return
+        newest = table.versions.newest_commit_lsn(key)
+        if newest > txn.snapshot_lsn:
+            if self._c_mvcc is not None:
+                self._c_mvcc["conflicts"].value += 1.0
+            self._rollback(txn)
+            raise WriteConflictError(
+                f"txn {txn.txn_id} (snapshot LSN {txn.snapshot_lsn}) lost "
+                f"{table.name}[{key!r}] to a commit at LSN {newest} "
+                f"(first-updater-wins)"
+            )
+
+    def _chain_base(self, table: Table, key: Any, before: Tuple[Any, ...]) -> None:
+        """First write to a bootstrap row: capture the committed heap
+        image as an always-visible base version (begin LSN 0) so live
+        snapshots keep seeing it once the heap is overwritten."""
+        if table.versions.chain(key) is None:
+            table.versions.append(key, RowVersion(before, begin_lsn=0))
+
+    def _chain_supersede(self, txn: Transaction, table: Table, key: Any) -> None:
+        """Mark the current chain head as ended by ``txn`` (uncommitted
+        until the commit LSN stamp)."""
+        head = table.versions.newest(key)
+        if head is not None and head.end_txn is None and head.end_lsn is None:
+            head.end_txn = txn.txn_id
+            txn.ended_versions.append(head)
+
+    def _chain_append(
+        self, txn: Transaction, table: Table, key: Any, row: Tuple[Any, ...]
+    ) -> None:
+        version = table.versions.append(key, RowVersion(row, begin_txn=txn.txn_id))
+        txn.created_versions.append(version)
+        if self._c_mvcc is not None:
+            self._c_mvcc["versions_created"].value += 1.0
+
+    def live_versions(self) -> int:
+        """Total version-chain entries across all tables."""
+        return sum(table.versions.live_versions for table in self._tables.values())
+
+    def vacuum(self) -> int:
+        """Trim version history invisible to every live snapshot.
+
+        The horizon is the oldest snapshot LSN among active transactions
+        (the WAL tail when none is live, collapsing all chains).  Runs
+        automatically once ``auto_vacuum_versions`` accumulate and from
+        :meth:`checkpoint`; safe to call any time.  Returns versions freed.
+        """
+        horizon = self.txns.oldest_snapshot_lsn(self.wal.last_lsn)
+        freed = 0
+        for table in self._tables.values():
+            freed += table.versions.vacuum(horizon)
+        self.vacuum_runs += 1
+        if self.obs.enabled and freed:
+            self._c_mvcc["versions_gc"].value += float(freed)
+            self.obs.event(
+                "mvcc.vacuum", "engine", track="engine",
+                attrs={"freed": freed, "horizon_lsn": horizon},
+            )
+        return freed
+
     def _insert(self, txn: Transaction, table: Table, values: Sequence[Any]) -> None:
         schema = table.schema
         next_auto = None
@@ -247,10 +370,12 @@ class Database:
         # leaves no WAL record for recovery to trip over.
         table.check_unique(row)
         self._lock_row(txn, table.name, key, LockMode.EXCLUSIVE)
+        self._check_write_conflict(txn, table, key)
         record = self.wal.append(
             txn.txn_id, LogKind.INSERT, table=table.name, key=key, after=row
         )
         table.insert_row(row)
+        self._chain_append(txn, table, key, row)
         txn.last_lsn = record.lsn
         txn.writes += 1
         self._txn_records[txn.txn_id].append(record)
@@ -269,6 +394,7 @@ class Database:
         # Validate unique constraints before the WAL record exists.
         table.check_unique(after, exclude_rid=rid)
         self._lock_row(txn, table.name, key, LockMode.EXCLUSIVE)
+        self._check_write_conflict(txn, table, key)
         record = self.wal.append(
             txn.txn_id,
             LogKind.UPDATE,
@@ -278,6 +404,9 @@ class Database:
             after=after,
         )
         table.update_row(rid, after)
+        self._chain_base(table, key, before)
+        self._chain_supersede(txn, table, key)
+        self._chain_append(txn, table, after[schema.primary_key_index], after)
         txn.last_lsn = record.lsn
         txn.writes += 1
         self._txn_records[txn.txn_id].append(record)
@@ -287,10 +416,13 @@ class Database:
     ) -> None:
         key = before[table.schema.primary_key_index]
         self._lock_row(txn, table.name, key, LockMode.EXCLUSIVE)
+        self._check_write_conflict(txn, table, key)
         record = self.wal.append(
             txn.txn_id, LogKind.DELETE, table=table.name, key=key, before=before
         )
         table.delete_row(rid)
+        self._chain_base(table, key, before)
+        self._chain_supersede(txn, table, key)
         txn.last_lsn = record.lsn
         txn.writes += 1
         self._txn_records[txn.txn_id].append(record)
@@ -321,6 +453,9 @@ class Database:
             raise EngineError(
                 f"checkpoint requires quiescence; active txns: {sorted(self.txns.active)}"
             )
+        # Quiescence means no live snapshot: vacuum collapses every chain
+        # so the checkpoint images carry no version history.
+        self.vacuum()
         if self.buffer is not None:
             self.buffer.flush()
         self._checkpoint_snapshots = {

@@ -54,6 +54,16 @@ class DeadlockError(TransactionAborted):
     """The lock manager chose this transaction as a deadlock victim."""
 
 
+class WriteConflictError(TransactionAborted):
+    """First-updater-wins: a snapshot transaction tried to overwrite a
+    row version committed after its snapshot was taken.
+
+    Raised only under the MVCC isolation levels (``SNAPSHOT`` and
+    ``REPEATABLE_READ``).  Retryable: a fresh attempt takes a fresh
+    snapshot that includes the conflicting commit.
+    """
+
+
 class SimulatedCrash(EngineError):
     """A fault-injection crash point fired; the node is gone mid-request.
 

@@ -283,6 +283,42 @@ class Executor:
             return matches
         return [(rid, row) for rid, row in table.scan() if residual(row)]
 
+    def _match_rows_snapshot(
+        self,
+        table: Table,
+        where: Tuple[Condition, ...],
+        params: Sequence[Any],
+        txn: Transaction,
+    ) -> List[Tuple[Any, Tuple[Any, ...]]]:
+        """Visibility-checked (rid, row) pairs for an MVCC read: no locks.
+
+        Point lookups resolve through the key's version chain; every
+        other plan goes through a visibility-checked scan, because
+        secondary indexes track only the current heap and may miss rows
+        the snapshot still sees (updated or deleted after it was taken).
+        """
+        schema = table.schema
+        plan = self.choose_plan(table, where, params)
+        bound = plan.bound
+
+        def residual(row: Tuple[Any, ...]) -> bool:
+            for column, op, value in bound:
+                cell = row[schema.column_index(column)]
+                if cell is None or not _OPS[op](cell, value):
+                    return False
+            return True
+
+        if plan.kind == "pk_point":
+            row = table.visible_by_key(plan.key, txn.snapshot_lsn, txn.txn_id)
+            if row is None or not residual(row):
+                return []
+            return [(None, row)]
+        return [
+            (rid, row)
+            for rid, row in table.snapshot_scan(txn.snapshot_lsn, txn.txn_id)
+            if residual(row)
+        ]
+
     # -- SELECT ----------------------------------------------------------------
 
     def _select(
@@ -294,14 +330,26 @@ class Executor:
     ) -> ResultSet:
         table = prepared.table
         schema = table.schema
-        matches = self._match_rows(table, statement.where, params)
-        lock_mode = LockMode.EXCLUSIVE if statement.for_update else LockMode.SHARED
-        shared_keys = []
-        for _rid, row in matches:
-            key = row[schema.primary_key_index]
-            self._db._lock_row(txn, table.name, key, lock_mode)
-            if lock_mode is LockMode.SHARED:
-                shared_keys.append(key)
+        shared_keys: List[Any] = []
+        if txn.uses_mvcc and not statement.for_update:
+            # Snapshot read: resolve versions, take no locks at all.
+            matches = self._match_rows_snapshot(
+                table, statement.where, params, txn
+            )
+            if self._db._c_mvcc is not None:
+                self._db._c_mvcc["snapshot_reads"].value += 1.0
+        else:
+            # Current read (lock-based levels, or FOR UPDATE under any
+            # level, which needs the latest committed image plus a lock).
+            matches = self._match_rows(table, statement.where, params)
+            lock_mode = (
+                LockMode.EXCLUSIVE if statement.for_update else LockMode.SHARED
+            )
+            for _rid, row in matches:
+                key = row[schema.primary_key_index]
+                self._db._lock_row(txn, table.name, key, lock_mode)
+                if lock_mode is LockMode.SHARED:
+                    shared_keys.append(key)
         rows = [row for _rid, row in matches]
         txn.reads += len(rows)
         # Row-level ORDER BY / LIMIT only apply to ungrouped selects;

@@ -19,6 +19,7 @@ from dataclasses import dataclass, field
 from typing import Iterable, Optional, Set, TYPE_CHECKING
 
 from repro.engine.errors import EngineError
+from repro.engine.table import RowVersion, Table
 from repro.engine.wal import DATA_KINDS, LogKind, LogRecord
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -41,27 +42,74 @@ class RecoveryReport:
     records_discarded: int = 0
 
 
+def _chain_base(table: Table, key, before) -> None:
+    """Capture the committed pre-image of a chainless key as an
+    always-visible base version (mirrors ``Database._chain_base``): a
+    snapshot live while a replica batch applies must keep seeing it."""
+    if table.versions.chain(key) is None:
+        table.versions.append(key, RowVersion(before, begin_lsn=0))
+
+
+def _chain_end(table: Table, key, lsn: int) -> None:
+    head = table.versions.newest(key)
+    if head is not None and head.end_txn is None and head.end_lsn is None:
+        head.end_lsn = lsn
+
+
+def _chain_unend(table: Table, key, record: LogRecord) -> None:
+    """Reverse ``_chain_end`` / ``Database._chain_supersede`` for this
+    record, whether the end marker is an uncommitted txn mark (live
+    rollback) or a redo-stamped LSN (loser undo after a crash)."""
+    head = table.versions.newest(key)
+    if head is not None and (
+        head.end_txn == record.txn_id or head.end_lsn == record.lsn
+    ):
+        head.end_txn = None
+        head.end_lsn = None
+
+
 def _apply_redo(db: "Database", record: LogRecord) -> None:
-    """Physically re-apply one data record (exact replay after snapshot)."""
+    """Physically re-apply one data record (exact replay after snapshot).
+
+    Version chains are rebuilt alongside the heap, stamped with the
+    record's own (primary) LSN: on a replica this is what lets snapshot
+    reads order shipped commits against ``snapshot_floor``, and after a
+    crash every later snapshot sees the replayed history as committed.
+    """
     table = db.table(record.table)
     if record.kind is LogKind.INSERT:
         table.insert_row(record.after)
+        table.versions.append(
+            record.key, RowVersion(record.after, begin_lsn=record.lsn)
+        )
     elif record.kind is LogKind.UPDATE:
         rid = table.find_by_key(record.key)
         if rid is None:
             raise EngineError(f"redo UPDATE: key {record.key!r} missing in {record.table}")
         table.update_row(rid, record.after)
+        _chain_base(table, record.key, record.before)
+        _chain_end(table, record.key, record.lsn)
+        table.versions.append(
+            record.after[table.schema.primary_key_index],
+            RowVersion(record.after, begin_lsn=record.lsn),
+        )
     elif record.kind is LogKind.DELETE:
         rid = table.find_by_key(record.key)
         if rid is None:
             raise EngineError(f"redo DELETE: key {record.key!r} missing in {record.table}")
         table.delete_row(rid)
+        _chain_base(table, record.key, record.before)
+        _chain_end(table, record.key, record.lsn)
     else:  # pragma: no cover - callers filter to data kinds
         raise EngineError(f"cannot redo record kind {record.kind}")
 
 
 def _apply_undo(db: "Database", record: LogRecord) -> None:
-    """Logically reverse one data record."""
+    """Logically reverse one data record (live rollback and loser undo).
+
+    Chain maintenance mirrors the forward path: drop the version the
+    record created, clear the end marker it set on the predecessor.
+    """
     table = db.table(record.table)
     if record.kind is LogKind.INSERT:
         key = record.after[table.schema.primary_key_index]
@@ -69,14 +117,18 @@ def _apply_undo(db: "Database", record: LogRecord) -> None:
         if rid is None:
             raise EngineError(f"undo INSERT: key {key!r} missing in {record.table}")
         table.delete_row(rid)
+        table.versions.remove_newest(key)
     elif record.kind is LogKind.UPDATE:
         new_key = record.after[table.schema.primary_key_index]
         rid = table.find_by_key(new_key)
         if rid is None:
             raise EngineError(f"undo UPDATE: key {new_key!r} missing in {record.table}")
         table.update_row(rid, record.before)
+        table.versions.remove_newest(new_key)
+        _chain_unend(table, record.key, record)
     elif record.kind is LogKind.DELETE:
         table.insert_row(record.before)
+        _chain_unend(table, record.key, record)
     else:  # pragma: no cover
         raise EngineError(f"cannot undo record kind {record.kind}")
 
@@ -169,6 +221,11 @@ class ReplicaApplier:
             self.applied_lsn = record.lsn
             applied += 1
         self.records_applied += applied
+        # Shipped versions carry primary LSNs, far ahead of the replica's
+        # own near-empty WAL: raise the snapshot floor so replica
+        # snapshots taken from here on see everything applied so far.
+        if self.applied_lsn > self.replica.snapshot_floor:
+            self.replica.snapshot_floor = self.applied_lsn
         return applied
 
     def lag_behind(self, primary_lsn: int) -> int:

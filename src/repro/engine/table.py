@@ -1,10 +1,19 @@
-"""Heap tables: pages + primary index + secondary indexes.
+"""Heap tables: pages + primary index + secondary indexes + row versions.
 
 Every mutation goes through the owning :class:`~repro.engine.database.
 Database` (for WAL and locking); the table provides the physical
 storage operations and index maintenance.  All reads and writes report
 page touches to the buffer pool, which is how buffer-size effects reach
 the cost model.
+
+MVCC state lives beside the heap: each mutated primary key owns a
+**version chain** (:class:`VersionStore`) ordered oldest to newest and
+keyed by commit LSN.  The heap always holds the *current* row image
+(including a writer's uncommitted change, protected by its X lock);
+snapshot readers resolve through the chain instead.  A key with no
+chain is committed base data, visible to every snapshot -- chains are
+created by transactional writes and trimmed back to nothing by vacuum
+once no live snapshot can need the history.
 """
 
 from __future__ import annotations
@@ -16,6 +25,186 @@ from repro.engine.errors import DuplicateKeyError, EngineError, SchemaError
 from repro.engine.index import HashIndex, OrderedIndex
 from repro.engine.page import Page, RowId, rows_per_page
 from repro.engine.types import Schema
+
+
+class RowVersion:
+    """One entry of a version chain.
+
+    ``begin_lsn`` is the commit LSN of the creating transaction, or
+    ``None`` while it is still uncommitted (``begin_txn`` then names the
+    writer).  ``end_lsn``/``end_txn`` mirror that for the superseding or
+    deleting transaction; a version with neither is current.
+    """
+
+    __slots__ = ("row", "begin_lsn", "begin_txn", "end_lsn", "end_txn")
+
+    def __init__(
+        self,
+        row: Tuple[Any, ...],
+        begin_lsn: Optional[int] = None,
+        begin_txn: Optional[int] = None,
+    ):
+        self.row = row
+        self.begin_lsn = begin_lsn
+        self.begin_txn = begin_txn
+        self.end_lsn: Optional[int] = None
+        self.end_txn: Optional[int] = None
+
+    def visible_to(self, snapshot_lsn: int, txn_id: int) -> bool:
+        """Snapshot-isolation visibility: created at or before the
+        snapshot (or by the reader itself) and not yet superseded from
+        the reader's point of view."""
+        if self.begin_lsn is None:
+            if self.begin_txn != txn_id:
+                return False
+        elif self.begin_lsn > snapshot_lsn:
+            return False
+        if self.end_txn is not None:
+            return self.end_txn != txn_id
+        if self.end_lsn is not None:
+            return self.end_lsn > snapshot_lsn
+        return True
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<RowVersion begin={self.begin_txn or self.begin_lsn}"
+            f" end={self.end_txn or self.end_lsn} row={self.row!r}>"
+        )
+
+
+class VersionStore:
+    """Per-table version chains, keyed by primary key.
+
+    The chain list runs oldest to newest.  Only the owning database
+    mutates chains (under the row's X lock), so no further latching is
+    needed in the cooperative execution model.
+    """
+
+    __slots__ = ("_chains", "live_versions")
+
+    def __init__(self) -> None:
+        self._chains: Dict[Any, List[RowVersion]] = {}
+        #: total chain entries (drives the auto-vacuum trigger)
+        self.live_versions = 0
+
+    def __len__(self) -> int:
+        return len(self._chains)
+
+    def chain(self, key: Any) -> Optional[List[RowVersion]]:
+        return self._chains.get(key)
+
+    def chains(self) -> Iterator[Tuple[Any, List[RowVersion]]]:
+        return iter(self._chains.items())
+
+    def clear(self) -> None:
+        self._chains.clear()
+        self.live_versions = 0
+
+    # -- chain mutation (called by the database write path) -----------------
+
+    def append(self, key: Any, version: RowVersion) -> RowVersion:
+        self._chains.setdefault(key, []).append(version)
+        self.live_versions += 1
+        return version
+
+    def newest(self, key: Any) -> Optional[RowVersion]:
+        chain = self._chains.get(key)
+        return chain[-1] if chain else None
+
+    def remove_newest(self, key: Any) -> Optional[RowVersion]:
+        """Drop the newest version of ``key`` (undo of an insert/update)."""
+        chain = self._chains.get(key)
+        if not chain:
+            return None
+        version = chain.pop()
+        self.live_versions -= 1
+        if not chain:
+            del self._chains[key]
+        return version
+
+    def discard(self, key: Any, version: RowVersion) -> None:
+        """Remove one version by identity (rollback of an aborted writer)."""
+        chain = self._chains.get(key)
+        if not chain:
+            return
+        try:
+            chain.remove(version)
+        except ValueError:
+            return
+        self.live_versions -= 1
+        if not chain:
+            del self._chains[key]
+
+    # -- visibility ----------------------------------------------------------
+
+    def visible_row(
+        self, key: Any, snapshot_lsn: int, txn_id: int
+    ) -> Tuple[bool, Optional[Tuple[Any, ...]]]:
+        """``(has_chain, row)``: the version of ``key`` visible to the
+        snapshot, walking newest to oldest.  ``has_chain`` False means
+        the caller should fall back to the heap (committed base data).
+        """
+        chain = self._chains.get(key)
+        if not chain:
+            return False, None
+        for version in reversed(chain):
+            if version.visible_to(snapshot_lsn, txn_id):
+                return True, version.row
+        return True, None
+
+    def newest_commit_lsn(self, key: Any) -> int:
+        """Highest commit LSN stamped anywhere on ``key``'s chain (0 when
+        chainless) -- the first-updater-wins conflict test compares this
+        against the writer's snapshot."""
+        chain = self._chains.get(key)
+        if not chain:
+            return 0
+        newest = 0
+        for version in chain:
+            if version.begin_lsn is not None and version.begin_lsn > newest:
+                newest = version.begin_lsn
+            if version.end_lsn is not None and version.end_lsn > newest:
+                newest = version.end_lsn
+        return newest
+
+    # -- garbage collection --------------------------------------------------
+
+    def vacuum(self, horizon_lsn: int) -> int:
+        """Trim history invisible to every snapshot at or after ``horizon``.
+
+        Versions superseded at or before the horizon are dropped; a chain
+        reduced to a single committed, current version is dropped whole
+        (the heap row carries the same data, and chainless means visible
+        to all).  Returns the number of versions freed.
+        """
+        freed = 0
+        for key in list(self._chains):
+            chain = self._chains[key]
+            kept = [
+                version for version in chain
+                if not (
+                    version.end_lsn is not None
+                    and version.end_txn is None
+                    and version.end_lsn <= horizon_lsn
+                )
+            ]
+            if len(kept) == 1:
+                only = kept[0]
+                if (
+                    only.begin_txn is None
+                    and only.end_txn is None
+                    and only.end_lsn is None
+                    and only.begin_lsn is not None
+                    and only.begin_lsn <= horizon_lsn
+                ):
+                    kept = []
+            freed += len(chain) - len(kept)
+            if kept:
+                self._chains[key] = kept
+            else:
+                del self._chains[key]
+        self.live_versions -= freed
+        return freed
 
 
 class Table:
@@ -32,6 +221,8 @@ class Table:
             f"{self.name}_pkey", (schema.primary_key,), unique=True
         )
         self.secondary_indexes: Dict[str, HashIndex] = {}
+        #: MVCC version chains for keys with post-bootstrap history
+        self.versions = VersionStore()
 
     # -- administrative ----------------------------------------------------
 
@@ -198,6 +389,47 @@ class Table:
                 return index
         return None
 
+    # -- snapshot (MVCC) reads ------------------------------------------------
+
+    def visible_by_key(
+        self, key: Any, snapshot_lsn: int, txn_id: int
+    ) -> Optional[Tuple[Any, ...]]:
+        """The row for ``key`` as the snapshot sees it, without locking.
+
+        Chainless keys are committed base data: the heap row (if any) is
+        visible to everyone.  Keys with a chain resolve through version
+        visibility -- the heap may hold a newer or uncommitted image.
+        """
+        has_chain, row = self.versions.visible_row(key, snapshot_lsn, txn_id)
+        if has_chain:
+            rid = self.find_by_key(key)
+            if rid is not None:
+                self._touch(rid.page_no, dirty=False)
+            return row
+        return self.read_by_key(key)
+
+    def snapshot_scan(
+        self, snapshot_lsn: int, txn_id: int
+    ) -> Iterator[Tuple[Optional[RowId], Tuple[Any, ...]]]:
+        """Full scan as of the snapshot: heap rows resolved through their
+        chains, plus chain-only keys whose current heap row is gone
+        (deleted or moved after the snapshot was taken)."""
+        pk_index = self.schema.primary_key_index
+        for rid, row in self.scan():
+            has_chain, visible = self.versions.visible_row(
+                row[pk_index], snapshot_lsn, txn_id
+            )
+            if not has_chain:
+                yield rid, row
+            elif visible is not None:
+                yield rid, visible
+        for key, _chain in self.versions.chains():
+            if self.primary_index.lookup_unique(key) is not None:
+                continue  # already resolved during the heap scan
+            _has, visible = self.versions.visible_row(key, snapshot_lsn, txn_id)
+            if visible is not None:
+                yield None, visible
+
     def scan(self) -> Iterator[Tuple[RowId, Tuple[Any, ...]]]:
         """Full scan in physical order, touching each page once."""
         for page in self._pages:
@@ -225,6 +457,10 @@ class Table:
     def restore_snapshot(self, snapshot: "TableSnapshot") -> None:
         self._pages = [page.clone() for page in snapshot.pages]
         self._next_auto = snapshot.next_auto
+        # Checkpoint images are quiesced and vacuumed: the restored heap
+        # is committed base data, so all version history resets with it
+        # (recovery redo rebuilds the post-checkpoint chains).
+        self.versions.clear()
         self._rebuild_indexes()
 
     def _rebuild_indexes(self) -> None:

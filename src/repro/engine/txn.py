@@ -20,13 +20,29 @@ if TYPE_CHECKING:  # pragma: no cover
 class IsolationLevel(enum.Enum):
     """Supported isolation levels.
 
-    ``SERIALIZABLE`` is strict 2PL (S locks held to commit);
-    ``READ_COMMITTED`` releases S locks immediately after each read,
-    which is what the paper's OLTP workloads run under on PostgreSQL.
+    Two families share the engine:
+
+    * **Lock-based** -- ``SERIALIZABLE`` is strict 2PL (S locks held to
+      commit); ``READ_COMMITTED`` releases S locks immediately after
+      each read, which is what the paper's OLTP workloads run under on
+      PostgreSQL.
+    * **MVCC** -- ``SNAPSHOT`` and ``REPEATABLE_READ`` capture a commit-
+      LSN snapshot at ``BEGIN`` and read row versions without taking any
+      locks; writes still lock and additionally fail with a retryable
+      :class:`~repro.engine.errors.WriteConflictError` when another
+      transaction committed a newer version first (first-updater-wins).
+      As in PostgreSQL, ``REPEATABLE_READ`` is implemented as snapshot
+      isolation, so the two MVCC levels behave identically.
     """
 
     READ_COMMITTED = "read committed"
+    REPEATABLE_READ = "repeatable read"
+    SNAPSHOT = "snapshot"
     SERIALIZABLE = "serializable"
+
+
+#: Levels whose reads go through version chains instead of the lock manager.
+MVCC_LEVELS = frozenset({IsolationLevel.SNAPSHOT, IsolationLevel.REPEATABLE_READ})
 
 
 class TxnState(enum.Enum):
@@ -55,6 +71,18 @@ class Transaction:
         self.writes = 0
         #: begin timestamp stamped by the database's observer (0.0 when off)
         self.start_s = 0.0
+        #: commit-LSN snapshot captured at BEGIN for the MVCC levels
+        #: (``None`` for the lock-based levels): versions committed at or
+        #: below this LSN are visible, later commits are not.
+        self.snapshot_lsn: Optional[int] = None
+        #: row versions this transaction created / superseded, stamped
+        #: with the commit LSN at commit time (engine-internal).
+        self.created_versions: list = []
+        self.ended_versions: list = []
+
+    @property
+    def uses_mvcc(self) -> bool:
+        return self.snapshot_lsn is not None
 
     # -- lifecycle -------------------------------------------------------------
 
@@ -122,3 +150,17 @@ class TransactionManager:
         if not self.active:
             return None
         return self.active[min(self.active)]
+
+    def oldest_snapshot_lsn(self, default: int) -> int:
+        """The GC horizon: the oldest snapshot any live transaction holds.
+
+        Versions superseded at or before this LSN are invisible to every
+        current and future snapshot and may be vacuumed.  ``default``
+        (normally the WAL tail) applies when no MVCC transaction is live.
+        """
+        snapshots = [
+            txn.snapshot_lsn
+            for txn in self.active.values()
+            if txn.snapshot_lsn is not None
+        ]
+        return min(snapshots) if snapshots else default

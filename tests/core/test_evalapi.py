@@ -1,0 +1,169 @@
+"""Tests for the unified evaluator API: registry, outcomes, legacy wrappers."""
+
+import json
+
+import pytest
+
+from repro.core.config import BenchConfig
+from repro.core.evalapi import (
+    EvalOption,
+    EvalOutcome,
+    EvaluatorSpec,
+    evaluator_names,
+    evaluator_specs,
+    get_evaluator,
+)
+from repro.core.cli import build_parser, main
+from repro.core.export import outcome_to_csv, outcome_to_json
+from repro.core.report import outcome_table
+from repro.core.runner import CloudyBench
+
+
+@pytest.fixture(scope="module")
+def bench():
+    config = BenchConfig.quick()
+    config.architectures = ["aws_rds", "cdb3"]
+    config.measure_window_s = 300.0
+    config.lag_transactions = 40
+    config.lag_concurrency = 4
+    return CloudyBench(config)
+
+
+class TestRegistry:
+    def test_registry_covers_the_paper_evaluations(self):
+        names = evaluator_names()
+        assert names == tuple(sorted(names))
+        for expected in (
+            "throughput", "pscore", "elasticity", "multitenancy",
+            "failover", "lagtime", "chaos", "oltp", "overall",
+        ):
+            assert expected in names
+
+    def test_specs_are_complete(self):
+        for spec in evaluator_specs():
+            assert isinstance(spec, EvaluatorSpec)
+            assert spec.title
+            assert spec.summary
+            assert callable(spec.runner)
+
+    def test_unknown_evaluator_raises(self):
+        with pytest.raises(KeyError):
+            get_evaluator("no-such-eval")
+
+    def test_validate_fills_defaults(self):
+        spec = get_evaluator("overall")
+        opts = spec.validate({})
+        assert opts == {"duration_s": 300.0}
+
+    def test_validate_rejects_unknown_option(self):
+        spec = get_evaluator("pscore")
+        with pytest.raises(TypeError):
+            spec.validate({"bogus": 1})
+
+    def test_run_rejects_unknown_option(self, bench):
+        with pytest.raises(TypeError):
+            bench.run("pscore", bogus=1)
+
+
+class TestOutcomes:
+    def test_every_evaluator_returns_an_outcome(self, bench):
+        for name in ("throughput", "pscore", "multitenancy", "failover"):
+            outcome = bench.run(name)
+            assert isinstance(outcome, EvalOutcome)
+            assert outcome.name == name
+            assert outcome.title
+            assert outcome.headers
+            assert outcome.rows
+            assert all(len(row) == len(outcome.headers) for row in outcome.rows)
+            assert outcome.payload is not None
+
+    def test_outcome_carries_obs_snapshot(self, bench):
+        outcome = bench.run("pscore")
+        assert isinstance(outcome.obs, dict)
+
+    def test_overall_outcome_scores(self, bench):
+        outcome = bench.run("overall")
+        assert set(outcome.scores) >= {
+            "o.aws_rds", "o.cdb3", "o_star.aws_rds", "o_star.cdb3",
+        }
+        assert all(value > 0 for value in outcome.scores.values())
+
+    def test_option_changes_the_result(self, bench):
+        one = bench.run("pscore", n_ro_nodes=1)
+        three = bench.run("pscore", n_ro_nodes=3)
+        assert one.rows != three.rows
+
+    def test_to_dict_roundtrips_through_json(self, bench):
+        outcome = bench.run("failover")
+        data = json.loads(outcome_to_json(outcome))
+        assert data["name"] == "failover"
+        assert data["headers"] == list(outcome.headers)
+        assert len(data["rows"]) == len(outcome.rows)
+        assert data["scores"]
+
+    def test_outcome_to_csv(self, bench, tmp_path):
+        outcome = bench.run("pscore")
+        out = tmp_path / "pscore.csv"
+        with out.open("w", newline="") as handle:
+            written = outcome_to_csv(outcome, handle)
+        assert written == len(outcome.rows)
+        lines = out.read_text().strip().splitlines()
+        assert lines[0].split(",")[0] == outcome.headers[0]
+        assert len(lines) == len(outcome.rows) + 1
+
+    def test_outcome_table_renders(self, bench, capsys):
+        outcome_table(bench.run("multitenancy")).print()
+        printed = capsys.readouterr().out
+        assert "Multi-tenancy" in printed
+
+
+class TestLegacyWrappers:
+    """The old ``run_*`` surface keeps its return shapes and cache identity."""
+
+    def test_throughput_shape(self, bench):
+        data = bench.run_throughput()
+        assert isinstance(data, dict)
+        assert ("aws_rds", 1, "RO", 50) in data
+        assert data is bench.run("throughput").payload
+
+    def test_pscore_shape(self, bench):
+        rows = bench.run_pscore()
+        assert [row.arch_name for row in rows] == ["aws_rds", "cdb3"]
+
+    def test_elasticity_cache_identity(self, bench):
+        assert bench.run_elasticity() is bench.run_elasticity()
+        assert bench.run_elasticity() is bench.run("elasticity").payload
+
+    def test_failover_shape(self, bench):
+        results = bench.run_failover()
+        assert set(results) == {"aws_rds", "cdb3"}
+
+    def test_overall_wrapper(self, bench):
+        scores = bench.overall()
+        assert set(scores) == {"aws_rds", "cdb3"}
+
+
+class TestCli:
+    def test_parser_accepts_registry_names_and_list(self):
+        parser = build_parser()
+        for name in (*evaluator_names(), "report", "list"):
+            assert parser.parse_args(["--eval", name]).evaluation == name
+        with pytest.raises(SystemExit):
+            parser.parse_args(["--eval", "nonsense"])
+
+    def test_eval_list_prints_registry(self, capsys):
+        main(["--eval", "list"])
+        printed = capsys.readouterr().out
+        for name in evaluator_names():
+            assert name in printed
+        assert "duration_s" in printed  # option schemas are shown
+
+    def test_opt_flag_parses_and_types(self, capsys):
+        main(["--quick", "--arch", "cdb3", "--eval", "pscore",
+              "--opt", "n_ro_nodes=2"])
+        assert "P-Score" in capsys.readouterr().out
+
+    def test_bad_opt_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["--quick", "--arch", "cdb3", "--eval", "pscore",
+                  "--opt", "bogus=2"])

@@ -1,0 +1,380 @@
+"""Isolation-anomaly matrix across all four isolation levels.
+
+For each classical anomaly -- dirty read, non-repeatable read, lost
+update, write skew -- these tests assert which levels permit and which
+forbid it:
+
+=====================  ====  ====  ========  ============
+anomaly                RC    RR    SNAPSHOT  SERIALIZABLE
+=====================  ====  ====  ========  ============
+dirty read             no    no    no        no
+non-repeatable read    YES   no    no        no
+lost update            YES   no    no        no
+write skew             YES   YES   YES       no
+=====================  ====  ====  ========  ============
+
+The engine's two MVCC levels (REPEATABLE_READ and SNAPSHOT) are both
+snapshot isolation, PostgreSQL-style: they forbid lost updates via
+first-updater-wins (:class:`WriteConflictError`) but permit write skew,
+which only strict 2PL (SERIALIZABLE) prevents.  The lock-based levels
+forbid dirty reads through the no-wait lock manager: a reader aborts
+with :class:`LockTimeoutError` instead of seeing uncommitted data.
+
+Also here: crash-recovery tests asserting version chains are rebuilt by
+redo/undo so snapshot reads keep working after ``crash()``/``recover()``.
+"""
+
+import pytest
+
+from repro.engine.database import Database
+from repro.engine.errors import (
+    LockTimeoutError,
+    SqlError,
+    TransactionAborted,
+    WriteConflictError,
+)
+from repro.engine.txn import MVCC_LEVELS, IsolationLevel
+from repro.engine.types import Column, ColumnType, Schema
+
+RC = IsolationLevel.READ_COMMITTED
+RR = IsolationLevel.REPEATABLE_READ
+SNAP = IsolationLevel.SNAPSHOT
+SER = IsolationLevel.SERIALIZABLE
+ALL_LEVELS = (RC, RR, SNAP, SER)
+
+
+def make_db() -> Database:
+    db = Database("iso-test")
+    db.create_table(Schema(
+        "ACC",
+        (
+            Column("ID", ColumnType.INT, nullable=False),
+            Column("BAL", ColumnType.INT, nullable=False),
+        ),
+        primary_key="ID",
+    ))
+    db.execute("INSERT INTO ACC VALUES (?, ?)", [1, 100])
+    db.execute("INSERT INTO ACC VALUES (?, ?)", [2, 200])
+    return db
+
+
+def balance(db, txn, key):
+    return db.execute(
+        "SELECT BAL FROM ACC WHERE ID = ?", [key], txn=txn
+    ).scalar()
+
+
+class TestDirtyRead:
+    """No level may observe another transaction's uncommitted write."""
+
+    @pytest.mark.parametrize("level", ALL_LEVELS)
+    def test_uncommitted_write_invisible(self, level):
+        db = make_db()
+        writer = db.begin()
+        db.execute("UPDATE ACC SET BAL = ? WHERE ID = ?", [999, 1], txn=writer)
+        reader = db.begin(level)
+        if level in MVCC_LEVELS:
+            # snapshot reads bypass locks and resolve to the committed image
+            assert balance(db, reader, 1) == 100
+            reader.commit()
+        else:
+            # lock-based readers abort (no-wait) rather than read dirty data
+            with pytest.raises(LockTimeoutError):
+                balance(db, reader, 1)
+        writer.rollback()
+
+
+class TestNonRepeatableRead:
+    """Permitted only under READ_COMMITTED."""
+
+    def test_read_committed_sees_intervening_commit(self):
+        db = make_db()
+        reader = db.begin(RC)
+        assert balance(db, reader, 1) == 100
+        writer = db.begin()
+        db.execute("UPDATE ACC SET BAL = ? WHERE ID = ?", [150, 1], txn=writer)
+        writer.commit()
+        assert balance(db, reader, 1) == 150  # the anomaly
+        reader.commit()
+
+    @pytest.mark.parametrize("level", (RR, SNAP))
+    def test_mvcc_levels_repeat_the_first_read(self, level):
+        db = make_db()
+        reader = db.begin(level)
+        assert balance(db, reader, 1) == 100
+        writer = db.begin()
+        db.execute("UPDATE ACC SET BAL = ? WHERE ID = ?", [150, 1], txn=writer)
+        writer.commit()
+        assert balance(db, reader, 1) == 100
+        reader.commit()
+
+    def test_serializable_blocks_the_writer_instead(self):
+        db = make_db()
+        reader = db.begin(SER)
+        assert balance(db, reader, 1) == 100
+        writer = db.begin()
+        # reader's S lock is held to commit; the no-wait writer aborts
+        with pytest.raises(LockTimeoutError):
+            db.execute("UPDATE ACC SET BAL = ? WHERE ID = ?", [150, 1], txn=writer)
+        assert balance(db, reader, 1) == 100
+        reader.commit()
+
+
+class TestLostUpdate:
+    """Two read-modify-write cycles on one row must not silently merge."""
+
+    def test_read_committed_loses_the_first_update(self):
+        db = make_db()
+        a = db.begin(RC)
+        b = db.begin(RC)
+        seen_a = balance(db, a, 1)
+        seen_b = balance(db, b, 1)  # RC releases S locks per statement
+        db.execute("UPDATE ACC SET BAL = ? WHERE ID = ?", [seen_a + 10, 1], txn=a)
+        a.commit()
+        db.execute("UPDATE ACC SET BAL = ? WHERE ID = ?", [seen_b + 5, 1], txn=b)
+        b.commit()
+        # b overwrote a's increment: the classic lost update
+        assert db.query("SELECT BAL FROM ACC WHERE ID = ?", [1]).scalar() == 105
+
+    @pytest.mark.parametrize("level", (RR, SNAP))
+    def test_mvcc_raises_retryable_write_conflict(self, level):
+        db = make_db()
+        a = db.begin(level)
+        b = db.begin(level)
+        seen_a = balance(db, a, 1)
+        seen_b = balance(db, b, 1)
+        db.execute("UPDATE ACC SET BAL = ? WHERE ID = ?", [seen_a + 10, 1], txn=a)
+        a.commit()
+        with pytest.raises(WriteConflictError) as info:
+            db.execute(
+                "UPDATE ACC SET BAL = ? WHERE ID = ?", [seen_b + 5, 1], txn=b
+            )
+        assert info.value.retryable
+        assert not b.is_active  # first-updater-wins rolled b back
+        assert db.query("SELECT BAL FROM ACC WHERE ID = ?", [1]).scalar() == 110
+
+    def test_serializable_aborts_via_held_read_lock(self):
+        db = make_db()
+        a = db.begin(SER)
+        b = db.begin(SER)
+        balance(db, a, 1)
+        balance(db, b, 1)  # both hold S locks to commit
+        with pytest.raises(LockTimeoutError):
+            db.execute("UPDATE ACC SET BAL = ? WHERE ID = ?", [110, 1], txn=a)
+        db.execute("UPDATE ACC SET BAL = ? WHERE ID = ?", [105, 1], txn=b)
+        b.commit()
+        assert db.query("SELECT BAL FROM ACC WHERE ID = ?", [1]).scalar() == 105
+
+
+class TestWriteSkew:
+    """Disjoint writes off overlapping reads: only SERIALIZABLE forbids it.
+
+    The classic constraint: BAL(1) + BAL(2) must stay >= 0.  Each
+    transaction checks the sum then withdraws from a *different* row --
+    snapshot isolation admits both, breaking the invariant.
+    """
+
+    def _attempt(self, db, level):
+        a = db.begin(level)
+        b = db.begin(level)
+        total_a = balance(db, a, 1) + balance(db, a, 2)
+        total_b = balance(db, b, 1) + balance(db, b, 2)
+        assert total_a == total_b == 300
+        # each withdraws 250 from its own row, believing 300 is available
+        db.execute("UPDATE ACC SET BAL = ? WHERE ID = ?", [100 - 250, 1], txn=a)
+        a.commit()
+        db.execute("UPDATE ACC SET BAL = ? WHERE ID = ?", [200 - 250, 2], txn=b)
+        b.commit()
+
+    @pytest.mark.parametrize("level", (RC, RR, SNAP))
+    def test_permitted_below_serializable(self, level):
+        db = make_db()
+        self._attempt(db, level)
+        total = (
+            db.query("SELECT BAL FROM ACC WHERE ID = ?", [1]).scalar()
+            + db.query("SELECT BAL FROM ACC WHERE ID = ?", [2]).scalar()
+        )
+        assert total < 0  # invariant broken: write skew happened
+
+    def test_forbidden_under_serializable(self):
+        db = make_db()
+        with pytest.raises(TransactionAborted):
+            self._attempt(db, SER)
+        total = (
+            db.query("SELECT BAL FROM ACC WHERE ID = ?", [1]).scalar()
+            + db.query("SELECT BAL FROM ACC WHERE ID = ?", [2]).scalar()
+        )
+        assert total >= 0
+
+
+class TestSnapshotReadPaths:
+    """Visibility holds on every access plan, not just point lookups."""
+
+    def test_scan_and_aggregate_see_the_snapshot(self):
+        db = make_db()
+        reader = db.begin(SNAP)
+        assert db.execute(
+            "SELECT COUNT(*) FROM ACC", txn=reader
+        ).scalar() == 2
+        db.execute("INSERT INTO ACC VALUES (?, ?)", [3, 300])
+        db.execute("DELETE FROM ACC WHERE ID = ?", [2])
+        # the snapshot still counts the original two rows
+        assert db.execute(
+            "SELECT COUNT(*) FROM ACC", txn=reader
+        ).scalar() == 2
+        rows = db.execute("SELECT * FROM ACC", txn=reader).rows
+        assert sorted(rows) == [(1, 100), (2, 200)]
+        reader.commit()
+
+    def test_own_writes_visible_to_self(self):
+        db = make_db()
+        txn = db.begin(SNAP)
+        db.execute("UPDATE ACC SET BAL = ? WHERE ID = ?", [123, 1], txn=txn)
+        assert balance(db, txn, 1) == 123
+        db.execute("INSERT INTO ACC VALUES (?, ?)", [9, 9], txn=txn)
+        assert db.execute(
+            "SELECT COUNT(*) FROM ACC", txn=txn
+        ).scalar() == 3
+        txn.commit()
+
+    def test_deleted_row_still_visible_to_older_snapshot(self):
+        db = make_db()
+        reader = db.begin(SNAP)
+        db.execute("DELETE FROM ACC WHERE ID = ?", [1])
+        assert balance(db, reader, 1) == 100
+        reader.commit()
+        fresh = db.begin(SNAP)
+        assert db.execute(
+            "SELECT BAL FROM ACC WHERE ID = ?", [1], txn=fresh
+        ).rows == []
+        fresh.commit()
+
+
+class TestVacuum:
+    """GC trims history no live snapshot can need, and no more."""
+
+    def test_versions_pinned_by_live_snapshot(self):
+        db = make_db()
+        reader = db.begin(SNAP)
+        for value in range(5):
+            db.execute("UPDATE ACC SET BAL = ? WHERE ID = ?", [value, 1], txn=None)
+        before = db.live_versions()
+        db.vacuum()
+        # the reader's snapshot pins the base version; history up to it
+        # may go, but the visible image must survive
+        assert balance(db, reader, 1) == 100
+        reader.commit()
+        db.vacuum()
+        assert db.live_versions() == 0
+        assert db.live_versions() < before
+
+    def test_auto_vacuum_triggers_on_commit(self):
+        db = Database("auto-vac", auto_vacuum_versions=8)
+        db.create_table(Schema(
+            "T", (Column("K", ColumnType.INT, nullable=False),
+                  Column("V", ColumnType.INT)), primary_key="K",
+        ))
+        db.execute("INSERT INTO T VALUES (?, ?)", [1, 0])
+        for value in range(40):
+            db.execute("UPDATE T SET V = ? WHERE K = ?", [value, 1])
+        assert db.vacuum_runs > 0
+        assert db.live_versions() < 40
+
+    def test_checkpoint_vacuums(self):
+        db = make_db()
+        db.execute("UPDATE ACC SET BAL = ? WHERE ID = ?", [7, 1])
+        assert db.live_versions() > 0
+        db.checkpoint()
+        assert db.live_versions() == 0
+
+
+class TestQueryGuard:
+    """``Database.query`` is read-only (regression: it silently ran writes)."""
+
+    def test_query_rejects_writes(self):
+        db = make_db()
+        for sql, params in (
+            ("INSERT INTO ACC VALUES (?, ?)", [5, 5]),
+            ("UPDATE ACC SET BAL = ? WHERE ID = ?", [0, 1]),
+            ("DELETE FROM ACC WHERE ID = ?", [1]),
+        ):
+            with pytest.raises(SqlError):
+                db.query(sql, params)
+        # nothing was mutated
+        assert db.query("SELECT COUNT(*) FROM ACC").scalar() == 2
+        assert db.query("SELECT BAL FROM ACC WHERE ID = ?", [1]).scalar() == 100
+
+    def test_execute_still_writes(self):
+        db = make_db()
+        db.execute("UPDATE ACC SET BAL = ? WHERE ID = ?", [1, 1])
+        assert db.query("SELECT BAL FROM ACC WHERE ID = ?", [1]).scalar() == 1
+
+
+class TestCrashRecoveryChains:
+    """Version chains are rebuilt from the WAL after a crash."""
+
+    def test_snapshot_reads_after_recovery(self):
+        db = make_db()
+        db.checkpoint()
+        db.execute("UPDATE ACC SET BAL = ? WHERE ID = ?", [111, 1])
+        db.execute("INSERT INTO ACC VALUES (?, ?)", [3, 333])
+        db.execute("DELETE FROM ACC WHERE ID = ?", [2])
+        db.crash()
+        db.recover()
+        reader = db.begin(SNAP)
+        assert balance(db, reader, 1) == 111
+        assert balance(db, reader, 3) == 333
+        assert db.execute(
+            "SELECT BAL FROM ACC WHERE ID = ?", [2], txn=reader
+        ).rows == []
+        assert db.execute("SELECT COUNT(*) FROM ACC", txn=reader).scalar() == 2
+        reader.commit()
+
+    def test_loser_versions_removed_by_undo(self):
+        db = make_db()
+        db.checkpoint()
+        db.execute("UPDATE ACC SET BAL = ? WHERE ID = ?", [500, 1])
+        loser = db.begin()
+        db.execute("UPDATE ACC SET BAL = ? WHERE ID = ?", [666, 1], txn=loser)
+        db.execute("INSERT INTO ACC VALUES (?, ?)", [7, 7], txn=loser)
+        db.crash()  # loser never committed
+        report = db.recover()
+        assert report.records_undone > 0
+        reader = db.begin(SNAP)
+        assert balance(db, reader, 1) == 500
+        assert db.execute(
+            "SELECT BAL FROM ACC WHERE ID = ?", [7], txn=reader
+        ).rows == []
+        reader.commit()
+
+    def test_mvcc_conflict_state_resets_after_recovery(self):
+        db = make_db()
+        db.checkpoint()
+        db.execute("UPDATE ACC SET BAL = ? WHERE ID = ?", [1, 1])
+        db.crash()
+        db.recover()
+        # a fresh snapshot writer must not conflict with pre-crash history
+        txn = db.begin(SNAP)
+        db.execute("UPDATE ACC SET BAL = ? WHERE ID = ?", [2, 1], txn=txn)
+        txn.commit()
+        assert db.query("SELECT BAL FROM ACC WHERE ID = ?", [1]).scalar() == 2
+
+    def test_replica_snapshot_reads_shipped_versions(self):
+        from repro.engine.recovery import ReplicaApplier
+
+        db = make_db()
+        replica = db.clone_full("replica")
+        applier = ReplicaApplier(replica)
+        batches = []
+        db.add_commit_listener(
+            lambda _txn, _lsn, records: batches.append(list(records))
+        )
+        db.execute("UPDATE ACC SET BAL = ? WHERE ID = ?", [777, 1])
+        for batch in batches:
+            applier.apply_batch(batch)
+        assert replica.snapshot_floor == applier.applied_lsn
+        reader = replica.begin(SNAP)
+        assert replica.execute(
+            "SELECT BAL FROM ACC WHERE ID = ?", [1], txn=reader
+        ).scalar() == 777
+        reader.commit()
