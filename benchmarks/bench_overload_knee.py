@@ -1,0 +1,128 @@
+"""Overload knee bench: goodput past saturation with and without qos.
+
+Sweeps offered load from half of saturation to 3x past it with the
+overload evaluator (:mod:`repro.qos.overload`) in both configurations
+and asserts the PR's headline claims deterministically (fixed seed):
+
+* **qos on** -- goodput at 2x the saturation load stays within 20% of
+  the peak, the admission queue stays bounded at the policy cap, and
+  successful requests finish within their deadline (p99 <= deadline).
+* **qos off** -- goodput at 2x collapses below 50% of the peak while
+  the unbounded queue grows past any admission bound.
+
+Runs two ways:
+
+* ``pytest benchmarks/bench_overload_knee.py`` -- the bench suite path,
+  with the knee numbers in ``benchmark.extra_info``;
+* ``python benchmarks/bench_overload_knee.py [--quick] [--seed N]`` --
+  the CI smoke entry point; exits non-zero if either claim fails.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.cloud.architectures import get as get_architecture
+from repro.core.report import TextTable
+from repro.qos.overload import OverloadEvaluator, OverloadResult
+
+ARCH = "aws_rds"
+MULTIPLES = [0.5, 1.0, 1.5, 2.0, 3.0]
+
+
+def run_sweeps(quick: bool = False, seed: int = 42):
+    """One qos-on and one qos-off sweep of the same arrival schedule."""
+    arch = get_architecture(ARCH)
+    duration_s = 3.0 if quick else 6.0
+    sweeps = {}
+    for qos in (True, False):
+        evaluator = OverloadEvaluator(arch, qos=qos, duration_s=duration_s, seed=seed)
+        sweeps[qos] = evaluator.run(list(MULTIPLES))
+    return sweeps[True], sweeps[False]
+
+
+def _report(with_qos: OverloadResult, without: OverloadResult) -> TextTable:
+    table = TextTable(
+        ["qos", "load", "offered", "goodput", "shed", "expired",
+         "timeouts", "p99 ms", "queue max"],
+        title=f"Goodput past the knee ({ARCH}, capacity "
+              f"{with_qos.capacity_rps:g} rps, deadline "
+              f"{with_qos.deadline_s * 1000:g} ms)",
+    )
+    for result in (with_qos, without):
+        for point in result.points:
+            table.add_row(
+                "on" if result.qos else "off", f"x{point.multiple:g}",
+                round(point.offered_rps), round(point.goodput_rps, 1),
+                point.shed, point.expired, point.timeouts,
+                round(point.p99_latency_s * 1000, 1), point.peak_queue_depth,
+            )
+    return table
+
+
+def _check(with_qos: OverloadResult, without: OverloadResult) -> None:
+    protected = with_qos.point_at(2.0)
+    unprotected = without.point_at(2.0)
+    assert protected is not None and unprotected is not None
+    # graceful degradation: within 20% of peak at twice the saturation load
+    assert protected.goodput_rps >= 0.8 * with_qos.peak_goodput_rps, (
+        f"qos goodput at 2x fell to {protected.goodput_rps:.0f} rps "
+        f"(peak {with_qos.peak_goodput_rps:.0f})"
+    )
+    # backpressure: the admission queue never exceeds the policy cap,
+    # and whatever completes does so within its deadline
+    for point in with_qos.points:
+        assert point.peak_queue_depth <= 2 * 32, (
+            f"qos queue unbounded at x{point.multiple:g}: "
+            f"{point.peak_queue_depth}"
+        )
+    assert protected.p99_latency_s <= with_qos.deadline_s
+    # the baseline collapses: > 50% goodput loss past the knee
+    assert unprotected.goodput_rps <= 0.5 * without.peak_goodput_rps, (
+        f"no-qos goodput at 2x held at {unprotected.goodput_rps:.0f} rps "
+        f"(peak {without.peak_goodput_rps:.0f}); the baseline should collapse"
+    )
+    assert unprotected.peak_queue_depth > 10 * 32
+    # the D-Scores order the two configurations unambiguously
+    assert with_qos.dscore > 0.8 > 0.5 > without.dscore
+
+
+def test_overload_knee(benchmark):
+    with_qos, without = benchmark.pedantic(
+        run_sweeps, kwargs={"quick": True}, rounds=1, iterations=1
+    )
+    _report(with_qos, without).print()
+    benchmark.extra_info["dscore_qos"] = with_qos.dscore
+    benchmark.extra_info["dscore_noqos"] = without.dscore
+    benchmark.extra_info["goodput_2x_qos"] = with_qos.point_at(2.0).goodput_rps
+    benchmark.extra_info["goodput_2x_noqos"] = without.point_at(2.0).goodput_rps
+    _check(with_qos, without)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true", help="CI smoke sizing (3 s per point)"
+    )
+    parser.add_argument(
+        "--seed", type=int, default=42, help="arrival-schedule seed"
+    )
+    args = parser.parse_args(argv)
+    with_qos, without = run_sweeps(quick=args.quick, seed=args.seed)
+    _report(with_qos, without).print()
+    try:
+        _check(with_qos, without)
+    except AssertionError as failure:
+        print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    print(
+        f"D-Score {with_qos.dscore:.3f} with qos vs {without.dscore:.3f} without; "
+        f"goodput at 2x: {with_qos.point_at(2.0).goodput_rps:.0f} rps "
+        f"vs {without.point_at(2.0).goodput_rps:.0f} rps"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

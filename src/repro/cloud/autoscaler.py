@@ -84,6 +84,12 @@ class Autoscaler:
         self._pending_apply_at: float = 0.0
         self._resuming_until: Optional[float] = None
         self._target_cache: dict[int, float] = {}
+        self._saturation_cache: dict[int, bool] = {}
+        #: control windows where demand needed more vcores than the
+        #: instance can ever provide -- scaling is out of moves and only
+        #: overload protection (shedding, brownout) can help
+        self.overload_windows = 0
+        self._overloaded = False
 
     # -- public API ------------------------------------------------------------
 
@@ -95,8 +101,14 @@ class Autoscaler:
     def is_resuming(self) -> bool:
         return self._resuming_until is not None
 
+    @property
+    def is_overloaded(self) -> bool:
+        """True while demand exceeds what the max allocation can serve."""
+        return self._overloaded
+
     def step(self, now_s: float, demand_concurrency: int) -> ComputeAllocation:
         """Advance to ``now_s`` with the current demand; returns allocation."""
+        self._note_saturation(now_s, demand_concurrency)
         kind = self.policy.kind
         if kind is ScalingKind.FIXED:
             return self.allocation
@@ -109,6 +121,32 @@ class Autoscaler:
         elif kind is ScalingKind.PROACTIVE:
             self._proactive(now_s, demand_concurrency)
         return self.allocation
+
+    def _note_saturation(self, now_s: float, demand: int) -> None:
+        if demand <= 0:
+            self._overloaded = False
+            return
+        saturated = self._saturation_cache.get(demand)
+        if saturated is None:
+            # ``required_vcores`` clamps at the instance ceiling, so the
+            # regular target can never exceed it; probe with headroom
+            # above the ceiling to see whether demand actually fits.
+            max_vcores = self.arch.instance.max_allocation.vcores
+            unbounded = required_vcores(
+                self.arch, self.workload, demand, self.policy.up_threshold,
+                max_vcores=4.0 * max_vcores,
+            )
+            saturated = unbounded > max_vcores + 1e-9
+            self._saturation_cache[demand] = saturated
+        if saturated and not self._overloaded:
+            self.overload_windows += 1
+            if self.obs.enabled:
+                self.obs.count("cloud.autoscaler.overload")
+                self.obs.event(
+                    "overload", "autoscaler", ts=now_s, track="autoscaler",
+                    attrs={"demand": demand, "target_vcores": round(target, 2)},
+                )
+        self._overloaded = saturated
 
     # -- shared helpers -----------------------------------------------------------
 

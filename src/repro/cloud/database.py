@@ -98,6 +98,17 @@ class CloudDatabase:
     def autoscaler(self, workload: WorkloadMix) -> Autoscaler:
         return Autoscaler(self.arch, workload)
 
+    def admission_gate(self, db: Database, **kwargs) -> "AdmissionGate":
+        """Overload-protected facade over an engine of this deployment.
+
+        Keyword arguments are forwarded to
+        :class:`~repro.qos.gate.AdmissionGate` (controller, clock,
+        default_timeout_s).
+        """
+        from repro.qos.gate import AdmissionGate
+
+        return AdmissionGate(db, **kwargs)
+
     def failover_simulator(
         self, workload: WorkloadMix, concurrency: int = 150, **kwargs
     ) -> FailoverSimulator:

@@ -101,14 +101,20 @@ def _parse_opts(args: argparse.Namespace, eval_name: str) -> dict:
     for raw in args.opt:
         name, sep, value = raw.partition("=")
         if not sep:
-            raise SystemExit(f"--opt expects NAME=VALUE, got {raw!r}")
+            raise SystemExit(
+                f"--opt expects NAME=VALUE, got {raw!r} "
+                f"(booleans are spelled e.g. {raw}=true)"
+            )
         option = by_name.get(name)
         if option is None:
             known = ", ".join(sorted(by_name)) or "(none)"
             raise SystemExit(
                 f"evaluator {eval_name!r} has no option {name!r}; known: {known}"
             )
-        opts[name] = option.type(value)
+        try:
+            opts[name] = option.type(value)
+        except ValueError as error:
+            raise SystemExit(f"--opt {name}: {error}") from None
     return opts
 
 

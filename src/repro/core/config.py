@@ -78,6 +78,15 @@ class BenchConfig:
     lag_transactions: int = 240
     lag_replicas: int = 1
 
+    # -- overload / qos
+    qos_enabled: bool = True
+    overload_multiples: List[float] = field(
+        default_factory=lambda: [0.5, 1.0, 1.5, 2.0, 3.0]
+    )
+    overload_capacity_rps: float = 200.0
+    overload_deadline_s: float = 0.6
+    overload_duration_s: float = 6.0
+
     # -- chaos / availability
     chaos_faults: int = 4
     chaos_duration_s: float = 40.0
@@ -105,6 +114,16 @@ class BenchConfig:
             raise ValueError("chaos needs >= 1 client and replica")
         if not 0.0 < self.chaos_slo < 1.0:
             raise ValueError("chaos_slo must be in (0, 1)")
+        if not self.overload_multiples or any(
+            m <= 0 for m in self.overload_multiples
+        ):
+            raise ValueError("overload_multiples must be positive load multiples")
+        if (
+            self.overload_capacity_rps <= 0
+            or self.overload_deadline_s <= 0
+            or self.overload_duration_s <= 0
+        ):
+            raise ValueError("overload capacity, deadline and duration must be positive")
         if self.isolation not in ISOLATION_NAMES:
             raise ValueError(
                 f"isolation must be one of {sorted(ISOLATION_NAMES)}, "
@@ -166,4 +185,6 @@ class BenchConfig:
             row_scale=0.001,
             chaos_duration_s=20.0,
             chaos_clients=4,
+            overload_multiples=[0.5, 1.0, 2.0],
+            overload_duration_s=3.0,
         )

@@ -26,7 +26,25 @@ __all__ = [
     "get_evaluator",
     "evaluator_names",
     "evaluator_specs",
+    "parse_bool",
 ]
+
+
+def parse_bool(value: Any) -> bool:
+    """Parse a boolean option value; ``bool("false")`` is a foot-gun.
+
+    Accepts actual booleans (programmatic callers) and the usual
+    spellings from the CLI; anything else raises ``ValueError`` so the
+    caller can report which option was malformed.
+    """
+    if isinstance(value, bool):
+        return value
+    text = str(value).strip().lower()
+    if text in ("1", "true", "yes", "on"):
+        return True
+    if text in ("0", "false", "no", "off"):
+        return False
+    raise ValueError(f"expected a boolean (true/false), got {value!r}")
 
 
 @dataclass(frozen=True)

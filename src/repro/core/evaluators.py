@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING
 
-from repro.core.evalapi import EvalOption, EvalOutcome, evaluator
+from repro.core.evalapi import EvalOption, EvalOutcome, evaluator, parse_bool
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.runner import CloudyBench
@@ -254,6 +254,41 @@ def _oltp(bench: "CloudyBench") -> EvalOutcome:
 
 
 @evaluator(
+    "overload",
+    title="Overload protection (goodput past the knee)",
+    summary="goodput-vs-offered-load sweep with the qos stack on or off",
+    options=(
+        EvalOption(
+            "qos", parse_bool, None,
+            "admission control / deadlines / retry budgets on (default: "
+            "the config's qos_enabled knob)",
+        ),
+    ),
+)
+def _overload(bench: "CloudyBench", qos=None) -> EvalOutcome:
+    data = bench._compute_overload(qos=qos)
+    enabled = bench.config.qos_enabled if qos is None else qos
+    rows = []
+    scores = {}
+    for arch, result in data.items():
+        for point in result.points:
+            rows.append((
+                arch, f"x{point.multiple:g}",
+                round(point.offered_rps), round(point.goodput_rps, 1),
+                point.shed, point.expired, point.timeouts,
+                round(point.p99_latency_s * 1000, 1), point.peak_queue_depth,
+            ))
+        scores[f"d.{arch}"] = result.dscore
+    return _outcome(
+        bench, name="overload",
+        title=f"Overload protection (qos {'on' if enabled else 'off'})",
+        headers=("arch", "load", "offered rps", "goodput rps", "shed",
+                 "expired", "timeouts", "p99 ms", "queue max"),
+        rows=rows, scores=scores, payload=data,
+    )
+
+
+@evaluator(
     "overall",
     title="Overall performance (Table IX)",
     summary="the unified PERFECT score card",
@@ -263,14 +298,24 @@ def _oltp(bench: "CloudyBench") -> EvalOutcome:
 )
 def _overall(bench: "CloudyBench", duration_s: float = 300.0) -> EvalOutcome:
     data = bench._compute_overall(duration_s=duration_s)
-    rows = [tuple(scores.as_row()) for scores in data.values()]
+    headers = ["arch", "P", "P*", "E1", "E1*", "R", "F", "E2",
+               "C(ms)", "T", "T*", "O", "O*"]
+    # extra score columns (e.g. the overload D-Score) append after O*
+    # when the corresponding evaluator has run
+    with_d = any("d" in scores.extras for scores in data.values())
+    if with_d:
+        headers.append("D")
+    rows = []
     flat = {}
     for arch, scores in data.items():
+        row = list(scores.as_row())
+        if with_d:
+            dscore = scores.extras.get("d")
+            row.append("-" if dscore is None else round(dscore, 3))
+        rows.append(tuple(row))
         flat[f"o.{arch}"] = scores.o
         flat[f"o_star.{arch}"] = scores.o_star
     return _outcome(
         bench, name="overall", title="Overall performance (Table IX)",
-        headers=("arch", "P", "P*", "E1", "E1*", "R", "F", "E2",
-                 "C(ms)", "T", "T*", "O", "O*"),
-        rows=rows, scores=flat, payload=data,
+        headers=tuple(headers), rows=rows, scores=flat, payload=data,
     )

@@ -30,15 +30,21 @@ from __future__ import annotations
 import enum
 import random
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Sequence
+from typing import Any, Callable, Dict, List, Optional, Sequence, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.qos.budget import RetryBudget
 
 from repro.engine.errors import (
     EngineError,
     NodeUnavailableError,
+    OverloadError,
     RequestTimeout,
     SimulatedCrash,
 )
 from repro.obs import NULL_OBSERVER, Observer
+from repro.qos.budget import RetryBudget as _RetryBudget
+from repro.qos.deadline import Deadline
 
 #: errors that indict the endpoint (breaker-relevant), not the request
 HEALTH_ERRORS = (NodeUnavailableError, RequestTimeout, SimulatedCrash)
@@ -157,6 +163,7 @@ class CircuitBreaker:
         failure_threshold: int = 3,
         reset_timeout_s: float = 5.0,
         half_open_successes: int = 1,
+        half_open_max_probes: Optional[int] = None,
         name: str = "",
         observer: Optional[Observer] = None,
     ):
@@ -164,14 +171,27 @@ class CircuitBreaker:
             raise ValueError("thresholds must be >= 1")
         if reset_timeout_s <= 0:
             raise ValueError("reset timeout must be positive")
+        if half_open_max_probes is not None and half_open_max_probes < 1:
+            raise ValueError("half_open_max_probes must be >= 1")
         self.name = name
         self.obs = observer or NULL_OBSERVER
         self.failure_threshold = failure_threshold
         self.reset_timeout_s = reset_timeout_s
         self.half_open_successes = half_open_successes
+        #: probes admitted per half-open episode before a verdict.
+        #: Unbounded probing let every queued retry flood through the
+        #: instant the breaker half-opened, re-tripping it and restarting
+        #: the reset clock under sustained faults -- the retry storm the
+        #: breaker exists to prevent.
+        self.half_open_max_probes = (
+            half_open_max_probes
+            if half_open_max_probes is not None
+            else half_open_successes
+        )
         self.state = BreakerState.CLOSED
         self.consecutive_failures = 0
         self.probe_successes = 0
+        self.probes_admitted = 0
         self.opened_at: Optional[float] = None
         self.times_opened = 0
         self.times_reclosed = 0
@@ -184,9 +204,14 @@ class CircuitBreaker:
             if now - self.opened_at >= self.reset_timeout_s:
                 self.state = BreakerState.HALF_OPEN
                 self.probe_successes = 0
+                self.probes_admitted = 1
                 return True
             return False
-        return True  # HALF_OPEN: probes flow until a verdict
+        # HALF_OPEN: admit a bounded number of probes until a verdict
+        if self.probes_admitted < self.half_open_max_probes:
+            self.probes_admitted += 1
+            return True
+        return False
 
     def time_until_probe(self, now: float) -> float:
         """Seconds until the breaker would admit a request (0 if it would now)."""
@@ -197,9 +222,12 @@ class CircuitBreaker:
     def record_success(self, now: float) -> None:
         if self.state is BreakerState.HALF_OPEN:
             self.probe_successes += 1
+            if self.probes_admitted > 0:
+                self.probes_admitted -= 1  # verdict in: free the probe slot
             if self.probe_successes >= self.half_open_successes:
                 self.state = BreakerState.CLOSED
                 self.consecutive_failures = 0
+                self.probes_admitted = 0
                 self.opened_at = None
                 self.times_reclosed += 1
                 if self.obs.enabled:
@@ -226,6 +254,7 @@ class CircuitBreaker:
         self.opened_at = now
         self.times_opened += 1
         self.probe_successes = 0
+        self.probes_admitted = 0
         if self.obs.enabled:
             self.obs.count("client.breaker.open")
             self.obs.event(
@@ -261,6 +290,8 @@ class CallOutcome:
     elapsed_s: float = 0.0
     #: endpoints tried, in order (observability)
     path: List[str] = field(default_factory=list)
+    #: the retry budget denied a replay (the call gave up early)
+    budget_exhausted: bool = False
 
 
 class _ManualClock:
@@ -310,6 +341,7 @@ class ResilientSession:
         breaker_threshold: int = 3,
         breaker_reset_s: float = 5.0,
         observer: Optional[Observer] = None,
+        retry_budget: Optional["RetryBudget"] = None,
     ):
         if not endpoints:
             raise ValueError("need at least one endpoint")
@@ -326,8 +358,25 @@ class ResilientSession:
             )
             for name in self.endpoints
         }
+        #: token-bucket retry budget (see :mod:`repro.qos.budget`): every
+        #: session gets one so a fleet of clients cannot amplify a server
+        #: brownout into a retry storm.  Pass an explicit budget to share
+        #: one bucket across sessions or to tune the ratio.
+        # The default reserve covers one call's full retry schedule so a
+        # quiet session is never throttled; sustained retry traffic still
+        # drains the bucket and gets capped at the deposit ratio.
+        self.retry_budget = retry_budget or _RetryBudget(
+            min_tokens=float(self.policy.max_attempts),
+            max_tokens=max(10.0, 2.0 * self.policy.max_attempts),
+        )
+        #: deadline of the call currently in flight (when it was given a
+        #: timeout budget); attempt functions read this and hand it to
+        #: ``Database.execute(deadline=...)`` so the engine can cancel
+        #: doomed work at its own cancellation points.
+        self.current_deadline = None
         self.calls = 0
         self.failures = 0
+        self.budget_denials = 0
 
     # -- bookkeeping ----------------------------------------------------------
 
@@ -356,6 +405,7 @@ class ResilientSession:
         """
         outcome = CallOutcome(ok=False)
         started = now
+        self.retry_budget.record_request()
         while outcome.attempts < self.policy.max_attempts:
             endpoint = self._pick(now)
             if endpoint is None:
@@ -390,7 +440,22 @@ class ResilientSession:
                 break
             if outcome.attempts >= self.policy.max_attempts:
                 break
+            if not self.retry_budget.try_spend():
+                # Out of retry tokens: give up rather than amplify the
+                # overload.  The breaker consumes the same signal --
+                # sustained budget exhaustion is endpoint pressure, and
+                # backing the breaker off sheds this client entirely.
+                outcome.budget_exhausted = True
+                self.budget_denials += 1
+                breaker.record_failure(now)
+                if self.obs.enabled:
+                    self.obs.count("client.budget_exhausted")
+                break
             delay = self.policy.backoff_s(outcome.attempts, self._rng)
+            if isinstance(result.error, OverloadError):
+                # honor the server's backoff hint: returning sooner than
+                # the queue can drain just gets this request shed again
+                delay = max(delay, result.error.retry_after_s)
             if budget_s is not None and (now - started) + delay > budget_s:
                 break
             now = yield ("sleep", delay)
@@ -412,6 +477,11 @@ class ResilientSession:
         """
         self.calls += 1
         started = self._clock()
+        self.current_deadline = (
+            Deadline(started + timeout_budget_s, self._clock)
+            if timeout_budget_s is not None
+            else None
+        )
         script = self._script(timeout_budget_s, started)
         payload: Any = None
         while True:
@@ -421,6 +491,7 @@ class ResilientSession:
                 outcome: CallOutcome = stop.value
                 if not outcome.ok:
                     self.failures += 1
+                self.current_deadline = None
                 self._observe_outcome(started, self._clock(), outcome)
                 return outcome
             kind, arg = action
@@ -450,6 +521,11 @@ class ResilientSession:
         """
         self.calls += 1
         started = env.now
+        self.current_deadline = (
+            Deadline(started + timeout_budget_s, lambda: env.now)
+            if timeout_budget_s is not None
+            else None
+        )
         script = self._script(timeout_budget_s, started)
         payload: Any = None
         while True:
@@ -459,6 +535,7 @@ class ResilientSession:
                 outcome = stop.value
                 if not outcome.ok:
                     self.failures += 1
+                self.current_deadline = None
                 self._observe_outcome(started, env.now, outcome)
                 return outcome
             kind, arg = action

@@ -26,6 +26,7 @@ _SECTIONS = (
     ("multitenancy", "Multi-tenancy (Table VII)"),
     ("failover", "Fail-over (Table VIII)"),
     ("lagtime", "Replication lag (Section III-F)"),
+    ("overload", "Overload protection (D-Score)"),
     ("overall", "Overall (Table IX)"),
 )
 

@@ -170,6 +170,10 @@ class SalesWorkload:
         self.executed: Dict[str, int] = {task: 0 for task in ("T1", "T2", "T3", "T4")}
         self.aborted = 0
         self.retry_attempts = 3
+        #: optional per-statement deadline (anything with ``.expired()``),
+        #: propagated into the engine's cancellation points; clients set
+        #: it per call via :meth:`run_one`'s ``deadline`` argument
+        self.deadline = None
 
     # -- transaction bodies -----------------------------------------------------
 
@@ -185,6 +189,7 @@ class SalesWorkload:
             statement,
             [o_id, self._rng.randint(1, 100_000), self._rng.randint(1, 10),
              round(self._rng.uniform(1, 100), 2)],
+            deadline=self.deadline,
         )
         self._orderline_high += 1
         return self._orderline_high
@@ -196,7 +201,7 @@ class SalesWorkload:
         """
         select, update_order, update_customer = self.stmts.statements("T2")
         o_id = self._order_keys.next_key()
-        with self.db.begin() as txn:
+        with self.db.begin(deadline=self.deadline) as txn:
             rows = self.db.execute(select, [o_id], txn=txn).rows
             if not rows:
                 return None
@@ -213,13 +218,15 @@ class SalesWorkload:
     def run_t3(self) -> Optional[Tuple]:
         (statement,) = self.stmts.statements("T3")
         o_id = self._order_keys.next_key()
-        return self.db.query(statement, [o_id]).first()
+        return self.db.query(statement, [o_id], deadline=self.deadline).first()
 
     def run_t4(self) -> bool:
         """Delete an orderline; returns False when it was already gone."""
         (statement,) = self.stmts.statements("T4")
         ol_id = self._rng.randint(1, max(1, self._orderline_high))
-        return self.db.execute(statement, [ol_id]).rowcount > 0
+        return self.db.execute(
+            statement, [ol_id], deadline=self.deadline
+        ).rowcount > 0
 
     # -- driver -------------------------------------------------------------------
 
@@ -227,19 +234,28 @@ class SalesWorkload:
         tasks, weights = zip(*self.mix.weights)
         return self._rng.choices(tasks, weights=weights, k=1)[0]
 
-    def run_one(self, task: Optional[str] = None) -> str:
+    def run_one(self, task: Optional[str] = None, deadline=None) -> str:
         """Execute one transaction (random task unless given); returns it.
 
         Retryable aborts (lock timeouts, deadlock victims) replay the
         transaction body up to ``retry_attempts`` times; non-retryable
         engine errors propagate -- replaying them cannot succeed.
+        ``deadline`` (anything with ``.expired()``/``.check()``) rides
+        into the engine and cancels the transaction at its lock-wait,
+        buffer-miss and WAL-append points.
         """
         chosen = task or self.next_task()
         runner = {
             "T1": self.run_t1, "T2": self.run_t2,
             "T3": self.run_t3, "T4": self.run_t4,
         }[chosen]
-        outcome = retry_transaction(runner, attempts=self.retry_attempts)
+        prior = self.deadline
+        if deadline is not None:
+            self.deadline = deadline
+        try:
+            outcome = retry_transaction(runner, attempts=self.retry_attempts)
+        finally:
+            self.deadline = prior
         self.aborted += outcome.aborts
         if outcome.committed:
             self.executed[chosen] += 1

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import Callable, Optional, Tuple
 
 from repro.engine.errors import EngineError
 from repro.engine.page import PAGE_SIZE_BYTES
@@ -75,6 +75,11 @@ class BufferPool:
         self._resident: "OrderedDict[PageKey, bool]" = OrderedDict()
         self._dirty_count = 0
         self.stats = BufferStats()
+        #: optional cancellation hook invoked before a *read-path* miss
+        #: is paid for (the database wires it to its deadline guard).
+        #: Write-path touches are exempt: they happen after the heap
+        #: mutation, when abandoning the page fetch would be pointless.
+        self.miss_guard: Optional[Callable[[], None]] = None
 
     @property
     def capacity_pages(self) -> int:
@@ -106,6 +111,11 @@ class BufferPool:
             if previous:
                 self._dirty_count -= 1
         else:
+            if not dirty and self.miss_guard is not None:
+                # Cancellation point: raise before the miss is counted or
+                # the page made resident -- the doomed statement never
+                # pays for (or is billed for) the fetch.
+                self.miss_guard()
             self.stats.misses += 1
             previous = False
         if self._c_hit is not None:

@@ -20,6 +20,7 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.engine.buffer import BufferPool
 from repro.engine.errors import (
+    DeadlineExceededError,
     EngineError,
     LockTimeoutError,
     SchemaError,
@@ -100,6 +101,13 @@ class Database:
         #: vacuum automatically once this many versions accumulate
         self.auto_vacuum_versions = auto_vacuum_versions
         self.vacuum_runs = 0
+        #: deadline of the statement currently executing (set by
+        #: :meth:`execute`); the buffer pool's miss guard reads it so a
+        #: doomed read is cancelled before paying for a page fetch.
+        self._stmt_deadline = None
+        self.deadline_cancellations = 0
+        if self.buffer is not None:
+            self.buffer.miss_guard = self._buffer_miss_guard
 
     # -- catalog ----------------------------------------------------------------
 
@@ -139,8 +147,13 @@ class Database:
 
     # -- transactions -------------------------------------------------------------
 
-    def begin(self, isolation: Optional[IsolationLevel] = None) -> Transaction:
+    def begin(
+        self,
+        isolation: Optional[IsolationLevel] = None,
+        deadline=None,
+    ) -> Transaction:
         txn = self.txns.begin(self, isolation or self.default_isolation)
+        txn.deadline = deadline
         if self._c_txn is not None:
             txn.start_s = self.obs.now()
             self._c_txn["begin"].value += 1.0
@@ -222,14 +235,22 @@ class Database:
         sql: str | Prepared,
         params: Sequence[Any] = (),
         txn: Optional[Transaction] = None,
+        deadline=None,
     ) -> ResultSet:
-        """Execute a statement; without ``txn`` it autocommits."""
+        """Execute a statement; without ``txn`` it autocommits.
+
+        ``deadline`` (an object with ``expired() -> bool``, normally a
+        :class:`repro.qos.deadline.Deadline`) bounds the statement: the
+        engine cancels doomed work at its lock-wait, buffer-miss and
+        WAL-append points, rolling the transaction back.  Inside an
+        explicit ``txn`` the transaction's own deadline takes precedence.
+        """
         prepared = self.prepare(sql) if isinstance(sql, str) else sql
         if txn is not None:
-            return self._executor.execute(prepared, params, txn)
-        autocommit_txn = self.begin()
+            return self._execute_in(prepared, params, txn, txn.deadline or deadline)
+        autocommit_txn = self.begin(deadline=deadline)
         try:
-            result = self._executor.execute(prepared, params, autocommit_txn)
+            result = self._execute_in(prepared, params, autocommit_txn, deadline)
             autocommit_txn.commit()
             return result
         except BaseException:
@@ -237,7 +258,27 @@ class Database:
                 autocommit_txn.rollback()
             raise
 
-    def query(self, sql: str, params: Sequence[Any] = ()) -> ResultSet:
+    def _execute_in(
+        self, prepared: Prepared, params: Sequence[Any], txn: Transaction, deadline
+    ) -> ResultSet:
+        """Run one statement with its deadline visible to the buffer pool."""
+        prior = self._stmt_deadline
+        self._stmt_deadline = deadline
+        try:
+            return self._executor.execute(prepared, params, txn)
+        except DeadlineExceededError:
+            # Cancellation points that fire outside the write internals
+            # (buffer misses on the read path) must still release
+            # everything the doomed transaction holds.
+            if txn.is_active:
+                self._rollback(txn)
+            raise
+        finally:
+            self._stmt_deadline = prior
+
+    def query(
+        self, sql: str, params: Sequence[Any] = (), deadline=None
+    ) -> ResultSet:
         """Read-only :meth:`execute`: rejects anything but SELECT.
 
         Historically this silently executed writes and returned an empty
@@ -251,7 +292,7 @@ class Database:
             raise SqlError(
                 f"query() is read-only; use execute() for: {sql.strip()[:60]!r}"
             )
-        return self.execute(prepared, params)
+        return self.execute(prepared, params, deadline=deadline)
 
     def explain(self, sql: str, params: Sequence[Any] = ()) -> str:
         """Describe the access plan a statement would use, without running it."""
@@ -272,7 +313,38 @@ class Database:
 
     # -- write internals (called by the executor) ----------------------------------------
 
+    def _deadline_guard(self, txn: Transaction, where: str) -> None:
+        """Cancellation point: roll back and raise once the deadline passed.
+
+        Rolling back *before* raising is what distinguishes deadline
+        cancellation from a plain exception: every lock is released and
+        every MVCC write intent undone, so an expired request cannot
+        stall the healthy ones queued behind it.
+        """
+        deadline = txn.deadline
+        if deadline is None or not deadline.expired():
+            return
+        self.deadline_cancellations += 1
+        if self.obs.enabled:
+            self.obs.count("engine.deadline.cancelled")
+        self._rollback(txn)
+        raise DeadlineExceededError(
+            f"txn {txn.txn_id} cancelled at {where}: deadline exceeded"
+        )
+
+    def _buffer_miss_guard(self) -> None:
+        """Called by the buffer pool before paying for a read-path miss."""
+        deadline = self._stmt_deadline
+        if deadline is not None and deadline.expired():
+            self.deadline_cancellations += 1
+            if self.obs.enabled:
+                self.obs.count("engine.deadline.cancelled")
+            raise DeadlineExceededError(
+                "statement cancelled at buffer miss: deadline exceeded"
+            )
+
     def _lock_row(self, txn: Transaction, table: str, key: Any, mode: LockMode) -> None:
+        self._deadline_guard(txn, f"lock wait on {table}[{key!r}]")
         outcome = self.locks.acquire(
             txn.txn_id, (table, key), mode, queue_on_conflict=False
         )
@@ -371,6 +443,7 @@ class Database:
         table.check_unique(row)
         self._lock_row(txn, table.name, key, LockMode.EXCLUSIVE)
         self._check_write_conflict(txn, table, key)
+        self._deadline_guard(txn, "WAL append")
         record = self.wal.append(
             txn.txn_id, LogKind.INSERT, table=table.name, key=key, after=row
         )
@@ -395,6 +468,7 @@ class Database:
         table.check_unique(after, exclude_rid=rid)
         self._lock_row(txn, table.name, key, LockMode.EXCLUSIVE)
         self._check_write_conflict(txn, table, key)
+        self._deadline_guard(txn, "WAL append")
         record = self.wal.append(
             txn.txn_id,
             LogKind.UPDATE,
@@ -417,6 +491,7 @@ class Database:
         key = before[table.schema.primary_key_index]
         self._lock_row(txn, table.name, key, LockMode.EXCLUSIVE)
         self._check_write_conflict(txn, table, key)
+        self._deadline_guard(txn, "WAL append")
         record = self.wal.append(
             txn.txn_id, LogKind.DELETE, table=table.name, key=key, before=before
         )

@@ -64,6 +64,35 @@ class WriteConflictError(TransactionAborted):
     """
 
 
+class OverloadError(EngineError):
+    """The admission controller shed this request (queue full or the
+    adaptive concurrency limit is saturated).
+
+    Retryable, but clients should consult their retry *budget* before
+    replaying: unbudgeted retries against an overloaded server are
+    exactly the amplification admission control exists to prevent.
+    ``retry_after_s`` is the server's backoff hint (0 when unknown).
+    """
+
+    retryable = True
+
+    def __init__(self, message: str = "overloaded", retry_after_s: float = 0.0):
+        super().__init__(message)
+        self.retry_after_s = retry_after_s
+
+
+class DeadlineExceededError(EngineError):
+    """The request's deadline expired while work was still in flight.
+
+    Raised at the engine's cancellation points (lock wait, buffer miss,
+    WAL append) after the transaction has been rolled back.  *Not*
+    retryable: the client's deadline has passed, so replaying the work
+    cannot produce an answer anyone is still waiting for.
+    """
+
+    retryable = False
+
+
 class SimulatedCrash(EngineError):
     """A fault-injection crash point fired; the node is gone mid-request.
 

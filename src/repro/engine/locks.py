@@ -83,6 +83,11 @@ class LockManager:
         lock = self._locks.get(key)
         return dict(lock.holders) if lock else {}
 
+    def queued(self, key: LockKey) -> List[int]:
+        """Txn ids waiting on ``key``, in FIFO order."""
+        lock = self._locks.get(key)
+        return [waiter for waiter, _mode in lock.queue] if lock else []
+
     def locks_held(self, txn_id: int) -> Set[LockKey]:
         return set(self._held_by_txn.get(txn_id, ()))
 
@@ -116,6 +121,14 @@ class LockManager:
                 self._c_granted.value += 1.0
                 self._held_since.setdefault((txn_id, key), self.obs.now())
             return LockOutcome.GRANTED
+        # A waiter re-requesting while already queued keeps its original
+        # position -- appending a second entry would let it eventually
+        # hold two queue slots and barge past waiters that arrived
+        # between its two requests (starvation under re-polling).
+        if queue_on_conflict and any(waiter == txn_id for waiter, _ in lock.queue):
+            if self._c_blocked is not None:
+                self._c_blocked.value += 1.0
+            return LockOutcome.BLOCKED
         blockers = {holder for holder in lock.holders if holder != txn_id}
         blockers.update(waiter for waiter, _ in lock.queue if waiter != txn_id)
         if self._would_deadlock(txn_id, blockers):

@@ -79,6 +79,13 @@ class Transaction:
         #: with the commit LSN at commit time (engine-internal).
         self.created_versions: list = []
         self.ended_versions: list = []
+        #: optional per-request deadline (duck-typed: anything with
+        #: ``expired() -> bool``, normally :class:`repro.qos.deadline.
+        #: Deadline`).  The engine checks it at its cancellation points
+        #: -- lock wait, buffer miss, WAL append -- and rolls the
+        #: transaction back when it has passed, so doomed work is
+        #: abandoned early instead of holding locks.
+        self.deadline = None
 
     @property
     def uses_mvcc(self) -> bool:

@@ -155,9 +155,16 @@ class WriteAheadLog:
         key: Any = None,
         before: Optional[Tuple[Any, ...]] = None,
         after: Optional[Tuple[Any, ...]] = None,
+        deadline=None,
     ) -> LogRecord:
         if self._dead:
             raise SimulatedCrash("instance is down: append rejected until restart")
+        if deadline is not None and kind in DATA_KINDS:
+            # Cancellation point: the append is the last moment a data
+            # record can be abandoned without undo work.  Control records
+            # (COMMIT/ABORT) are never blocked -- an expired transaction
+            # must still be able to log its own rollback.
+            deadline.check(f"WAL append ({kind.value})")
         if self._armed_crash is not None and self._next_lsn >= self._armed_crash[0]:
             mode = self._armed_crash[1]
             self._armed_crash = None

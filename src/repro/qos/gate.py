@@ -1,0 +1,93 @@
+"""``AdmissionGate``: overload protection in front of a real engine.
+
+Wraps an :class:`~repro.engine.database.Database` with an
+:class:`~repro.qos.admission.AdmissionController` so every statement is
+admitted (or shed with a retryable
+:class:`~repro.engine.errors.OverloadError`) before it touches the
+engine, and carries a per-request :class:`~repro.qos.deadline.Deadline`
+into the engine's cancellation points.
+
+The gate is synchronous -- it fronts the cooperative engine, which has
+no scheduler to park queued work on -- so its admission decision is
+binary: run now or shed.  The queueing/backpressure half of the
+controller is exercised by the DES-side overload evaluator
+(:mod:`repro.qos.overload`), which *does* have a scheduler.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Callable, Optional, Sequence
+
+from repro.engine.database import Database
+from repro.engine.executor import ResultSet
+from repro.qos.admission import AdmissionController, AdmissionPolicy
+from repro.qos.deadline import Deadline
+
+__all__ = ["AdmissionGate"]
+
+
+class AdmissionGate:
+    """Admission-controlled facade over a :class:`Database`."""
+
+    def __init__(
+        self,
+        db: Database,
+        controller: Optional[AdmissionController] = None,
+        clock: Optional[Callable[[], float]] = None,
+        default_timeout_s: Optional[float] = None,
+    ):
+        self.db = db
+        self.clock = clock or time.monotonic
+        self.controller = controller or AdmissionController(
+            AdmissionPolicy(), name=f"gate:{db.name}", observer=db.obs
+        )
+        self.default_timeout_s = default_timeout_s
+
+    def _deadline(self, timeout_s: Optional[float]) -> Optional[Deadline]:
+        budget = timeout_s if timeout_s is not None else self.default_timeout_s
+        if budget is None:
+            return None
+        return Deadline.after(budget, self.clock)
+
+    def execute(
+        self,
+        sql: str,
+        params: Sequence[Any] = (),
+        timeout_s: Optional[float] = None,
+        priority: int = 1,
+    ) -> ResultSet:
+        """Admit, then run one autocommit statement under a deadline."""
+        started = self.clock()
+        self.controller.try_acquire(started, priority)
+        ok = False
+        try:
+            result = self.db.execute(
+                sql, params, deadline=self._deadline(timeout_s)
+            )
+            ok = True
+            return result
+        finally:
+            now = self.clock()
+            self.controller.release(now, now - started, ok=ok)
+
+    def query(
+        self,
+        sql: str,
+        params: Sequence[Any] = (),
+        timeout_s: Optional[float] = None,
+        priority: int = 1,
+    ) -> ResultSet:
+        """Admission-controlled read-only entry point."""
+        started = self.clock()
+        self.controller.try_acquire(started, priority)
+        ok = False
+        try:
+            result = self.db.query(
+                sql, params, deadline=self._deadline(timeout_s)
+            )
+            ok = True
+            return result
+        finally:
+            now = self.clock()
+            self.controller.release(now, now - started, ok=ok)

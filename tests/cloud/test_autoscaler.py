@@ -137,3 +137,36 @@ def test_memory_tracks_vcores_proportionally():
     allocation = scaler.allocation
     ratio = arch.instance.max_allocation.memory_gb / arch.instance.max_allocation.vcores
     assert allocation.memory_gb == pytest.approx(allocation.vcores * ratio)
+
+
+class TestOverloadDetection:
+    def test_saturation_past_max_allocation_is_flagged(self):
+        arch = cdb2()
+        scaler = Autoscaler(arch, mix())
+        assert not scaler.is_overloaded
+        drive(scaler, [(30, 10)])
+        assert not scaler.is_overloaded
+        assert scaler.overload_windows == 0
+        # demand far past anything the instance can serve
+        drive(scaler, [(30, 100_000)])
+        assert scaler.is_overloaded
+        assert scaler.overload_windows == 1
+
+    def test_overload_clears_when_demand_recedes(self):
+        scaler = Autoscaler(cdb2(), mix())
+        drive(scaler, [(30, 100_000), (30, 10)])
+        assert not scaler.is_overloaded
+        assert scaler.overload_windows == 1
+
+    def test_counts_rising_edges_not_windows(self):
+        scaler = Autoscaler(cdb2(), mix())
+        drive(scaler, [(30, 100_000), (10, 5), (30, 100_000)])
+        assert scaler.overload_windows == 2
+
+    def test_fixed_policy_still_detects_overload(self):
+        # FIXED never scales, but overload detection must still fire so
+        # the qos layer knows shedding is the only remaining move
+        scaler = Autoscaler(aws_rds(), mix())
+        drive(scaler, [(10, 100_000)])
+        assert scaler.is_overloaded
+        assert scaler.events == []

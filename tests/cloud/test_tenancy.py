@@ -1,5 +1,7 @@
 """Tests for the three multi-tenant scheduling models."""
 
+import math
+
 import pytest
 
 from repro.cloud.architectures import aws_rds, cdb1, cdb2, cdb3
@@ -119,3 +121,60 @@ def test_cold_slot_fraction_bounds():
     assert 0.0 < _cold_slot_fraction(20.0, 60.0) < 1.0
     # longer slots absorb the cold start better
     assert _cold_slot_fraction(10.0, 120.0) > _cold_slot_fraction(10.0, 30.0)
+
+
+class TestBrownout:
+    def brownout_pool(self, **kwargs):
+        from repro.qos.admission import BrownoutPolicy
+
+        return TenantScheduler(
+            cdb2(), mix(), n_tenants=3,
+            brownout=BrownoutPolicy(**kwargs),
+        )
+
+    def test_throttles_only_past_the_threshold(self):
+        pool = self.brownout_pool(overcommit_threshold=0.25)
+        relaxed = pool.schedule_slot([5, 5, 5])
+        assert relaxed.total_shed == 0
+        assert all(t.admitted == t.demand for t in relaxed.tenants)
+        contended = pool.schedule_slot([300, 300, 300])
+        assert contended.total_shed > 0
+
+    def test_brownout_caps_the_contention_penalty(self):
+        demand = [300, 300, 300]
+        collapsed = TenantScheduler(cdb2(), mix(), 3).schedule_slot(demand)
+        degraded = self.brownout_pool(overcommit_threshold=0.25).schedule_slot(
+            demand
+        )
+        # shedding holds efficiency near the threshold's penalty instead
+        # of riding the overcommit down
+        assert all(
+            t.efficiency > collapsed.tenants[i].efficiency
+            for i, t in enumerate(degraded.tenants)
+        )
+        # and the tenants that stay admitted get more useful work done
+        assert degraded.total_tps > collapsed.total_tps
+
+    def test_min_share_floor_protects_every_tenant(self):
+        pool = self.brownout_pool(overcommit_threshold=0.0, min_share=0.3)
+        result = pool.schedule_slot([400, 40, 400])
+        for tenant in result.tenants:
+            assert tenant.admitted >= math.ceil(0.3 * tenant.demand)
+            assert tenant.tps > 0
+
+    def test_idle_tenants_are_not_charged_shed(self):
+        result = self.brownout_pool().schedule_slot([500, 0, 500])
+        assert result.tenants[1].shed == 0
+        assert result.tenants[1].admitted == 0
+
+    def test_isolated_and_branch_kinds_unaffected(self):
+        from repro.qos.admission import BrownoutPolicy
+
+        demand = [300, 300, 300]
+        for factory in (cdb1, cdb3):
+            plain = TenantScheduler(factory(), mix(), 3).schedule_slot(demand)
+            browned = TenantScheduler(
+                factory(), mix(), 3, brownout=BrownoutPolicy()
+            ).schedule_slot(demand)
+            assert browned.total_shed == 0
+            assert browned.total_tps == pytest.approx(plain.total_tps)

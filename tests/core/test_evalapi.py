@@ -167,3 +167,32 @@ class TestCli:
         with pytest.raises(SystemExit):
             main(["--quick", "--arch", "cdb3", "--eval", "pscore",
                   "--opt", "bogus=2"])
+
+
+class TestBoolOpts:
+    """--opt boolean handling: ``shed=true`` works, bare ``--opt shed``
+    is a clean usage error (bool("false") is True, so booleans need a
+    dedicated parser and an explicit spelling hint)."""
+
+    def test_bool_opt_false_actually_disables(self, capsys):
+        main(["--quick", "--arch", "cdb3", "--eval", "overload",
+              "--opt", "qos=false"])
+        assert "qos off" in capsys.readouterr().out
+
+    def test_bool_opt_true(self, capsys):
+        main(["--quick", "--arch", "cdb3", "--eval", "overload",
+              "--opt", "qos=true"])
+        assert "qos on" in capsys.readouterr().out
+
+    def test_bare_opt_is_a_clean_usage_error(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--quick", "--arch", "cdb3", "--eval", "overload",
+                  "--opt", "qos"])
+        message = str(excinfo.value)
+        assert "NAME=VALUE" in message and "qos=true" in message
+
+    def test_bad_bool_value_is_a_clean_usage_error(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--quick", "--arch", "cdb3", "--eval", "overload",
+                  "--opt", "qos=maybe"])
+        assert "boolean" in str(excinfo.value)

@@ -290,3 +290,115 @@ def test_all_breakers_open_waits_for_probe_slot():
 def test_session_requires_endpoints():
     with pytest.raises(ValueError):
         ResilientSession([])
+
+
+# -- half-open probe bounding (retry-storm regression) -------------------------
+
+
+def test_half_open_admits_bounded_probes():
+    """Only one probe per half-open episode by default: a flood of queued
+    retries arriving the instant the breaker half-opens must not all
+    pass through, fail, and restart the reset clock in lockstep."""
+    breaker = CircuitBreaker(failure_threshold=1, reset_timeout_s=1.0)
+    breaker.record_failure(0.0)
+    assert breaker.state is BreakerState.OPEN
+    assert breaker.allow(1.0)                    # the probe slot
+    assert breaker.state is BreakerState.HALF_OPEN
+    assert not breaker.allow(1.0)                # the rest of the flood
+    assert not breaker.allow(1.1)
+    breaker.record_success(1.2)                  # verdict: healthy again
+    assert breaker.state is BreakerState.CLOSED
+    assert breaker.allow(1.3)
+
+
+def test_half_open_extra_probes_configurable():
+    breaker = CircuitBreaker(
+        failure_threshold=1, reset_timeout_s=1.0,
+        half_open_successes=2, half_open_max_probes=3,
+    )
+    breaker.record_failure(0.0)
+    admitted = sum(1 for _ in range(10) if breaker.allow(1.0))
+    assert admitted == 3
+    breaker.record_success(1.1)
+    assert breaker.state is BreakerState.HALF_OPEN  # needs 2 successes
+    breaker.record_success(1.2)
+    assert breaker.state is BreakerState.CLOSED
+
+
+def test_half_open_probe_slot_frees_per_verdict():
+    """A success that does not yet re-close the breaker hands its probe
+    slot back, so the next request may probe instead of being rejected."""
+    breaker = CircuitBreaker(
+        failure_threshold=1, reset_timeout_s=1.0,
+        half_open_successes=2, half_open_max_probes=1,
+    )
+    breaker.record_failure(0.0)
+    assert breaker.allow(1.0)
+    assert not breaker.allow(1.0)                # slot taken
+    breaker.record_success(1.1)                  # one verdict in, one to go
+    assert breaker.allow(1.2)                    # freed slot admits probe 2
+    breaker.record_success(1.3)
+    assert breaker.state is BreakerState.CLOSED
+
+
+# -- retry budget --------------------------------------------------------------
+
+
+def test_retry_budget_caps_replays():
+    """With an empty budget the session stops retrying early, reports
+    the exhaustion, and feeds the breaker the same signal."""
+    from repro.qos.budget import RetryBudget
+
+    session = ResilientSession(
+        ["primary"],
+        policy=RetryPolicy(max_attempts=10, base_backoff_s=0.01, jitter=0.0),
+        retry_budget=RetryBudget(
+            deposit_ratio=0.0, min_tokens=2.0, max_tokens=2.0
+        ),
+    )
+
+    def always_down(endpoint):
+        raise RequestTimeout("slow")
+
+    outcome = session.call(always_down)
+    assert not outcome.ok
+    # 1 first attempt + 2 budgeted retries, not max_attempts
+    assert outcome.attempts == 3
+    assert outcome.budget_exhausted
+    assert session.budget_denials == 1
+    # budget exhaustion counted against the endpoint's breaker
+    assert session.breaker("primary").state is BreakerState.OPEN
+
+
+def test_default_budget_never_throttles_a_quiet_session():
+    """The built-in budget reserves one call's full retry schedule."""
+    session = ResilientSession(
+        ["primary"],
+        policy=RetryPolicy(max_attempts=4, base_backoff_s=0.01, jitter=0.0),
+    )
+
+    def flaky_then_ok(endpoint, state={"n": 0}):
+        state["n"] += 1
+        if state["n"] < 4:
+            raise RequestTimeout("slow")
+        return "pong"
+
+    outcome = session.call(flaky_then_ok)
+    assert outcome.ok and outcome.attempts == 4
+    assert not outcome.budget_exhausted
+    assert session.budget_denials == 0
+
+
+def test_retry_budget_refills_with_fresh_requests():
+    from repro.qos.budget import RetryBudget
+
+    budget = RetryBudget(deposit_ratio=0.5, min_tokens=1.0, max_tokens=4.0)
+    assert budget.try_spend()                    # the reserve token
+    assert not budget.try_spend()
+    assert budget.exhausted == 1
+    for _ in range(4):
+        budget.record_request()                  # 4 x 0.5 = 2 tokens
+    assert budget.try_spend()
+    assert budget.try_spend()
+    assert not budget.try_spend()
+    assert budget.deposits == 4 and budget.spends == 3

@@ -215,3 +215,59 @@ def test_grant_after_timeout_loop():
         assert locks.release_all(waiter) == []
         locks.sanity_check()
     assert locks.deadlocks_detected == 0
+
+
+# -- starvation regression (FIFO fairness) ------------------------------------
+
+
+def test_stream_of_shared_requests_cannot_starve_queued_x_waiter():
+    """Writer starvation: S holders churn while new S requests keep
+    arriving.  Without queue-order fairness every new S is compatible
+    with the current S holders and barges past the queued X forever."""
+    locks = LockManager()
+    locks.acquire(1, KEY_A, S)
+    assert locks.acquire(100, KEY_A, X) is LockOutcome.BLOCKED   # queued writer
+    reader = 2
+    for _ in range(25):
+        # a fresh reader arrives while an older one still holds the lock
+        assert locks.acquire(reader, KEY_A, S) is LockOutcome.BLOCKED
+        granted = locks.release_all(reader - 1)
+        # the writer is always first in line; the new reader never
+        # leapfrogs it just because S is compatible with S
+        assert (100, KEY_A) in granted or locks.queued(KEY_A)[0] == 100
+        if (100, KEY_A) in granted:
+            break
+        reader += 1
+    else:
+        pytest.fail("X waiter starved by a stream of compatible S requests")
+    locks.sanity_check()
+
+
+def test_writer_granted_as_soon_as_readers_drain():
+    locks = LockManager()
+    locks.acquire(1, KEY_A, S)
+    locks.acquire(2, KEY_A, S)
+    locks.acquire(10, KEY_A, X)
+    locks.acquire(3, KEY_A, S)       # behind the writer (no barging)
+    assert locks.release_all(1) == []
+    granted = locks.release_all(2)   # last reader out
+    assert granted == [(10, KEY_A)]
+    granted = locks.release_all(10)
+    assert granted == [(3, KEY_A)]
+    locks.sanity_check()
+
+
+def test_repolling_waiter_keeps_its_queue_position():
+    """A blocked txn that re-requests (timeout loops re-poll) must not
+    append a second queue entry -- double entries let it eventually hold
+    two slots and barge past waiters that arrived in between."""
+    locks = LockManager()
+    locks.acquire(1, KEY_A, X)
+    assert locks.acquire(2, KEY_A, X) is LockOutcome.BLOCKED
+    assert locks.acquire(3, KEY_A, X) is LockOutcome.BLOCKED
+    for _ in range(5):               # txn 2 re-polls while waiting
+        assert locks.acquire(2, KEY_A, X) is LockOutcome.BLOCKED
+    assert locks.queued(KEY_A) == [2, 3]     # one entry, original position
+    assert locks.release_all(1) == [(2, KEY_A)]
+    assert locks.release_all(2) == [(3, KEY_A)]
+    locks.sanity_check()
