@@ -33,6 +33,8 @@ class ChaosInjector:
         self.observed: Dict[str, int] = {}
         #: specs whose first bite was already traced (one marker each)
         self._bitten: Set[Tuple] = set()
+        #: one-shot COORD_CRASH specs that already fired
+        self._coord_fired: Set[Tuple] = set()
         # The scheduled fault windows are known up-front: emit them as
         # complete spans so the timeline shows fault -> degradation ->
         # recovery causality even before anything consults the injector.
@@ -124,6 +126,25 @@ class ChaosInjector:
             or self.slowdown(target, now) > 1.0
             or self.stalled_until(target, now) is not None
         )
+
+    # -- coordinator faults ---------------------------------------------------
+
+    def take_coordinator_crash(self, phase: str) -> bool:
+        """One-shot: should the 2PC coordinator die at ``phase``?
+
+        COORD_CRASH specs target a phase boundary by name (see
+        :data:`repro.shard.coordinator.PHASES`); each spec fires at most
+        once, mirroring :meth:`~repro.engine.wal.WriteAheadLog.arm_crash`'s
+        one-shot semantics.  Time windows are ignored -- the coordinator
+        runs outside the DES clock, so the phase name *is* the trigger.
+        """
+        for spec in self.plan.by_kind(FaultKind.COORD_CRASH):
+            key = spec.canonical()
+            if spec.target == phase and key not in self._coord_fired:
+                self._coord_fired.add(key)
+                self._note(spec)
+                return True
+        return False
 
     # -- engine-layer faults -------------------------------------------------
 

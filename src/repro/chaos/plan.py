@@ -41,10 +41,15 @@ class FaultKind(enum.Enum):
     STALL = "stall"
     FLAP = "flap"
     GRAY = "gray"
+    # shard layer: the transaction coordinator dies at a 2PC phase
+    # boundary (``target`` names the phase, e.g. "after_prepare")
+    COORD_CRASH = "coord_crash"
 
 
 #: kinds applied to the engine's WAL rather than the DES substrate
 ENGINE_KINDS = (FaultKind.CRASH, FaultKind.TORN_WRITE, FaultKind.BIT_FLIP)
+#: kinds applied to the shard-fleet transaction coordinator
+COORDINATOR_KINDS = (FaultKind.COORD_CRASH,)
 #: kinds degrading the network path to a target
 NETWORK_KINDS = (FaultKind.PARTITION, FaultKind.DELAY, FaultKind.LOSS, FaultKind.FLAP)
 #: kinds degrading the target node itself

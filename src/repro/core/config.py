@@ -87,6 +87,12 @@ class BenchConfig:
     overload_deadline_s: float = 0.6
     overload_duration_s: float = 6.0
 
+    # -- sharding / real scale-out
+    shard_counts: List[int] = field(default_factory=lambda: [1, 2, 4])
+    shard_cross_ratio: float = 0.1
+    shard_txns: int = 300
+    shard_driver: str = "inline"
+
     # -- chaos / availability
     chaos_faults: int = 4
     chaos_duration_s: float = 40.0
@@ -124,6 +130,14 @@ class BenchConfig:
             or self.overload_duration_s <= 0
         ):
             raise ValueError("overload capacity, deadline and duration must be positive")
+        if not self.shard_counts or any(n < 1 for n in self.shard_counts):
+            raise ValueError("shard_counts must be >= 1 shard each")
+        if not 0.0 <= self.shard_cross_ratio <= 1.0:
+            raise ValueError("shard_cross_ratio must be in [0, 1]")
+        if self.shard_txns < 1:
+            raise ValueError("shard_txns must be >= 1")
+        if self.shard_driver not in ("inline", "mp"):
+            raise ValueError("shard_driver must be 'inline' or 'mp'")
         if self.isolation not in ISOLATION_NAMES:
             raise ValueError(
                 f"isolation must be one of {sorted(ISOLATION_NAMES)}, "
@@ -187,4 +201,6 @@ class BenchConfig:
             chaos_clients=4,
             overload_multiples=[0.5, 1.0, 2.0],
             overload_duration_s=3.0,
+            shard_counts=[1, 2],
+            shard_txns=120,
         )

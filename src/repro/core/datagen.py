@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Dict, Iterator, Optional
 
 from repro.core.schema import (
     ORDERLINE_MULTIPLIER,
@@ -80,36 +80,37 @@ class DataGenerator:
             for table, count in rows_at_scale(self.scale_factor).items()
         }
 
-    def populate(self, db: Database, create_schema: bool = True) -> GeneratedData:
-        """Generate and load all rows; returns a summary."""
-        if create_schema:
-            create_sales_schema(db)
+    def iter_rows(self) -> Iterator[tuple]:
+        """Yield ``(table_name, row)`` in deterministic generation order.
+
+        The single stream serves both the whole-database loader below
+        and the sharded fleet loader, which routes each row to the shard
+        owning its partition key -- every consumer sees byte-identical
+        rows for a given seed.
+        """
         rng = random.Random(self.seed)
         counts = self.materialised_rows()
         now = 1_700_000_000.0  # fixed epoch base keeps runs reproducible
 
-        customer = db.table("CUSTOMER")
         for c_id in range(1, counts["CUSTOMER"] + 1):
-            customer.insert_row((
+            yield "CUSTOMER", (
                 c_id,
                 f"Customer#{c_id:09d}",
                 round(rng.uniform(0, 5000), 2),
                 rng.choice(_REGIONS),
                 now - rng.uniform(0, 86_400 * 30),
-            ))
+            )
 
-        orders = db.table("ORDERS")
         for o_id in range(1, counts["ORDERS"] + 1):
-            orders.insert_row((
+            yield "ORDERS", (
                 o_id,
                 rng.randint(1, counts["CUSTOMER"]),
                 now - rng.uniform(0, 86_400 * 30),
                 rng.choice(_STATUSES),
                 round(rng.uniform(5, 500), 2),
                 now - rng.uniform(0, 86_400 * 30),
-            ))
+            )
 
-        orderline = db.table("ORDERLINE")
         per_order = ORDERLINE_MULTIPLIER
         ol_id = 0
         for o_id in range(1, counts["ORDERS"] + 1):
@@ -117,30 +118,37 @@ class DataGenerator:
                 ol_id += 1
                 if ol_id > counts["ORDERLINE"]:
                     break
-                orderline.insert_row((
+                yield "ORDERLINE", (
                     ol_id,
                     o_id,
                     rng.randint(1, 100_000),
                     rng.randint(1, 10),
                     round(rng.uniform(1, 100), 2),
-                ))
+                )
             if ol_id > counts["ORDERLINE"]:
                 break
         # Top up if the per-order loop undershot (row_scale rounding).
         while ol_id < counts["ORDERLINE"]:
             ol_id += 1
-            orderline.insert_row((
+            yield "ORDERLINE", (
                 ol_id,
                 rng.randint(1, counts["ORDERS"]),
                 rng.randint(1, 100_000),
                 rng.randint(1, 10),
                 round(rng.uniform(1, 100), 2),
-            ))
+            )
 
+    def populate(self, db: Database, create_schema: bool = True) -> GeneratedData:
+        """Generate and load all rows; returns a summary."""
+        if create_schema:
+            create_sales_schema(db)
+        tables = {name: db.table(name) for name in ("CUSTOMER", "ORDERS", "ORDERLINE")}
+        for table_name, row in self.iter_rows():
+            tables[table_name].insert_row(row)
         return GeneratedData(
             scale_factor=self.scale_factor,
             row_scale=self.row_scale,
-            rows=dict(counts),
+            rows=self.materialised_rows(),
             nominal_bytes=nominal_bytes(self.scale_factor),
         )
 

@@ -288,6 +288,87 @@ def _overload(bench: "CloudyBench", qos=None) -> EvalOutcome:
     )
 
 
+def _parse_counts(value) -> list:
+    """Parse a comma-separated shard-count list (``"1,2,4"``)."""
+    if isinstance(value, (list, tuple)):
+        return [int(item) for item in value]
+    return [int(item) for item in str(value).split(",") if item.strip()]
+
+
+def _parse_driver(value) -> str:
+    driver = str(value)
+    if driver not in ("inline", "mp"):
+        raise ValueError(f"unknown driver {driver!r}; use 'inline' or 'mp'")
+    return driver
+
+
+@evaluator(
+    "scaleout-real",
+    title="Real scale-out (sharded fleet, 2PC)",
+    summary="measured fleet txn/s vs shard count and cross-shard ratio, "
+            "against the modelled E2 curve",
+    options=(
+        EvalOption("shards", _parse_counts, None,
+                   "comma-separated shard counts (default: config shard_counts)"),
+        EvalOption("cross", float, None,
+                   "cross-shard transaction ratio in [0, 1]"),
+        EvalOption("txns", int, None, "total transactions per point"),
+        EvalOption("driver", _parse_driver, None,
+                   "'inline' (any cross ratio) or 'mp' (one process per shard)"),
+    ),
+)
+def _scaleout_real(
+    bench: "CloudyBench", shards=None, cross=None, txns=None, driver=None,
+) -> EvalOutcome:
+    from repro.core.metrics import scale_out_tps
+
+    # validate() fills defaults without coercing (the CLI layer owns
+    # string parsing); coerce here so programmatic callers can pass
+    # "1,2,4" or [1, 2, 4] interchangeably.
+    data = bench._compute_scaleout_real(
+        shard_counts=None if shards is None else _parse_counts(shards),
+        cross_ratio=None if cross is None else float(cross),
+        transactions=None if txns is None else int(txns),
+        driver=None if driver is None else _parse_driver(driver),
+    )
+    # The analytic counterpart: the MVA scale-out curve (E2's substrate)
+    # for the first configured architecture under the RW mix.  Measured
+    # speedup comes from hash partitioning, modelled speedup from read
+    # replicas -- the comparison shows how the testbed's two scale-out
+    # mechanisms price added nodes.
+    arch = bench.architectures[0]
+    workload = bench.workload_mix("RW", bench.config.scale_factors[0])
+    model_base = scale_out_tps(arch, workload, 150, 0)
+    base = data[min(data)]
+    rows = []
+    scores = {}
+    for n_shards in sorted(data):
+        result = data[n_shards]
+        speedup = (
+            result.tps_node / base.tps_node if base.tps_node > 0 else 0.0
+        )
+        modelled = (
+            scale_out_tps(arch, workload, 150, n_shards - 1) / model_base
+            if model_base > 0 else 0.0
+        )
+        rows.append((
+            n_shards, result.driver, f"{result.cross_ratio:.0%}",
+            result.committed, result.aborted, result.cross_committed,
+            round(result.tps_node), round(speedup, 2), round(modelled, 2),
+            round(result.fsyncs / max(1, result.committed), 2),
+        ))
+        scores[f"scaleout.tps@{n_shards}"] = result.tps_node
+        scores[f"scaleout.speedup@{n_shards}"] = speedup
+    return _outcome(
+        bench, name="scaleout-real",
+        title="Real scale-out (sharded fleet, 2PC)",
+        headers=("shards", "driver", "cross", "committed", "aborted",
+                 "2PC commits", "node TPS", "speedup", "modelled",
+                 "fsyncs/txn"),
+        rows=rows, scores=scores, payload=data,
+    )
+
+
 @evaluator(
     "overall",
     title="Overall performance (Table IX)",

@@ -18,6 +18,7 @@ from typing import Dict, List
 
 from repro.core.workload import SalesWorkload, TransactionMix
 from repro.engine.database import Database
+from repro.sim.rng import derive_seed
 
 
 @dataclass
@@ -61,11 +62,13 @@ class WorkloadManager:
         self.concurrency = concurrency
         self.record_latencies = record_latencies
         # One workload state per worker: separate RNG streams keep the
-        # run deterministic regardless of interleaving.
+        # run deterministic regardless of interleaving.  Worker seeds
+        # are derived by name -- ``seed + worker_id`` made worker i of a
+        # run seeded S draw the exact stream of worker 0 seeded S+i.
         self.workers = [
             SalesWorkload(
                 db, mix, distribution=distribution, latest_k=latest_k,
-                seed=seed + worker_id,
+                seed=derive_seed(seed, f"worker.{worker_id}"),
             )
             for worker_id in range(concurrency)
         ]

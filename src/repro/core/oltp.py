@@ -25,6 +25,7 @@ from repro.core.datagen import load_sales_database
 from repro.core.manager import OltpResult, WorkloadManager
 from repro.core.workload import TransactionMix
 from repro.engine.txn import MVCC_LEVELS, IsolationLevel
+from repro.sim.rng import derive_seed
 
 
 @dataclass
@@ -98,11 +99,18 @@ class OltpEvaluator:
     ) -> OltpReport:
         """Real engine, real SQL; one fresh database per concurrency."""
         report = OltpReport(self.mix.label, self.distribution)
+        # Sub-seeds, not the master seed: seeding the data generator and
+        # the workload workers with the same value made their access
+        # streams correlated (the datagen RNG was identical to worker
+        # 0's).  Named derivation keeps each stream independent while
+        # the whole run stays a pure function of ``self.seed``.
+        datagen_seed = derive_seed(self.seed, "oltp.datagen")
+        workload_seed = derive_seed(self.seed, "oltp.workload")
         for concurrency in concurrencies or [1, 4, 16]:
             db, _data = load_sales_database(
                 scale_factor=self.scale_factor,
                 row_scale=self.row_scale,
-                seed=self.seed,
+                seed=datagen_seed,
             )
             if self.isolation is not None:
                 db.default_isolation = self.isolation
@@ -112,7 +120,7 @@ class OltpEvaluator:
                 concurrency=concurrency,
                 distribution=self.distribution,
                 latest_k=self.latest_k,
-                seed=self.seed,
+                seed=workload_seed,
                 record_latencies=True,
             )
             result = manager.run_transactions(transactions_per_level)

@@ -82,6 +82,8 @@ class CloudyBench:
         self._oltp: Optional[Dict[str, AScore]] = None
         #: overload sweeps, cached per qos flag (True and False coexist)
         self._overload: Dict[bool, Dict[str, OverloadResult]] = {}
+        #: real scale-out runs, cached per (counts, cross, txns, driver)
+        self._scaleout: Dict[Tuple, Dict[int, object]] = {}
 
     def snapshot(self) -> Dict[str, object]:
         """Point-in-time observability snapshot (metrics + trace stats)."""
@@ -444,6 +446,47 @@ class CloudyBench:
             results[arch.name] = evaluator.run(list(self.config.overload_multiples))
         self._overload[qos] = results
         return results
+
+    # -- real scale-out (sharded fleet) -------------------------------------------
+
+    def _compute_scaleout_real(
+        self,
+        shard_counts: Optional[List[int]] = None,
+        cross_ratio: Optional[float] = None,
+        transactions: Optional[int] = None,
+        driver: Optional[str] = None,
+    ) -> Dict[int, object]:
+        """Measured fleet throughput per shard count.
+
+        Unlike the rest of the runner this is not a model: it loads one
+        real sharded fleet per point and drives the payment workload
+        through it (:mod:`repro.shard.driver`).  Returns ``{n_shards:
+        ShardRunResult}``.
+        """
+        from repro.shard.driver import run_scaleout
+
+        counts = list(shard_counts or self.config.shard_counts)
+        txns = self.config.shard_txns if transactions is None else transactions
+        driver = driver or self.config.shard_driver
+        if cross_ratio is None:
+            # the mp driver has no cross-process coordinator, so its
+            # only valid ratio is 0; don't let the config default for
+            # the inline driver reject an explicit ``driver=mp``
+            cross = 0.0 if driver == "mp" else self.config.shard_cross_ratio
+        else:
+            cross = cross_ratio
+        key = (tuple(counts), cross, txns, driver)
+        cached = self._scaleout.get(key)
+        if cached is not None:
+            return cached
+        results = run_scaleout(
+            counts, txns, cross_ratio=cross, seed=self.config.seed,
+            row_scale=self.config.row_scale, driver=driver,
+            observer=self.observer,
+        )
+        data = {result.n_shards: result for result in results}
+        self._scaleout[key] = data
+        return data
 
     # -- the unified metric (Table IX) -----------------------------------------
 

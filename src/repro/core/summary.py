@@ -27,6 +27,7 @@ _SECTIONS = (
     ("failover", "Fail-over (Table VIII)"),
     ("lagtime", "Replication lag (Section III-F)"),
     ("overload", "Overload protection (D-Score)"),
+    ("scaleout-real", "Real scale-out (sharded fleet)"),
     ("overall", "Overall (Table IX)"),
 )
 

@@ -16,6 +16,7 @@ with the transaction's record batch, and releases all locks.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.engine.buffer import BufferPool
@@ -25,6 +26,7 @@ from repro.engine.errors import (
     LockTimeoutError,
     SchemaError,
     SqlError,
+    TransactionAborted,
     WriteConflictError,
 )
 from repro.engine.executor import Executor, Prepared, ResultSet
@@ -39,7 +41,7 @@ from repro.engine.txn import (
     TxnState,
 )
 from repro.engine.types import Schema
-from repro.engine.wal import LogKind, LogRecord, WriteAheadLog
+from repro.engine.wal import DATA_KINDS, LogKind, LogRecord, WriteAheadLog
 from repro.obs import NULL_OBSERVER, Observer
 
 #: Signature of commit listeners: (txn_id, commit_lsn, data_records).
@@ -56,6 +58,7 @@ class Database:
         default_isolation: IsolationLevel = IsolationLevel.READ_COMMITTED,
         observer: Optional[Observer] = None,
         auto_vacuum_versions: int = 4096,
+        plan_cache_size: int = 512,
     ):
         self.name = name
         self.obs = observer or NULL_OBSERVER
@@ -89,7 +92,13 @@ class Database:
         self.default_isolation = default_isolation
         self._tables: Dict[str, Table] = {}
         self._executor = Executor(self)
-        self._prepared: Dict[str, Prepared] = {}
+        if plan_cache_size < 1:
+            raise ValueError("plan_cache_size must be >= 1")
+        self.plan_cache_size = plan_cache_size
+        self._prepared: "OrderedDict[str, Prepared]" = OrderedDict()
+        self.plan_cache_hits = 0
+        self.plan_cache_misses = 0
+        self.plan_cache_evictions = 0
         self._txn_records: Dict[int, List[LogRecord]] = {}
         self._commit_listeners: List[CommitListener] = []
         self.checkpoint_lsn = 0
@@ -168,7 +177,12 @@ class Database:
         return txn
 
     def _commit(self, txn: Transaction) -> None:
-        txn.ensure_active()
+        # PREPARED is commit-eligible too: phase two of 2PC finishes a
+        # branch whose fate the coordinator already decided.
+        if txn.state not in (TxnState.ACTIVE, TxnState.PREPARED):
+            raise TransactionAborted(
+                f"transaction {txn.txn_id} is {txn.state.value}"
+            )
         record = self.wal.append(txn.txn_id, LogKind.COMMIT)
         # Stamp this transaction's version-chain entries with the commit
         # LSN: they become visible to snapshots taken from here on.
@@ -193,7 +207,7 @@ class Database:
             self.vacuum()
 
     def _rollback(self, txn: Transaction) -> None:
-        if txn.state is not TxnState.ACTIVE:
+        if txn.state not in (TxnState.ACTIVE, TxnState.PREPARED):
             return
         # Undo this transaction's changes in reverse order (no CLRs: the
         # engine is memory-resident, so rollback is atomic w.r.t. crashes).
@@ -208,6 +222,57 @@ class Database:
         self.txns.finish(txn, committed=False)
         if self.obs.enabled:
             self._observe_txn_end(txn, "abort")
+
+    # -- two-phase commit (participant side) --------------------------------------
+
+    def prepare_commit(self, txn: Transaction, gtid) -> None:
+        """2PC phase one: make ``txn`` durable without deciding its fate.
+
+        Appends a PREPARE record carrying the global transaction id; the
+        transaction keeps every lock and write intent, and only
+        :meth:`Transaction.commit` / :meth:`Transaction.rollback` (both
+        accept the PREPARED state) finish it.  After a crash, recovery
+        classes the branch *in doubt* until the fleet-level pass resolves
+        it against the durable DECISION records.
+        """
+        txn.ensure_active()
+        record = self.wal.append(txn.txn_id, LogKind.PREPARE, key=gtid)
+        txn.gtid = gtid
+        txn.last_lsn = record.lsn
+        txn.state = TxnState.PREPARED
+        if self.obs.enabled:
+            self.obs.count("engine.txn.prepare")
+
+    def log_decision(self, txn_id: int, gtid) -> None:
+        """Durably record the coordinator's commit decision on this shard."""
+        self.wal.append(txn_id, LogKind.DECISION, key=gtid)
+
+    def resolve_in_doubt(self, txn_id: int, commit: bool) -> None:
+        """Finish an in-doubt prepared transaction found by recovery.
+
+        Recovery redoes in-doubt records but neither undoes nor commits
+        them.  ``commit=True`` (a DECISION exists somewhere in the fleet)
+        appends the missing COMMIT; ``commit=False`` (presumed abort)
+        undoes the branch's data records in reverse and appends ABORT.
+        """
+        if commit:
+            self.wal.append(txn_id, LogKind.COMMIT)
+        else:
+            from repro.engine.recovery import _apply_undo  # local import: cycle
+
+            records = [
+                record
+                for record in self.wal.records_from(self.checkpoint_lsn + 1)
+                if record.txn_id == txn_id and record.kind in DATA_KINDS
+            ]
+            for record in reversed(records):
+                _apply_undo(self, record)
+            self.wal.append(txn_id, LogKind.ABORT)
+        if self.obs.enabled:
+            self.obs.count(
+                "engine.recovery.in_doubt_committed" if commit
+                else "engine.recovery.in_doubt_aborted"
+            )
 
     def _observe_txn_end(self, txn: Transaction, outcome: str) -> None:
         end_s = self.obs.now()
@@ -224,10 +289,29 @@ class Database:
     # -- SQL entry points -------------------------------------------------------------
 
     def prepare(self, sql: str) -> Prepared:
+        """Parse-once statement cache, bounded LRU.
+
+        Ad-hoc SQL with inlined literals used to grow the cache without
+        limit; the least recently used plan is now evicted once
+        ``plan_cache_size`` distinct statements accumulate.
+        """
         prepared = self._prepared.get(sql)
-        if prepared is None:
-            prepared = Prepared(self, sql)
-            self._prepared[sql] = prepared
+        if prepared is not None:
+            self._prepared.move_to_end(sql)
+            self.plan_cache_hits += 1
+            if self.obs.enabled:
+                self.obs.count("engine.sql.plan_cache.hit")
+            return prepared
+        prepared = Prepared(self, sql)
+        self._prepared[sql] = prepared
+        self.plan_cache_misses += 1
+        if self.obs.enabled:
+            self.obs.count("engine.sql.plan_cache.miss")
+        if len(self._prepared) > self.plan_cache_size:
+            self._prepared.popitem(last=False)
+            self.plan_cache_evictions += 1
+            if self.obs.enabled:
+                self.obs.count("engine.sql.plan_cache.evict")
         return prepared
 
     def execute(

@@ -331,7 +331,8 @@ class Executor:
         table = prepared.table
         schema = table.schema
         shared_keys: List[Any] = []
-        if txn.uses_mvcc and not statement.for_update:
+        snapshot_read = txn.uses_mvcc and not statement.for_update
+        if snapshot_read:
             # Snapshot read: resolve versions, take no locks at all.
             matches = self._match_rows_snapshot(
                 table, statement.where, params, txn
@@ -342,25 +343,34 @@ class Executor:
             # Current read (lock-based levels, or FOR UPDATE under any
             # level, which needs the latest committed image plus a lock).
             matches = self._match_rows(table, statement.where, params)
-            lock_mode = (
-                LockMode.EXCLUSIVE if statement.for_update else LockMode.SHARED
-            )
-            for _rid, row in matches:
-                key = row[schema.primary_key_index]
-                self._db._lock_row(txn, table.name, key, lock_mode)
-                if lock_mode is LockMode.SHARED:
-                    shared_keys.append(key)
-        rows = [row for _rid, row in matches]
-        txn.reads += len(rows)
+            if statement.for_update:
+                # FOR UPDATE declares write intent over the whole
+                # candidate set, before ordering -- the rows that lose
+                # the LIMIT cut must not change under the winner.
+                for _rid, row in matches:
+                    self._db._lock_row(
+                        txn, table.name, row[schema.primary_key_index],
+                        LockMode.EXCLUSIVE,
+                    )
         # Row-level ORDER BY / LIMIT only apply to ungrouped selects;
-        # grouped output is ordered by the group key.
+        # grouped output is ordered by the group key.  Both run before
+        # the shared locks are taken: a plain LIMIT-1 range read must
+        # lock one row, not the whole candidate set.
         if statement.group_by is None:
             if statement.order_by:
                 order_index = schema.column_index(statement.order_by)
-                rows.sort(key=lambda row: row[order_index],
-                          reverse=statement.order_desc)
+                matches = self._order_matches(
+                    matches, order_index, statement.order_desc
+                )
             if statement.limit is not None:
-                rows = rows[: statement.limit]
+                matches = matches[: statement.limit]
+        if not snapshot_read and not statement.for_update:
+            for _rid, row in matches:
+                key = row[schema.primary_key_index]
+                self._db._lock_row(txn, table.name, key, LockMode.SHARED)
+                shared_keys.append(key)
+        rows = [row for _rid, row in matches]
+        txn.reads += len(rows)
         if statement.group_by is not None:
             result = self._grouped(schema, statement, rows)
         elif statement.items and statement.items[0].is_aggregate:
@@ -376,6 +386,19 @@ class Executor:
             for key in shared_keys:
                 self._db._unlock_row(txn, table.name, key)
         return result
+
+    @staticmethod
+    def _order_matches(matches, order_index: int, desc: bool):
+        """ORDER BY with NULLS LAST semantics, either direction.
+
+        SQL sorts NULLs apart from values; Python would raise comparing
+        ``None`` against them, so the absent rows are split out and
+        appended after the sorted present ones (stable within each part).
+        """
+        present = [m for m in matches if m[1][order_index] is not None]
+        absent = [m for m in matches if m[1][order_index] is None]
+        present.sort(key=lambda m: m[1][order_index], reverse=desc)
+        return present + absent
 
     @staticmethod
     def _aggregate_cell(schema, item: SelectItem, rows):

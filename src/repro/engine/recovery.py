@@ -16,7 +16,7 @@ Two consumers of the WAL live here:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, Optional, Set, TYPE_CHECKING
+from typing import Dict, Iterable, Optional, Set, TYPE_CHECKING
 
 from repro.engine.errors import EngineError
 from repro.engine.table import RowVersion, Table
@@ -36,6 +36,12 @@ class RecoveryReport:
     records_undone: int = 0
     winners: Set[int] = field(default_factory=set)
     losers: Set[int] = field(default_factory=set)
+    #: prepared transactions with no local COMMIT/ABORT/DECISION: their
+    #: changes are redone but neither undone nor committed; the mapping
+    #: is local txn id -> global transaction id.  The fleet-level pass
+    #: (:meth:`repro.shard.fleet.ShardedDatabase.recover`) resolves them
+    #: against the DECISION records of every participant.
+    in_doubt: Dict[int, object] = field(default_factory=dict)
     #: first LSN whose CRC failed (None when the tail was intact)
     corrupt_from_lsn: Optional[int] = None
     #: records dropped when the corrupt tail was truncated
@@ -161,9 +167,11 @@ def recover(db: "Database") -> RecoveryReport:
         records = [record for record in db.wal.records_from(start_lsn)]
         report.records_scanned = len(records)
 
-        # Analysis: who committed, who aborted, who was in flight?
+        # Analysis: who committed, who aborted, who was in flight, and
+        # which prepared branches are in doubt?
         seen: Set[int] = set()
         aborted: Set[int] = set()
+        prepared: Dict[int, object] = {}
         with obs.span("recovery.analysis", "engine", track="engine"):
             for record in records:
                 if record.kind in DATA_KINDS or record.kind is LogKind.BEGIN:
@@ -172,7 +180,23 @@ def recover(db: "Database") -> RecoveryReport:
                     report.winners.add(record.txn_id)
                 elif record.kind is LogKind.ABORT:
                     aborted.add(record.txn_id)
-            report.losers = seen - report.winners - aborted
+                elif record.kind is LogKind.PREPARE:
+                    prepared[record.txn_id] = record.key
+                elif record.kind is LogKind.DECISION:
+                    # a durable local decision is as good as COMMIT: the
+                    # coordinator had already decided before the crash
+                    report.winners.add(record.txn_id)
+            report.in_doubt = {
+                txn_id: gtid
+                for txn_id, gtid in prepared.items()
+                if txn_id not in report.winners and txn_id not in aborted
+            }
+            # In-doubt transactions are neither winners nor losers: redo
+            # them (locks are gone, but so is everyone who could look),
+            # never undo them -- the fleet pass decides their fate.
+            report.losers = (
+                seen - report.winners - aborted - set(report.in_doubt)
+            )
 
         # Redo: replay history (repeating history, ARIES-style).  Aborted
         # transactions are skipped entirely: their rollback ran synchronously
@@ -193,6 +217,9 @@ def recover(db: "Database") -> RecoveryReport:
         root.set("scanned", report.records_scanned)
         root.set("redone", report.records_redone)
         root.set("undone", report.records_undone)
+        if report.in_doubt:
+            root.set("in_doubt", len(report.in_doubt))
+            obs.count("engine.recovery.in_doubt", len(report.in_doubt))
         obs.count("engine.recovery.runs")
         obs.count("engine.recovery.redone", report.records_redone)
         obs.count("engine.recovery.undone", report.records_undone)

@@ -47,6 +47,9 @@ MVCC_LEVELS = frozenset({IsolationLevel.SNAPSHOT, IsolationLevel.REPEATABLE_READ
 
 class TxnState(enum.Enum):
     ACTIVE = "active"
+    #: 2PC phase one passed: changes durable, locks held, fate owned by
+    #: the coordinator (commit and rollback both remain possible).
+    PREPARED = "prepared"
     COMMITTED = "committed"
     ABORTED = "aborted"
 
@@ -79,6 +82,9 @@ class Transaction:
         #: with the commit LSN at commit time (engine-internal).
         self.created_versions: list = []
         self.ended_versions: list = []
+        #: global transaction id when this local transaction is one
+        #: participant branch of a cross-shard 2PC transaction
+        self.gtid = None
         #: optional per-request deadline (duck-typed: anything with
         #: ``expired() -> bool``, normally :class:`repro.qos.deadline.
         #: Deadline`).  The engine checks it at its cancellation points

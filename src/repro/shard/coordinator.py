@@ -1,0 +1,294 @@
+"""Presumed-abort two-phase commit across the shard fleet.
+
+Protocol (the classic presumed-abort variant):
+
+1. **Prepare.**  Every participant branch appends a PREPARE record
+   (carrying the global transaction id) and moves to ``PREPARED`` --
+   durable, locks held, fate undecided.  Any prepare failure aborts all
+   branches: nothing was promised yet.
+2. **Decision.**  The coordinator durably logs its COMMIT decision as a
+   DECISION record *on each participant's WAL* (this testbed has no
+   separate coordinator log; co-logging the decision with the data it
+   governs is what real disaggregated systems do with a commit-log
+   service).  Decisions for a batch of transactions landing on the same
+   shard share one fsync via :meth:`~repro.engine.wal.WriteAheadLog.
+   group_commit` -- the group-commit batching that amortizes 2PC's extra
+   fsync point.
+3. **Commit.**  Branches append COMMIT and release locks.
+
+Abort needs no decision record: recovery *presumes abort* for any
+prepared branch with no DECISION anywhere in the fleet.
+
+Crash points: the coordinator can be killed at any of the
+:data:`PHASES` boundaries, either armed directly (:meth:`TxnCoordinator.
+arm_crash`) or scheduled through a chaos plan (``FaultKind.COORD_CRASH``
+with the phase name as target).  A fired crash point raises
+:class:`~repro.engine.errors.SimulatedCrash` *without* cleaning up --
+the half-run protocol state is exactly what crash-recovery tests need.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Set
+
+from repro.engine.database import Database
+from repro.engine.errors import SimulatedCrash, TransactionAborted
+from repro.engine.txn import IsolationLevel, Transaction, TxnState
+from repro.obs import NULL_OBSERVER, Observer
+
+#: 2PC phase boundaries a coordinator crash can be scheduled at.
+#: ``mid_*`` fires after the first unit of the phase completed, so the
+#: phase is left half-done (the interesting recovery cases).
+PHASES = (
+    "before_prepare",
+    "mid_prepare",
+    "after_prepare",
+    "mid_decision",
+    "after_decision",
+    "mid_commit",
+    "after_commit",
+)
+
+
+class GlobalTransaction:
+    """A transaction that may span several shards.
+
+    Branches are lazy: :meth:`local` begins a branch on a shard the
+    first time a statement routes there, so a global transaction that
+    happens to touch one shard commits with zero 2PC overhead.
+    """
+
+    def __init__(
+        self,
+        coordinator: "TxnCoordinator",
+        gtid: str,
+        isolation: Optional[IsolationLevel] = None,
+        deadline=None,
+    ):
+        self._coordinator = coordinator
+        self.gtid = gtid
+        self.isolation = isolation
+        self.deadline = deadline
+        self.state = TxnState.ACTIVE
+        #: shard id -> local branch transaction
+        self.locals: Dict[int, Transaction] = {}
+
+    def local(self, shard_id: int) -> Transaction:
+        """The branch on ``shard_id``, begun on first use."""
+        txn = self.locals.get(shard_id)
+        if txn is None:
+            shard = self._coordinator.shards[shard_id]
+            txn = shard.begin(isolation=self.isolation, deadline=self.deadline)
+            self.locals[shard_id] = txn
+        return txn
+
+    @property
+    def participants(self) -> List[int]:
+        return sorted(self.locals)
+
+    @property
+    def is_cross_shard(self) -> bool:
+        return len(self.locals) > 1
+
+    @property
+    def is_active(self) -> bool:
+        return self.state is TxnState.ACTIVE
+
+    def commit(self) -> None:
+        self._coordinator.commit(self)
+
+    def rollback(self) -> None:
+        self._coordinator.rollback(self)
+
+    def __enter__(self) -> "GlobalTransaction":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if exc_type is None:
+            if self.is_active:
+                self.commit()
+        elif issubclass(exc_type, SimulatedCrash):
+            # A crash point fired: the node is gone, not misbehaving.
+            # Leave every branch exactly as the protocol left it -- that
+            # dangling state is what fleet crash recovery resolves.
+            pass
+        else:
+            if self.is_active:
+                self.rollback()
+        return False
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<GlobalTransaction {self.gtid} {self.state.value} "
+            f"shards={self.participants}>"
+        )
+
+
+class TxnCoordinator:
+    """Drives presumed-abort 2PC over a list of shard databases."""
+
+    def __init__(
+        self,
+        shards: Sequence[Database],
+        observer: Optional[Observer] = None,
+        chaos=None,
+        name: str = "fleet",
+        start_gtid: int = 1,
+    ):
+        self.shards = list(shards)
+        self.obs = observer or NULL_OBSERVER
+        self.chaos = chaos
+        self.name = name
+        self._gtid_counter = start_gtid
+        self._armed: Set[str] = set()
+        self.single_commits = 0
+        self.cross_commits = 0
+        self.aborts = 0
+
+    # -- lifecycle -----------------------------------------------------------
+
+    @property
+    def next_gtid(self) -> int:
+        """Handed to the replacement coordinator after a crash so global
+        transaction ids stay unique across the fleet's lifetime."""
+        return self._gtid_counter
+
+    def begin(
+        self,
+        isolation: Optional[IsolationLevel] = None,
+        deadline=None,
+    ) -> GlobalTransaction:
+        gtid = f"{self.name}:{self._gtid_counter}"
+        self._gtid_counter += 1
+        return GlobalTransaction(self, gtid, isolation=isolation, deadline=deadline)
+
+    # -- crash points --------------------------------------------------------
+
+    def arm_crash(self, phase: str) -> None:
+        """One-shot: die when the next commit reaches ``phase``."""
+        if phase not in PHASES:
+            raise ValueError(f"unknown 2PC phase {phase!r}; one of {PHASES}")
+        self._armed.add(phase)
+
+    def _crash_point(self, phase: str) -> None:
+        fire = phase in self._armed
+        if fire:
+            self._armed.discard(phase)
+        elif self.chaos is not None and self.chaos.take_coordinator_crash(phase):
+            fire = True
+        if fire:
+            if self.obs.enabled:
+                self.obs.event(
+                    "2pc.coord_crash", "shard", track="shard",
+                    attrs={"phase": phase},
+                )
+            raise SimulatedCrash(f"coordinator {self.name} crashed at {phase}")
+
+    # -- commit / abort ------------------------------------------------------
+
+    def commit(self, gtxn: GlobalTransaction) -> None:
+        self.commit_many([gtxn])
+
+    def commit_many(self, gtxns: Sequence[GlobalTransaction]) -> None:
+        """Commit a batch of global transactions.
+
+        Single-shard transactions commit directly (no prepare, no
+        decision record -- one fsync, same as a local commit).  The
+        cross-shard remainder runs the two-phase protocol as one batch,
+        so coordinator decisions landing on the same shard share a
+        group-committed fsync.
+        """
+        for gtxn in gtxns:
+            if not gtxn.is_active:
+                raise TransactionAborted(
+                    f"global transaction {gtxn.gtid} is {gtxn.state.value}"
+                )
+        crosses = []
+        for gtxn in gtxns:
+            if gtxn.is_cross_shard:
+                crosses.append(gtxn)
+            else:
+                for txn in gtxn.locals.values():
+                    txn.commit()
+                gtxn.state = TxnState.COMMITTED
+                self.single_commits += 1
+                if self.obs.enabled:
+                    self.obs.count("shard.2pc.single_shard")
+        if crosses:
+            self._two_phase(crosses)
+
+    def _two_phase(self, gtxns: List[GlobalTransaction]) -> None:
+        try:
+            with self.obs.span("2pc.commit", "shard", track="shard"):
+                # Phase one: prepare every branch of every transaction.
+                self._crash_point("before_prepare")
+                first = True
+                for gtxn in gtxns:
+                    for shard_id in gtxn.participants:
+                        self.shards[shard_id].prepare_commit(
+                            gtxn.locals[shard_id], gtxn.gtid
+                        )
+                        if self.obs.enabled:
+                            self.obs.count("shard.2pc.prepare")
+                        if first:
+                            first = False
+                            self._crash_point("mid_prepare")
+                self._crash_point("after_prepare")
+
+                # Decision: log COMMIT per participant, batched per shard
+                # so N decisions on one shard cost one fsync.
+                by_shard: Dict[int, List[GlobalTransaction]] = {}
+                for gtxn in gtxns:
+                    for shard_id in gtxn.participants:
+                        by_shard.setdefault(shard_id, []).append(gtxn)
+                first = True
+                for shard_id in sorted(by_shard):
+                    shard = self.shards[shard_id]
+                    with shard.wal.group_commit():
+                        for gtxn in by_shard[shard_id]:
+                            shard.log_decision(
+                                gtxn.locals[shard_id].txn_id, gtxn.gtid
+                            )
+                    if first:
+                        first = False
+                        self._crash_point("mid_decision")
+                self._crash_point("after_decision")
+
+                # Phase two: the outcome is durable; finish the branches.
+                first = True
+                for gtxn in gtxns:
+                    for shard_id in gtxn.participants:
+                        gtxn.locals[shard_id].commit()
+                        if first:
+                            first = False
+                            self._crash_point("mid_commit")
+                    gtxn.state = TxnState.COMMITTED
+                    self.cross_commits += 1
+                    if self.obs.enabled:
+                        self.obs.count("shard.2pc.cross_shard")
+                self._crash_point("after_commit")
+        except SimulatedCrash:
+            # The coordinator (or a shard's WAL) died mid-protocol.  No
+            # cleanup: prepared branches stay in doubt until the fleet
+            # crash-recovers and resolves them against the durable
+            # DECISION records.  That dangling state is the point.
+            raise
+        except BaseException:
+            # A non-crash failure in phase one (lock conflict, deadline)
+            # means nothing was promised: abort every branch.
+            self._abort_all(gtxns)
+            raise
+
+    def rollback(self, gtxn: GlobalTransaction) -> None:
+        if not gtxn.is_active:
+            return
+        self._abort_all([gtxn])
+
+    def _abort_all(self, gtxns: Sequence[GlobalTransaction]) -> None:
+        for gtxn in gtxns:
+            for txn in gtxn.locals.values():
+                txn.rollback()  # no-op for branches a shard already aborted
+            gtxn.state = TxnState.ABORTED
+            self.aborts += 1
+            if self.obs.enabled:
+                self.obs.count("shard.2pc.abort")

@@ -1,0 +1,265 @@
+"""Load drivers for the shard fleet: inline and multiprocess.
+
+Two ways to push the payment workload through a fleet:
+
+* **inline** -- one process owns every shard; supports any cross-shard
+  ratio because the coordinator and all participants share an address
+  space.  CPU time is serialized across shards, so inline numbers show
+  2PC *overhead*, not scale-out.
+* **mp** -- one OS process per shard, each loading its own slice of the
+  data (:func:`~repro.shard.fleet.load_sales_shard`) and hammering it
+  independently.  Cross-shard transactions are unsupported (there is no
+  cross-process coordinator transport in this testbed), which is the
+  honest boundary: the mp driver measures the single-shard fast path.
+
+Throughput metric: wall-clock TPS is meaningless on a 1-core CI box
+where N workers time-slice one CPU, so the driver also reports
+**node-time TPS** -- total commits divided by the *maximum per-worker
+CPU time* (``time.process_time``).  With one core per shard (the
+deployment sharding assumes) node time equals wall time, so node-time
+TPS is the fleet's throughput on real hardware; this is the number the
+scale-out acceptance criterion checks.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.shard.fleet import load_sales_fleet, load_sales_shard
+from repro.shard.router import ShardError
+from repro.shard.workload import LocalShardWorkload, ShardSalesWorkload
+
+#: seconds a multiprocess worker may run before the driver gives up on it
+_WORKER_TIMEOUT_S = 600.0
+
+
+@dataclass
+class ShardRunResult:
+    """Outcome of one fleet load-driver run."""
+
+    n_shards: int
+    driver: str  # "inline" | "mp" | "mp-fallback"
+    cross_ratio: float
+    transactions: int
+    committed: int
+    aborted: int
+    cross_committed: int
+    wall_s: float
+    #: max per-worker CPU seconds (inline: total CPU seconds)
+    node_s: float
+    fsyncs: int
+    loaded_rows: int
+    per_shard: List[Dict] = field(default_factory=list)
+
+    @property
+    def tps_wall(self) -> float:
+        return self.committed / self.wall_s if self.wall_s > 0 else 0.0
+
+    @property
+    def tps_node(self) -> float:
+        return self.committed / self.node_s if self.node_s > 0 else 0.0
+
+
+def run_inline(
+    n_shards: int,
+    transactions: int,
+    cross_ratio: float = 0.0,
+    seed: int = 42,
+    scale_factor: int = 1,
+    row_scale: float = 0.002,
+    observer=None,
+    chaos=None,
+) -> ShardRunResult:
+    """Drive one in-process fleet through ``transactions`` payments."""
+    if transactions < 1:
+        raise ValueError("transactions must be >= 1")
+    fleet, _data = load_sales_fleet(
+        n_shards, scale_factor=scale_factor, row_scale=row_scale,
+        seed=seed, observer=observer, chaos=chaos,
+    )
+    workload = ShardSalesWorkload(fleet, cross_ratio=cross_ratio, seed=seed)
+    fsyncs_before = fleet.fsyncs
+    wall_start = time.perf_counter()
+    cpu_start = time.process_time()
+    for _ in range(transactions):
+        workload.run_one()
+    cpu_s = time.process_time() - cpu_start
+    wall_s = time.perf_counter() - wall_start
+    return ShardRunResult(
+        n_shards=n_shards,
+        driver="inline",
+        cross_ratio=cross_ratio,
+        transactions=transactions,
+        committed=workload.committed,
+        aborted=workload.aborted,
+        cross_committed=workload.cross_committed,
+        wall_s=wall_s,
+        node_s=cpu_s,
+        fsyncs=fleet.fsyncs - fsyncs_before,
+        loaded_rows=fleet.total_rows(),
+    )
+
+
+def _run_local_shard(
+    shard_id: int,
+    n_shards: int,
+    transactions: int,
+    seed: int,
+    scale_factor: int,
+    row_scale: float,
+) -> Dict:
+    """One worker's whole life: load its slice, run its transactions."""
+    db = load_sales_shard(
+        shard_id, n_shards, scale_factor=scale_factor,
+        row_scale=row_scale, seed=seed,
+    )
+    workload = LocalShardWorkload(db, shard_id, seed=seed)
+    fsyncs_before = db.wal.fsyncs
+    wall_start = time.perf_counter()
+    cpu_start = time.process_time()
+    for _ in range(transactions):
+        workload.run_one()
+    return {
+        "shard": shard_id,
+        "transactions": transactions,
+        "committed": workload.committed,
+        "aborted": workload.aborted,
+        "cpu_s": time.process_time() - cpu_start,
+        "wall_s": time.perf_counter() - wall_start,
+        "fsyncs": db.wal.fsyncs - fsyncs_before,
+        "rows": db.total_rows(),
+    }
+
+
+def _mp_worker(shard_id, n_shards, transactions, seed, scale_factor, row_scale, queue):
+    queue.put(
+        _run_local_shard(shard_id, n_shards, transactions, seed, scale_factor, row_scale)
+    )
+
+
+def _split(total: int, parts: int) -> List[int]:
+    base, extra = divmod(total, parts)
+    return [base + (1 if index < extra else 0) for index in range(parts)]
+
+
+def run_multiprocess(
+    n_shards: int,
+    transactions: int,
+    cross_ratio: float = 0.0,
+    seed: int = 42,
+    scale_factor: int = 1,
+    row_scale: float = 0.002,
+    processes: bool = True,
+) -> ShardRunResult:
+    """One worker per shard, each with a private slice of the data.
+
+    ``transactions`` is the fleet total, split evenly across shards.
+    If spawning OS processes fails (restricted sandboxes), the workers
+    run sequentially in-process -- the per-shard results are identical
+    (same seeds, no shared state), only the wall clock differs, and the
+    driver label says ``mp-fallback`` so reports stay honest.
+    """
+    if transactions < 1:
+        raise ValueError("transactions must be >= 1")
+    if cross_ratio != 0.0:
+        raise ShardError(
+            "the multiprocess driver has no cross-process coordinator; "
+            "use the inline driver for cross_ratio > 0"
+        )
+    per_shard_txns = _split(transactions, n_shards)
+    wall_start = time.perf_counter()
+    stats: Optional[List[Dict]] = None
+    driver = "mp"
+    if processes and n_shards > 1:
+        stats = _try_processes(
+            n_shards, per_shard_txns, seed, scale_factor, row_scale
+        )
+    if stats is None:
+        driver = "mp-fallback" if processes and n_shards > 1 else "mp"
+        stats = [
+            _run_local_shard(
+                shard_id, n_shards, per_shard_txns[shard_id],
+                seed, scale_factor, row_scale,
+            )
+            for shard_id in range(n_shards)
+        ]
+    wall_s = time.perf_counter() - wall_start
+    stats.sort(key=lambda entry: entry["shard"])
+    return ShardRunResult(
+        n_shards=n_shards,
+        driver=driver,
+        cross_ratio=0.0,
+        transactions=transactions,
+        committed=sum(entry["committed"] for entry in stats),
+        aborted=sum(entry["aborted"] for entry in stats),
+        cross_committed=0,
+        wall_s=wall_s,
+        node_s=max(entry["cpu_s"] for entry in stats),
+        fsyncs=sum(entry["fsyncs"] for entry in stats),
+        loaded_rows=sum(entry["rows"] for entry in stats),
+        per_shard=stats,
+    )
+
+
+def _try_processes(
+    n_shards: int,
+    per_shard_txns: List[int],
+    seed: int,
+    scale_factor: int,
+    row_scale: float,
+) -> Optional[List[Dict]]:
+    """Fork one worker per shard; None when the environment refuses."""
+    try:
+        import multiprocessing
+
+        context = multiprocessing.get_context("fork")
+        queue = context.Queue()
+        workers = [
+            context.Process(
+                target=_mp_worker,
+                args=(
+                    shard_id, n_shards, per_shard_txns[shard_id],
+                    seed, scale_factor, row_scale, queue,
+                ),
+            )
+            for shard_id in range(n_shards)
+        ]
+        for worker in workers:
+            worker.start()
+        stats = [queue.get(timeout=_WORKER_TIMEOUT_S) for _ in workers]
+        for worker in workers:
+            worker.join(timeout=_WORKER_TIMEOUT_S)
+        return stats
+    except Exception:
+        return None
+
+
+def run_scaleout(
+    shard_counts: List[int],
+    transactions: int,
+    cross_ratio: float = 0.0,
+    seed: int = 42,
+    scale_factor: int = 1,
+    row_scale: float = 0.002,
+    driver: str = "inline",
+    observer=None,
+) -> List[ShardRunResult]:
+    """Sweep shard counts with a fixed workload; one result per count."""
+    if driver not in ("inline", "mp"):
+        raise ValueError(f"unknown driver {driver!r}; use 'inline' or 'mp'")
+    results = []
+    for n_shards in shard_counts:
+        if driver == "mp":
+            results.append(run_multiprocess(
+                n_shards, transactions, cross_ratio=cross_ratio, seed=seed,
+                scale_factor=scale_factor, row_scale=row_scale,
+            ))
+        else:
+            results.append(run_inline(
+                n_shards, transactions, cross_ratio=cross_ratio, seed=seed,
+                scale_factor=scale_factor, row_scale=row_scale,
+                observer=observer,
+            ))
+    return results

@@ -1,0 +1,375 @@
+"""The fleet facade: N real engine databases behind one SQL surface.
+
+:class:`ShardedDatabase` looks like a :class:`~repro.engine.database.
+Database` to callers -- ``create_table`` / ``execute`` / ``query`` /
+``crash`` / ``recover`` -- but spreads rows across shards by hashed
+partition key.  Statements that pin the partition key run on exactly
+one shard (the fast path the scale-out claim rests on); the rest
+scatter to every shard and merge at the gateway.
+
+Crash recovery is fleet-aware: after per-shard ARIES recovery, the
+in-doubt prepared branches each shard reports are resolved against the
+*union* of durable DECISION records across all shards -- a branch whose
+global transaction has a decision anywhere commits, everything else is
+presumed aborted.  This is what makes a coordinator crash between
+PREPARE and the decision records non-divergent: either every branch of
+a global transaction survives or none does.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.datagen import DataGenerator, GeneratedData, nominal_bytes
+from repro.core.schema import create_sales_schema
+from repro.engine.database import Database
+from repro.engine.executor import ResultSet
+from repro.engine.recovery import RecoveryReport
+from repro.engine.sql import InsertStatement, SelectStatement
+from repro.engine.txn import IsolationLevel
+from repro.engine.types import Schema
+from repro.obs import NULL_OBSERVER, Observer
+from repro.shard.coordinator import GlobalTransaction, TxnCoordinator
+from repro.shard.router import ShardError, ShardRouter
+
+
+@dataclass
+class FleetRecoveryReport:
+    """Outcome of a fleet-wide crash recovery."""
+
+    shard_reports: List[RecoveryReport] = field(default_factory=list)
+    #: gtids with a durable DECISION record somewhere in the fleet
+    decided_gtids: set = field(default_factory=set)
+    resolved_commit: int = 0
+    resolved_abort: int = 0
+
+    @property
+    def in_doubt(self) -> int:
+        return self.resolved_commit + self.resolved_abort
+
+
+class ShardedDatabase:
+    """A hash-partitioned fleet of engine databases."""
+
+    def __init__(
+        self,
+        n_shards: int,
+        name: str = "fleet",
+        observer: Optional[Observer] = None,
+        default_isolation: IsolationLevel = IsolationLevel.READ_COMMITTED,
+        chaos=None,
+        buffer_size_bytes: Optional[int] = None,
+    ):
+        if n_shards < 1:
+            raise ShardError("a fleet needs at least one shard")
+        self.name = name
+        self.obs = observer or NULL_OBSERVER
+        self.chaos = chaos
+        self.shards = [
+            Database(
+                f"{name}-s{shard_id}",
+                observer=observer,
+                default_isolation=default_isolation,
+                buffer_size_bytes=buffer_size_bytes,
+            )
+            for shard_id in range(n_shards)
+        ]
+        self.router = ShardRouter(n_shards)
+        self.coordinator = TxnCoordinator(
+            self.shards, observer=observer, chaos=chaos, name=name
+        )
+
+    @property
+    def n_shards(self) -> int:
+        return len(self.shards)
+
+    # -- catalog -------------------------------------------------------------
+
+    def create_table(self, schema: Schema, partition_key: Optional[str] = None) -> None:
+        """Create ``schema`` on every shard, partitioned by
+        ``partition_key`` (default: the primary key)."""
+        for shard in self.shards:
+            shard.create_table(schema)
+        self.router.register(schema.table, partition_key or schema.primary_key)
+
+    def create_index(
+        self, table: str, name: str, columns: Sequence[str],
+        unique: bool = False, ordered: bool = False,
+    ) -> None:
+        for shard in self.shards:
+            shard.create_index(table, name, columns, unique=unique, ordered=ordered)
+
+    def total_rows(self) -> int:
+        return sum(shard.total_rows() for shard in self.shards)
+
+    def all_rows(self, table: str) -> List[Tuple[Any, ...]]:
+        """Every committed row of ``table`` across the fleet, sorted."""
+        return sorted(
+            itertools.chain.from_iterable(
+                (row for _rid, row in shard.table(table).scan())
+                for shard in self.shards
+            )
+        )
+
+    @property
+    def fsyncs(self) -> int:
+        """Total WAL fsync-equivalents across the fleet."""
+        return sum(shard.wal.fsyncs for shard in self.shards)
+
+    # -- transactions --------------------------------------------------------
+
+    def begin(
+        self,
+        isolation: Optional[IsolationLevel] = None,
+        deadline=None,
+    ) -> GlobalTransaction:
+        return self.coordinator.begin(isolation=isolation, deadline=deadline)
+
+    # -- SQL -----------------------------------------------------------------
+
+    def execute(
+        self,
+        sql: str,
+        params: Sequence[Any] = (),
+        gtxn: Optional[GlobalTransaction] = None,
+    ) -> ResultSet:
+        """Route and run one statement.
+
+        Single-shard statements go straight to the owning shard (inside
+        ``gtxn`` they enlist that shard as a branch).  Fan-out writes
+        outside a global transaction are wrapped in one, so a scattered
+        UPDATE is still atomic across shards via 2PC.
+        """
+        # Shard 0 parses and validates; each shard re-prepares the text
+        # against its own (identical) catalog through its LRU plan cache.
+        prepared = self.shards[0].prepare(sql)
+        statement = prepared.statement
+        shard_id = self.router.route_statement(
+            statement, params, prepared.table.schema
+        )
+        if shard_id is not None:
+            if self.obs.enabled:
+                self.obs.count("shard.stmt.single_shard")
+            if gtxn is None:
+                return self.shards[shard_id].execute(sql, params)
+            return self.shards[shard_id].execute(sql, params, txn=gtxn.local(shard_id))
+        if self.obs.enabled:
+            self.obs.count("shard.stmt.fanout")
+        if gtxn is None and not isinstance(statement, SelectStatement):
+            with self.begin() as wrapper:
+                return self._fanout(sql, params, statement, wrapper)
+        return self._fanout(sql, params, statement, gtxn)
+
+    def query(self, sql: str, params: Sequence[Any] = ()) -> ResultSet:
+        """Read-only :meth:`execute`; rejects anything but SELECT."""
+        prepared = self.shards[0].prepare(sql)
+        if not isinstance(prepared.statement, SelectStatement):
+            raise ShardError(f"query() is read-only: {sql.strip()[:60]!r}")
+        return self.execute(sql, params)
+
+    def _fanout(
+        self,
+        sql: str,
+        params: Sequence[Any],
+        statement,
+        gtxn: Optional[GlobalTransaction],
+    ) -> ResultSet:
+        if isinstance(statement, InsertStatement):  # route_statement raises first
+            raise ShardError("INSERT cannot fan out")  # pragma: no cover
+        columns: Tuple[str, ...] = ()
+        per_shard_rows: List[List[Tuple[Any, ...]]] = []
+        rowcount = 0
+        for shard_id, shard in enumerate(self.shards):
+            if gtxn is None:
+                result = shard.execute(sql, params)
+            else:
+                result = shard.execute(sql, params, txn=gtxn.local(shard_id))
+            columns = result.columns or columns
+            per_shard_rows.append(result.rows)
+            rowcount += result.rowcount
+        if not isinstance(statement, SelectStatement):
+            return ResultSet(columns, [], rowcount)
+        if statement.group_by is not None:
+            raise ShardError(
+                "GROUP BY cannot be merged across shards; "
+                "pin the partition key or query shards individually"
+            )
+        if any(item.is_aggregate for item in statement.items):
+            rows = [self._merge_aggregates(statement, per_shard_rows)]
+            return ResultSet(columns, rows, 1)
+        rows = list(itertools.chain.from_iterable(per_shard_rows))
+        rows = self._merge_order(statement, columns, rows)
+        return ResultSet(columns, rows, len(rows))
+
+    @staticmethod
+    def _merge_aggregates(
+        statement: SelectStatement,
+        per_shard_rows: List[List[Tuple[Any, ...]]],
+    ) -> Tuple[Any, ...]:
+        """Combine per-shard aggregate results (the decomposable ones)."""
+        merged: List[Any] = []
+        for index, item in enumerate(statement.items):
+            values = [rows[0][index] for rows in per_shard_rows if rows]
+            present = [value for value in values if value is not None]
+            if item.aggregate == "COUNT" and not item.distinct:
+                merged.append(sum(values))
+            elif item.aggregate == "SUM":
+                merged.append(sum(present) if present else None)
+            elif item.aggregate == "MIN":
+                merged.append(min(present) if present else None)
+            elif item.aggregate == "MAX":
+                merged.append(max(present) if present else None)
+            else:
+                raise ShardError(
+                    f"{item.aggregate}{' DISTINCT' if item.distinct else ''} "
+                    "is not decomposable across shards"
+                )
+        return tuple(merged)
+
+    @staticmethod
+    def _merge_order(
+        statement: SelectStatement,
+        columns: Tuple[str, ...],
+        rows: List[Tuple[Any, ...]],
+    ) -> List[Tuple[Any, ...]]:
+        """Re-establish ORDER BY / LIMIT over the concatenated shards."""
+        if statement.order_by is not None:
+            if statement.order_by not in columns:
+                raise ShardError(
+                    f"ORDER BY {statement.order_by} must be in the select "
+                    "list to merge across shards"
+                )
+            index = columns.index(statement.order_by)
+            # NULLS LAST in both directions, matching the executor.
+            present = [row for row in rows if row[index] is not None]
+            absent = [row for row in rows if row[index] is None]
+            present.sort(key=lambda row: row[index], reverse=statement.order_desc)
+            rows = present + absent
+        if statement.limit is not None:
+            rows = rows[: statement.limit]
+        return rows
+
+    # -- crash and recovery --------------------------------------------------
+
+    def crash(self) -> None:
+        """Whole-fleet failure: every shard loses volatile state and the
+        coordinator dies with its in-flight protocol state."""
+        next_gtid = self.coordinator.next_gtid
+        for shard in self.shards:
+            shard.crash()
+        self.coordinator = TxnCoordinator(
+            self.shards, observer=self.obs, chaos=self.chaos,
+            name=self.name, start_gtid=next_gtid,
+        )
+
+    def recover(self) -> FleetRecoveryReport:
+        """Per-shard ARIES recovery, then fleet-level in-doubt resolution."""
+        report = FleetRecoveryReport(
+            shard_reports=[shard.recover() for shard in self.shards]
+        )
+        for shard in self.shards:
+            report.decided_gtids |= shard.wal.decided_gtids()
+        for shard, shard_report in zip(self.shards, report.shard_reports):
+            for txn_id, gtid in sorted(shard_report.in_doubt.items()):
+                commit = gtid in report.decided_gtids
+                shard.resolve_in_doubt(txn_id, commit=commit)
+                if commit:
+                    report.resolved_commit += 1
+                else:
+                    report.resolved_abort += 1
+        if self.obs.enabled and report.in_doubt:
+            self.obs.event(
+                "fleet.recovery", "shard", track="shard",
+                attrs={
+                    "resolved_commit": report.resolved_commit,
+                    "resolved_abort": report.resolved_abort,
+                },
+            )
+        return report
+
+
+# -- sales-schema helpers ------------------------------------------------------
+
+
+def sales_router(n_shards: int) -> ShardRouter:
+    """The canonical sales-schema partitioning.
+
+    CUSTOMER and ORDERS partition by primary key; ORDERLINE partitions
+    by ``OL_O_ID`` so an order's lines are co-located with the order --
+    the new-order and order-assembly flows stay single-shard.
+    """
+    router = ShardRouter(n_shards)
+    router.register("CUSTOMER", "C_ID")
+    router.register("ORDERS", "O_ID")
+    router.register("ORDERLINE", "OL_O_ID")
+    return router
+
+
+def _create_sales_fleet_schema(fleet: ShardedDatabase) -> None:
+    create_sales_schema(fleet)
+    # create_sales_schema registered primary keys; ORDERLINE co-locates
+    # with its order instead.
+    fleet.router.register("ORDERLINE", "OL_O_ID")
+
+
+def load_sales_fleet(
+    n_shards: int,
+    scale_factor: int = 1,
+    row_scale: float = 0.002,
+    seed: int = 42,
+    name: str = "fleet",
+    observer: Optional[Observer] = None,
+    chaos=None,
+) -> Tuple[ShardedDatabase, GeneratedData]:
+    """A sharded fleet with the sales data loaded and routed."""
+    fleet = ShardedDatabase(n_shards, name=name, observer=observer, chaos=chaos)
+    _create_sales_fleet_schema(fleet)
+    generator = DataGenerator(scale_factor, row_scale, seed)
+    schemas: Dict[str, Schema] = {
+        table: fleet.shards[0].table(table).schema
+        for table in ("CUSTOMER", "ORDERS", "ORDERLINE")
+    }
+    for table_name, row in generator.iter_rows():
+        shard_id = fleet.router.shard_for_row(schemas[table_name], row)
+        fleet.shards[shard_id].table(table_name).insert_row(row)
+    # The bulk load bypassed the WAL; checkpoint so the loaded state is
+    # each shard's durable base image (crash() restores it).
+    for shard in fleet.shards:
+        shard.checkpoint()
+    data = GeneratedData(
+        scale_factor=scale_factor,
+        row_scale=row_scale,
+        rows=generator.materialised_rows(),
+        nominal_bytes=nominal_bytes(scale_factor),
+    )
+    return fleet, data
+
+
+def load_sales_shard(
+    shard_id: int,
+    n_shards: int,
+    scale_factor: int = 1,
+    row_scale: float = 0.002,
+    seed: int = 42,
+    observer: Optional[Observer] = None,
+) -> Database:
+    """One shard's slice of the sales data, as a standalone database.
+
+    The multiprocess load driver calls this in each worker: the same
+    deterministic row stream is generated everywhere and filtered by
+    the same stable hash, so worker-local shards hold exactly the rows
+    the inline fleet would give them.
+    """
+    if not 0 <= shard_id < n_shards:
+        raise ShardError(f"shard_id {shard_id} out of range for {n_shards} shards")
+    db = Database(f"shard-{shard_id}", observer=observer)
+    create_sales_schema(db)
+    router = sales_router(n_shards)
+    for table_name, row in DataGenerator(scale_factor, row_scale, seed).iter_rows():
+        schema = db.table(table_name).schema
+        if router.shard_for_row(schema, row) == shard_id:
+            db.table(table_name).insert_row(row)
+    db.checkpoint()  # durable base image: the bulk load bypassed the WAL
+    return db

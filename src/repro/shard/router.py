@@ -1,0 +1,113 @@
+"""Hash partitioning: which shard owns a row, which shard runs a statement.
+
+Routing is a pure function of (table, partition-key value, shard
+count).  The hash must be *stable across processes* -- Python's builtin
+``hash`` is salted per interpreter, so the multiprocess load driver and
+the inline fleet would disagree about row placement.  CRC32 over the
+value's canonical repr is deterministic everywhere and cheap.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Any, Dict, Optional, Sequence
+
+from repro.engine.errors import EngineError
+from repro.engine.sql import (
+    DeleteStatement,
+    InsertStatement,
+    SelectStatement,
+    Statement,
+    UpdateStatement,
+    Value,
+)
+from repro.engine.types import Schema
+
+
+class ShardError(EngineError):
+    """A statement cannot be routed or merged across the fleet."""
+
+
+def stable_hash(value: Any) -> int:
+    """Process-stable 32-bit hash of a partition-key value.
+
+    ``repr`` canonicalizes: ints, floats and strings each map to one
+    byte sequence per logical value, unlike the salted builtin ``hash``.
+    """
+    return zlib.crc32(repr(value).encode("utf-8"))
+
+
+class ShardRouter:
+    """Maps partition-key values to shard ids for registered tables."""
+
+    def __init__(self, n_shards: int):
+        if n_shards < 1:
+            raise ShardError("a fleet needs at least one shard")
+        self.n_shards = n_shards
+        self._partition_keys: Dict[str, str] = {}
+
+    def register(self, table: str, column: str) -> None:
+        """Declare ``column`` as the partition key of ``table``."""
+        self._partition_keys[table.upper()] = column.upper()
+
+    def partition_column(self, table: str) -> str:
+        try:
+            return self._partition_keys[table.upper()]
+        except KeyError:
+            raise ShardError(f"no partition key registered for {table!r}") from None
+
+    def shard_for(self, table: str, value: Any) -> int:
+        """Owning shard of the row of ``table`` keyed by ``value``."""
+        self.partition_column(table)  # validate registration
+        return stable_hash(value) % self.n_shards
+
+    def shard_for_row(self, schema: Schema, row: Sequence[Any]) -> int:
+        """Owning shard of a full row (used by the fleet loaders)."""
+        column = self.partition_column(schema.table)
+        return self.shard_for(schema.table, row[schema.column_index(column)])
+
+    # -- statement routing ---------------------------------------------------
+
+    @staticmethod
+    def _concrete(value: Value, params: Sequence[Any]) -> Any:
+        """Resolve a parser :class:`Value` to a Python value, or None
+        when the statement carries no concrete value (DEFAULT)."""
+        if value.kind == "param":
+            return params[value.param_index]
+        if value.kind == "literal":
+            return value.literal
+        return None  # DEFAULT: decided by the shard, unknowable here
+
+    def route_statement(
+        self, statement: Statement, params: Sequence[Any], schema: Schema
+    ) -> Optional[int]:
+        """The single shard a statement targets, or ``None`` for fan-out.
+
+        A statement is single-shard when its WHERE clause pins the
+        table's partition key with equality (or, for INSERT, when the
+        row being inserted carries a concrete partition-key value).
+        Everything else scatters to all shards; INSERTs must always
+        route, so an INSERT without a concrete partition value raises.
+        """
+        partition = self.partition_column(statement.table)
+        if isinstance(statement, InsertStatement):
+            columns = statement.columns or schema.column_names
+            for column, value in zip(columns, statement.values):
+                if column.upper() == partition:
+                    concrete = self._concrete(value, params)
+                    if concrete is None:
+                        break
+                    return self.shard_for(statement.table, concrete)
+            raise ShardError(
+                f"INSERT into {statement.table} carries no concrete value for "
+                f"partition key {partition}; sharded inserts must supply one "
+                f"(autoincrement would mint conflicting ids per shard)"
+            )
+        if isinstance(statement, (SelectStatement, UpdateStatement, DeleteStatement)):
+            for condition in statement.where:
+                if condition.column.upper() == partition and condition.op == "=":
+                    concrete = self._concrete(condition.value, params)
+                    if concrete is not None:
+                        return self.shard_for(statement.table, concrete)
+            return None
+        raise ShardError(f"cannot route statement type {type(statement).__name__}")

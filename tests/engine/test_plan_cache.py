@@ -1,0 +1,96 @@
+"""Regression tests for the bounded LRU plan cache.
+
+Pre-fix, ``Database.prepare`` cached every distinct SQL string forever:
+ad-hoc statements with inlined literals grew the cache without bound.
+The cache is now a bounded LRU with hit/miss/evict accounting.
+"""
+
+import pytest
+
+from repro.engine.database import Database
+from repro.engine.types import Column, ColumnType, Schema
+from repro.obs import Observer
+
+
+def fresh_db(**kwargs):
+    db = Database("plan-cache", **kwargs)
+    db.create_table(Schema(
+        "KV",
+        (
+            Column("K", ColumnType.INT, nullable=False),
+            Column("V", ColumnType.INT, default=0),
+        ),
+        primary_key="K",
+    ))
+    return db
+
+
+class TestBoundedLru:
+    def test_repeat_statement_hits_the_cache(self):
+        db = fresh_db()
+        first = db.prepare("SELECT * FROM kv WHERE K = ?")
+        second = db.prepare("SELECT * FROM kv WHERE K = ?")
+        assert first is second
+        assert db.plan_cache_hits == 1
+
+    def test_cache_never_exceeds_its_bound(self):
+        db = fresh_db(plan_cache_size=8)
+        # pre-fix: one cache entry per distinct literal, unbounded
+        for k in range(50):
+            db.query(f"SELECT V FROM kv WHERE K = {k}")
+        assert len(db._prepared) <= 8
+        assert db.plan_cache_evictions >= 50 - 8
+
+    def test_evicts_least_recently_used_first(self):
+        db = fresh_db(plan_cache_size=2)
+        db.prepare("SELECT V FROM kv WHERE K = 1")
+        db.prepare("SELECT V FROM kv WHERE K = 2")
+        db.prepare("SELECT V FROM kv WHERE K = 1")  # refresh 1
+        db.prepare("SELECT V FROM kv WHERE K = 3")  # evicts 2, not 1
+        assert "SELECT V FROM kv WHERE K = 1" in db._prepared
+        assert "SELECT V FROM kv WHERE K = 2" not in db._prepared
+
+    def test_hit_refreshes_recency(self):
+        db = fresh_db(plan_cache_size=2)
+        db.prepare("SELECT V FROM kv WHERE K = 1")
+        db.prepare("SELECT V FROM kv WHERE K = 2")
+        kept = db.prepare("SELECT V FROM kv WHERE K = 1")
+        db.prepare("SELECT V FROM kv WHERE K = 3")
+        assert db.prepare("SELECT V FROM kv WHERE K = 1") is kept
+
+    def test_evicted_statement_reparses_as_a_miss(self):
+        db = fresh_db(plan_cache_size=1)
+        first = db.prepare("SELECT V FROM kv WHERE K = 1")
+        db.prepare("SELECT V FROM kv WHERE K = 2")
+        misses = db.plan_cache_misses
+        again = db.prepare("SELECT V FROM kv WHERE K = 1")
+        assert again is not first
+        assert db.plan_cache_misses == misses + 1
+
+    def test_counters_account_for_every_prepare(self):
+        db = fresh_db(plan_cache_size=4)
+        # cyclic scan over 6 statements with room for 4: every revisit
+        # arrives just after its eviction, so all 10 prepares miss
+        for k in range(10):
+            db.prepare(f"SELECT V FROM kv WHERE K = {k % 6}")
+        assert db.plan_cache_hits + db.plan_cache_misses == 10
+        assert db.plan_cache_misses == 10
+        assert db.plan_cache_evictions == 6
+
+    def test_size_below_one_rejected(self):
+        with pytest.raises(ValueError):
+            Database("bad", plan_cache_size=0)
+
+
+class TestPlanCacheObservability:
+    def test_obs_counters_track_hit_miss_evict(self):
+        obs = Observer()
+        db = fresh_db(plan_cache_size=2, observer=obs)
+        db.prepare("SELECT V FROM kv WHERE K = 1")
+        db.prepare("SELECT V FROM kv WHERE K = 1")
+        db.prepare("SELECT V FROM kv WHERE K = 2")
+        db.prepare("SELECT V FROM kv WHERE K = 3")
+        counters = obs.metrics.counters
+        assert counters["engine.sql.plan_cache.hit"].value == 1
+        assert counters["engine.sql.plan_cache.miss"].value == 3
+        assert counters["engine.sql.plan_cache.evict"].value == 1

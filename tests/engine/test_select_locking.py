@@ -1,0 +1,120 @@
+"""Regression tests for the read-path over-locking and NULL-sort bugs.
+
+Pre-fix, ``Executor._select`` shared-locked *every* row matching the
+WHERE clause before applying ORDER BY/LIMIT, so ``... ORDER BY k LIMIT
+1`` on a 100-row match locked 100 rows; and ordering by a nullable
+column raised ``TypeError`` (None is not comparable).
+"""
+
+import pytest
+
+from repro.engine.database import Database
+from repro.engine.locks import LockMode
+from repro.engine.txn import IsolationLevel
+from repro.engine.types import Column, ColumnType, Schema
+
+
+def fresh_db(rows=20):
+    db = Database("locking")
+    db.create_table(Schema(
+        "KV",
+        (
+            Column("K", ColumnType.INT, nullable=False),
+            Column("V", ColumnType.INT, default=0),
+            Column("W", ColumnType.INT),
+        ),
+        primary_key="K",
+    ))
+    for k in range(rows):
+        w = None if k % 4 == 0 else k * 10
+        db.execute("INSERT INTO kv VALUES (?, ?, ?)", [k, k % 3, w])
+    return db
+
+
+class TestSelectLockFootprint:
+    def test_plain_read_locks_only_surviving_rows(self):
+        db = fresh_db()
+        txn = db.begin(isolation=IsolationLevel.SERIALIZABLE)
+        result = db.execute(
+            "SELECT K FROM kv WHERE V = ? ORDER BY K LIMIT 2", [0], txn=txn
+        )
+        assert len(result.rows) == 2
+        # pre-fix: one shared lock per matched row (7 of 20); post-fix:
+        # only the two rows that survive ORDER BY/LIMIT are locked
+        assert len(db.locks.locks_held(txn.txn_id)) == 2
+        txn.rollback()
+
+    def test_limit_one_point_read_locks_one_row(self):
+        db = fresh_db()
+        txn = db.begin(isolation=IsolationLevel.SERIALIZABLE)
+        db.execute("SELECT K FROM kv ORDER BY K DESC LIMIT 1", txn=txn)
+        assert len(db.locks.locks_held(txn.txn_id)) == 1
+        txn.rollback()
+
+    def test_reads_counter_reflects_returned_rows(self):
+        db = fresh_db()
+        txn = db.begin(isolation=IsolationLevel.SERIALIZABLE)
+        db.execute("SELECT K FROM kv ORDER BY K LIMIT 3", txn=txn)
+        assert txn.reads == 3
+        txn.rollback()
+
+    def test_for_update_still_locks_the_candidate_set(self):
+        """FOR UPDATE declares write intent over everything matched:
+        locking only the LIMIT survivors would let a concurrent writer
+        change which rows survive.  The candidate set stays locked."""
+        db = fresh_db()
+        txn = db.begin(isolation=IsolationLevel.SERIALIZABLE)
+        db.execute(
+            "SELECT K FROM kv WHERE V = ? ORDER BY K LIMIT 2 FOR UPDATE",
+            [0], txn=txn,
+        )
+        held = db.locks.locks_held(txn.txn_id)
+        assert len(held) == 7  # every V=0 row, not just the 2 returned
+        assert all(
+            db.locks.holders(key)[txn.txn_id] is LockMode.EXCLUSIVE
+            for key in held
+        )
+        txn.rollback()
+
+    def test_unordered_read_locks_match(self):
+        db = fresh_db()
+        txn = db.begin(isolation=IsolationLevel.SERIALIZABLE)
+        result = db.execute("SELECT K FROM kv WHERE V = ?", [1], txn=txn)
+        assert len(db.locks.locks_held(txn.txn_id)) == len(result.rows)
+        txn.rollback()
+
+
+class TestOrderByNulls:
+    def test_order_by_nullable_column_does_not_raise(self):
+        db = fresh_db()
+        # pre-fix: TypeError ('<' not supported between int and NoneType)
+        result = db.query("SELECT K, W FROM kv ORDER BY W")
+        assert len(result.rows) == 20
+
+    def test_nulls_sort_last_ascending(self):
+        db = fresh_db()
+        rows = db.query("SELECT K, W FROM kv ORDER BY W").rows
+        values = [row[1] for row in rows]
+        non_null = [value for value in values if value is not None]
+        assert non_null == sorted(non_null)
+        assert values[len(non_null):] == [None] * (20 - len(non_null))
+
+    def test_nulls_sort_last_descending(self):
+        db = fresh_db()
+        rows = db.query("SELECT K, W FROM kv ORDER BY W DESC").rows
+        values = [row[1] for row in rows]
+        non_null = [value for value in values if value is not None]
+        assert non_null == sorted(non_null, reverse=True)
+        assert values[len(non_null):] == [None] * (20 - len(non_null))
+
+    def test_limit_applies_after_null_aware_sort(self):
+        db = fresh_db()
+        rows = db.query("SELECT K, W FROM kv ORDER BY W LIMIT 3").rows
+        assert all(row[1] is not None for row in rows)
+
+    def test_order_by_nulls_under_snapshot_reads(self):
+        db = fresh_db()
+        txn = db.begin(isolation=IsolationLevel.SNAPSHOT)
+        rows = db.execute("SELECT K, W FROM kv ORDER BY W", txn=txn).rows
+        assert rows[-1][1] is None
+        txn.commit()

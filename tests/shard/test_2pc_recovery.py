@@ -1,0 +1,149 @@
+"""Coordinator crashes at every 2PC phase boundary: recovery must leave
+no shard divergent -- every global transaction is all-or-nothing."""
+
+import pytest
+
+from repro.chaos.injector import ChaosInjector
+from repro.chaos.plan import FaultKind, FaultPlan, FaultSpec
+from repro.engine.errors import EngineError, SimulatedCrash
+from repro.shard import PHASES, ShardSalesWorkload, load_sales_fleet
+
+from tests.shard.test_2pc import load_keys, value_of
+from tests.shard.test_router import kv_fleet
+
+#: phases where the commit decision is already durable somewhere
+_DECIDED_PHASES = ("mid_decision", "after_decision", "mid_commit", "after_commit")
+
+
+def run_to_crash(fleet, by_shard, phase):
+    """Arm ``phase``, drive one cross-shard write, expect the crash."""
+    fleet.coordinator.arm_crash(phase)
+    gtxn = fleet.begin()
+    for keys in by_shard:
+        fleet.execute("UPDATE kv SET V = ? WHERE K = ?", [99, keys[0]], gtxn=gtxn)
+    with pytest.raises(SimulatedCrash):
+        gtxn.commit()
+
+
+class TestCrashAtEveryPhase:
+    @pytest.mark.parametrize("phase", PHASES)
+    def test_no_shard_diverges(self, phase):
+        fleet = kv_fleet(3)
+        by_shard = load_keys(fleet)
+        run_to_crash(fleet, by_shard, phase)
+        fleet.crash()
+        report = fleet.recover()
+        values = [value_of(fleet, keys[0]) for keys in by_shard]
+        # all-or-nothing: every branch applied, or none
+        assert values == [99, 99, 99] or values == [0, 0, 0]
+        # presumed abort without a durable decision; commit with one
+        if phase in _DECIDED_PHASES:
+            assert values == [99, 99, 99]
+        else:
+            assert values == [0, 0, 0]
+            assert report.resolved_commit == 0
+        assert report.resolved_abort + report.resolved_commit == report.in_doubt
+
+    def test_in_doubt_branches_resolve_commit_from_peer_decision(self):
+        """mid_decision: shard 0 holds the DECISION, the others are in
+        doubt -- recovery must commit them off shard 0's record."""
+        fleet = kv_fleet(3)
+        by_shard = load_keys(fleet)
+        run_to_crash(fleet, by_shard, "mid_decision")
+        fleet.crash()
+        report = fleet.recover()
+        assert report.resolved_commit == 2  # shards 1 and 2 were in doubt
+        assert report.resolved_abort == 0
+        assert len(report.decided_gtids) == 1
+
+    def test_presumed_abort_reports_no_decisions(self):
+        fleet = kv_fleet(2)
+        by_shard = load_keys(fleet)
+        run_to_crash(fleet, by_shard, "after_prepare")
+        fleet.crash()
+        report = fleet.recover()
+        assert report.decided_gtids == set()
+        assert report.resolved_abort == 2
+
+    def test_fleet_usable_after_recovery(self):
+        fleet = kv_fleet(2)
+        by_shard = load_keys(fleet)
+        run_to_crash(fleet, by_shard, "after_prepare")
+        fleet.crash()
+        fleet.recover()
+        with fleet.begin() as gtxn:
+            for keys in by_shard:
+                fleet.execute(
+                    "UPDATE kv SET V = ? WHERE K = ?", [5, keys[0]], gtxn=gtxn
+                )
+        assert all(value_of(fleet, keys[0]) == 5 for keys in by_shard)
+
+    def test_prepared_branch_blocks_checkpoint(self):
+        """A prepared branch is still active: quiesced checkpoints must
+        refuse, or the in-doubt records would vanish behind the image."""
+        fleet = kv_fleet(2)
+        by_shard = load_keys(fleet)
+        run_to_crash(fleet, by_shard, "after_prepare")
+        with pytest.raises(EngineError):
+            fleet.shards[0].checkpoint()
+
+    def test_arm_crash_rejects_unknown_phase(self):
+        fleet = kv_fleet(2)
+        with pytest.raises(ValueError):
+            fleet.coordinator.arm_crash("between_things")
+
+
+class TestChaosDrivenCoordinatorCrash:
+    def make_fleet(self, phase):
+        plan = FaultPlan(
+            [FaultSpec(FaultKind.COORD_CRASH, phase, 0.0, 1.0)],
+            seed=7, name="coord-crash",
+        )
+        chaos = ChaosInjector(plan)
+        fleet = kv_fleet(3, chaos=chaos)
+        return fleet, chaos
+
+    def test_chaos_plan_fires_once_and_recovery_converges(self):
+        fleet, chaos = self.make_fleet("after_prepare")
+        by_shard = load_keys(fleet)
+        gtxn = fleet.begin()
+        for keys in by_shard:
+            fleet.execute(
+                "UPDATE kv SET V = ? WHERE K = ?", [42, keys[0]], gtxn=gtxn
+            )
+        with pytest.raises(SimulatedCrash):
+            gtxn.commit()
+        assert chaos.observed.get("coord_crash") == 1
+        fleet.crash()
+        fleet.recover()
+        assert all(value_of(fleet, keys[0]) == 0 for keys in by_shard)
+        # one-shot: the replacement coordinator (same injector) is clean
+        with fleet.begin() as retry:
+            for keys in by_shard:
+                fleet.execute(
+                    "UPDATE kv SET V = ? WHERE K = ?", [42, keys[0]], gtxn=retry
+                )
+        assert all(value_of(fleet, keys[0]) == 42 for keys in by_shard)
+
+    def test_sales_fleet_survives_chaos_coordinator_crash(self):
+        """End-to-end: the payment workload on real sales data, a chaos
+        coordinator crash mid-run, whole-fleet crash, recovery, resume."""
+        plan = FaultPlan(
+            [FaultSpec(FaultKind.COORD_CRASH, "mid_commit", 0.0, 1.0)],
+            seed=3, name="coord-crash",
+        )
+        chaos = ChaosInjector(plan)
+        fleet, _data = load_sales_fleet(2, seed=3, chaos=chaos)
+        workload = ShardSalesWorkload(fleet, cross_ratio=1.0, seed=3)
+        with pytest.raises(SimulatedCrash):
+            for _ in range(50):
+                workload.run_one()
+        fleet.crash()
+        report = fleet.recover()
+        # mid_commit: decision durable everywhere, so in-doubt commits
+        assert report.resolved_abort == 0
+        # the fleet serves transactions again
+        resumed = ShardSalesWorkload(fleet, cross_ratio=1.0, seed=5)
+        for _ in range(10):
+            resumed.run_one()
+        assert resumed.committed == 10

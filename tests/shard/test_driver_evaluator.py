@@ -1,0 +1,105 @@
+"""Load drivers and the ``scaleout-real`` evaluator wiring."""
+
+import pytest
+
+from repro.core.config import BenchConfig
+from repro.core.evalapi import get_evaluator
+from repro.core.runner import CloudyBench
+from repro.shard import ShardError, run_inline, run_multiprocess
+
+
+class TestInlineDriver:
+    def test_deterministic_for_a_seed(self):
+        first = run_inline(2, 40, cross_ratio=0.3, seed=11)
+        second = run_inline(2, 40, cross_ratio=0.3, seed=11)
+        assert first.committed == second.committed
+        assert first.aborted == second.aborted
+        assert first.cross_committed == second.cross_committed
+        assert first.fsyncs == second.fsyncs
+
+    def test_cross_ratio_zero_never_runs_2pc(self):
+        result = run_inline(3, 40, cross_ratio=0.0, seed=11)
+        assert result.cross_committed == 0
+        assert result.committed == 40
+
+    def test_cross_ratio_one_always_runs_2pc(self):
+        result = run_inline(3, 40, cross_ratio=1.0, seed=11)
+        assert result.cross_committed == result.committed == 40
+
+    def test_cross_shard_costs_more_fsyncs(self):
+        local = run_inline(2, 40, cross_ratio=0.0, seed=11)
+        distributed = run_inline(2, 40, cross_ratio=1.0, seed=11)
+        assert distributed.fsyncs > local.fsyncs
+
+    def test_single_shard_fleet_accepts_any_cross_ratio(self):
+        # with one shard there is no "other" shard: all txns are local
+        result = run_inline(1, 20, cross_ratio=1.0, seed=11)
+        assert result.cross_committed == 0
+        assert result.committed == 20
+
+
+class TestMultiprocessDriver:
+    def test_rejects_cross_shard(self):
+        with pytest.raises(ShardError):
+            run_multiprocess(2, 10, cross_ratio=0.5)
+
+    def test_splits_transactions_across_shards(self):
+        result = run_multiprocess(3, 50, seed=11)
+        assert result.committed == 50
+        assert [entry["transactions"] for entry in result.per_shard] == [17, 17, 16]
+        assert sum(entry["committed"] for entry in result.per_shard) == 50
+
+    def test_worker_results_identical_with_and_without_processes(self):
+        forked = run_multiprocess(2, 30, seed=11, processes=True)
+        sequential = run_multiprocess(2, 30, seed=11, processes=False)
+        for key in ("committed", "aborted", "fsyncs", "loaded_rows"):
+            assert getattr(forked, key) == getattr(sequential, key)
+        assert [e["committed"] for e in forked.per_shard] == [
+            e["committed"] for e in sequential.per_shard
+        ]
+
+    def test_node_time_is_max_worker_cpu(self):
+        result = run_multiprocess(2, 30, seed=11, processes=False)
+        assert result.node_s == max(e["cpu_s"] for e in result.per_shard)
+        assert result.tps_node > 0
+
+
+class TestScaleoutEvaluator:
+    def make_bench(self):
+        config = BenchConfig.quick()
+        config.shard_txns = 40
+        return CloudyBench(config)
+
+    def test_registered_with_options(self):
+        spec = get_evaluator("scaleout-real")
+        assert {option.name for option in spec.options} == {
+            "shards", "cross", "txns", "driver"
+        }
+
+    def test_outcome_shape_and_scores(self):
+        bench = self.make_bench()
+        outcome = bench.run("scaleout-real")
+        assert [row[0] for row in outcome.rows] == [1, 2]
+        assert outcome.scores["scaleout.speedup@1"] == 1.0
+        assert "scaleout.tps@2" in outcome.scores
+        # the modelled E2-curve column rides along for comparison
+        assert outcome.headers.index("modelled") >= 0
+
+    def test_option_coercion_and_caching(self):
+        bench = self.make_bench()
+        first = bench.run("scaleout-real", shards="1,2", cross="0.0", txns="30")
+        second = bench.run("scaleout-real", shards=[1, 2], cross=0.0, txns=30)
+        assert first.payload is second.payload  # same cache entry
+
+    def test_unknown_option_rejected(self):
+        bench = self.make_bench()
+        with pytest.raises(TypeError):
+            bench.run("scaleout-real", bogus=1)
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            BenchConfig(shard_counts=[])
+        with pytest.raises(ValueError):
+            BenchConfig(shard_cross_ratio=1.5)
+        with pytest.raises(ValueError):
+            BenchConfig(shard_driver="threads")
