@@ -1,0 +1,127 @@
+"""HA failover bench: unavailability window and TPS recovery.
+
+Runs the HA evaluator (:mod:`repro.ha.evaluator`) once per replication
+ack mode: a two-shard primary/standby fleet, the PAIRS workload driven
+through a retrying client session, and one primary killed mid-run by
+the chaos plan.  Asserts the PR's headline claims deterministically
+(fixed seed):
+
+* **consistency** -- the history checker finds zero violations in both
+  modes, so every acked commit survived the promotion;
+* **bounded outage** -- exactly one failover (promotion, not restart)
+  fires, and the measured unavailability window (kill -> serving again)
+  sits under the analytic bound ``lease + replay + backoff slack``;
+* **recovery** -- post-failover throughput returns to at least 90% of
+  the pre-kill rate, and end-to-end availability stays >= 0.95 (the
+  retry stack rides out the outage).
+
+Runs two ways:
+
+* ``pytest benchmarks/bench_ha_failover.py`` -- the bench suite path,
+  with the window and R-Scores in ``benchmark.extra_info``;
+* ``python benchmarks/bench_ha_failover.py [--quick] [--seed N]`` --
+  the CI smoke entry point; exits non-zero if any claim fails.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Dict
+
+from repro.core.report import TextTable
+from repro.ha.evaluator import HAEvaluator, HAResult
+from repro.ha.replication import ACK_MODES
+
+
+def run_modes(quick: bool = False, seed: int = 42) -> Dict[str, HAResult]:
+    """One kill-and-recover run per replication ack mode."""
+    txns = 120 if quick else 300
+    return {
+        mode: HAEvaluator(ack_mode=mode, txns=txns, seed=seed).run()
+        for mode in ACK_MODES
+    }
+
+
+def _report(results: Dict[str, HAResult]) -> TextTable:
+    table = TextTable(
+        ["ack", "txns", "acked", "availability", "failovers",
+         "unavail ms", "bound ms", "pre TPS", "post TPS", "violations", "R"],
+        title="Shard failover: unavailability window and TPS recovery",
+    )
+    for mode, result in results.items():
+        table.add_row(
+            mode, result.txns, result.acked, f"{result.availability:.4f}",
+            result.failovers,
+            round(result.unavailable_s * 1000, 1),
+            round(result.bound_s * 1000, 1),
+            round(result.pre_kill_tps, 1), round(result.post_recovery_tps, 1),
+            len(result.violations), round(result.r_score, 4),
+        )
+    return table
+
+
+def _check(results: Dict[str, HAResult]) -> None:
+    for mode, result in results.items():
+        # every acked commit survived the promotion
+        assert result.consistent, (
+            f"{mode}: history violations {result.violations}"
+        )
+        # the kill was detected and handled by promotion, not restart
+        assert result.failovers == 1 and result.restarts == 0, (
+            f"{mode}: expected one promotion, got "
+            f"{result.failovers} promotions / {result.restarts} restarts"
+        )
+        # the outage is bounded by detection lease + replay + backoffs
+        assert result.unavailable_s <= result.bound_s, (
+            f"{mode}: unavailable {result.unavailable_s * 1000:.1f}ms "
+            f"exceeds bound {result.bound_s * 1000:.1f}ms"
+        )
+        # the retry stack rides the window out end to end
+        assert result.availability >= 0.95, (
+            f"{mode}: availability {result.availability:.4f} < 0.95"
+        )
+        # and throughput comes back once the promoted shard serves
+        assert result.post_recovery_tps >= 0.9 * result.pre_kill_tps, (
+            f"{mode}: post-failover TPS {result.post_recovery_tps:.1f} "
+            f"< 90% of pre-kill {result.pre_kill_tps:.1f}"
+        )
+
+
+def test_ha_failover(benchmark):
+    results = benchmark.pedantic(
+        run_modes, kwargs={"quick": True}, rounds=1, iterations=1
+    )
+    _report(results).print()
+    for mode, result in results.items():
+        benchmark.extra_info[f"r_score_{mode}"] = result.r_score
+        benchmark.extra_info[f"unavailable_ms_{mode}"] = result.unavailable_s * 1000
+    _check(results)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true", help="CI smoke sizing (120 txns per mode)"
+    )
+    parser.add_argument("--seed", type=int, default=42, help="workload seed")
+    args = parser.parse_args(argv)
+    results = run_modes(quick=args.quick, seed=args.seed)
+    _report(results).print()
+    try:
+        _check(results)
+    except AssertionError as failure:
+        print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    sync, semi = results["sync"], results["semisync"]
+    print(
+        f"unavailability {sync.unavailable_s * 1000:.1f}ms sync / "
+        f"{semi.unavailable_s * 1000:.1f}ms semisync "
+        f"(bound {sync.bound_s * 1000:.1f}ms); "
+        f"R={sync.r_score:.4f} / {semi.r_score:.4f}"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -14,7 +14,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Set, Tuple
 
-from repro.chaos.plan import FaultKind, FaultPlan, FaultSpec
+from repro.chaos.plan import HA_KINDS, FaultKind, FaultPlan, FaultSpec
 from repro.obs import NULL_OBSERVER, Observer
 
 #: cap on the modelled retransmit blow-up of a lossy link
@@ -35,6 +35,8 @@ class ChaosInjector:
         self._bitten: Set[Tuple] = set()
         #: one-shot COORD_CRASH specs that already fired
         self._coord_fired: Set[Tuple] = set()
+        #: one-shot PRIMARY_CRASH / REPLICA_CRASH specs that already fired
+        self._node_fired: Set[Tuple] = set()
         # The scheduled fault windows are known up-front: emit them as
         # complete spans so the timeline shows fault -> degradation ->
         # recovery causality even before anything consults the injector.
@@ -143,6 +145,25 @@ class ChaosInjector:
             if spec.target == phase and key not in self._coord_fired:
                 self._coord_fired.add(key)
                 self._note(spec)
+                return True
+        return False
+
+    def take_node_crash(self, kind: FaultKind, target: str, now: float) -> bool:
+        """One-shot: should the named node of an HA pair die at ``now``?
+
+        ``kind`` is :data:`~repro.chaos.plan.FaultKind.PRIMARY_CRASH` or
+        ``REPLICA_CRASH``; ``target`` names the shard (``"shard:1"``).
+        A spec fires once its ``start_s`` has passed and never again --
+        a crash is an event, so the recovery run after the kill must not
+        re-trip the same fault.
+        """
+        if kind not in HA_KINDS:
+            raise ValueError(f"not an HA fault kind: {kind!r}")
+        for spec in self.plan.by_kind(kind):
+            key = spec.canonical()
+            if spec.target == target and now >= spec.start_s and key not in self._node_fired:
+                self._node_fired.add(key)
+                self._note(spec, now)
                 return True
         return False
 

@@ -44,12 +44,20 @@ class FaultKind(enum.Enum):
     # shard layer: the transaction coordinator dies at a 2PC phase
     # boundary (``target`` names the phase, e.g. "after_prepare")
     COORD_CRASH = "coord_crash"
+    # HA layer: a shard's primary (or its standby) is killed at
+    # ``start_s``; ``target`` names the shard, e.g. "shard:1".  One-shot
+    # -- a crash is an event, not a window, and never re-fires on the
+    # recovery run.
+    PRIMARY_CRASH = "primary_crash"
+    REPLICA_CRASH = "replica_crash"
 
 
 #: kinds applied to the engine's WAL rather than the DES substrate
 ENGINE_KINDS = (FaultKind.CRASH, FaultKind.TORN_WRITE, FaultKind.BIT_FLIP)
 #: kinds applied to the shard-fleet transaction coordinator
 COORDINATOR_KINDS = (FaultKind.COORD_CRASH,)
+#: kinds killing one node of an HA shard pair (one-shot, like COORD_CRASH)
+HA_KINDS = (FaultKind.PRIMARY_CRASH, FaultKind.REPLICA_CRASH)
 #: kinds degrading the network path to a target
 NETWORK_KINDS = (FaultKind.PARTITION, FaultKind.DELAY, FaultKind.LOSS, FaultKind.FLAP)
 #: kinds degrading the target node itself

@@ -100,6 +100,14 @@ class BenchConfig:
     chaos_replicas: int = 1
     chaos_slo: float = 0.9
 
+    # -- shard HA / replication (the R-Score run)
+    ha_shards: int = 2
+    ha_pairs: int = 6
+    ha_txns: int = 240
+    ha_ack_mode: str = "sync"
+    ha_lease_s: float = 0.5
+    ha_heartbeat_s: float = 0.1
+
     def __post_init__(self) -> None:
         if not self.architectures:
             raise ValueError("configure at least one architecture")
@@ -138,6 +146,14 @@ class BenchConfig:
             raise ValueError("shard_txns must be >= 1")
         if self.shard_driver not in ("inline", "mp"):
             raise ValueError("shard_driver must be 'inline' or 'mp'")
+        if self.ha_shards < 2:
+            raise ValueError("ha_shards must be >= 2 (transfers are cross-shard)")
+        if self.ha_pairs < 1 or self.ha_txns < 1:
+            raise ValueError("ha_pairs and ha_txns must be >= 1")
+        if self.ha_ack_mode not in ("sync", "semisync"):
+            raise ValueError("ha_ack_mode must be 'sync' or 'semisync'")
+        if not 0.0 < self.ha_heartbeat_s < self.ha_lease_s:
+            raise ValueError("need 0 < ha_heartbeat_s < ha_lease_s")
         if self.isolation not in ISOLATION_NAMES:
             raise ValueError(
                 f"isolation must be one of {sorted(ISOLATION_NAMES)}, "
@@ -203,4 +219,6 @@ class BenchConfig:
             overload_duration_s=3.0,
             shard_counts=[1, 2],
             shard_txns=120,
+            ha_txns=80,
+            ha_pairs=4,
         )

@@ -288,6 +288,46 @@ def _overload(bench: "CloudyBench", qos=None) -> EvalOutcome:
     )
 
 
+def _parse_ack_mode(value) -> str:
+    mode = str(value)
+    if mode not in ("sync", "semisync"):
+        raise ValueError(f"unknown ack mode {mode!r}; use 'sync' or 'semisync'")
+    return mode
+
+
+@evaluator(
+    "ha",
+    title="Shard HA (replication + automated failover)",
+    summary="availability through a primary kill, zeroed by any history "
+            "violation (the R-Score)",
+    options=(
+        EvalOption("ack_mode", _parse_ack_mode, None,
+                   "replication ack mode (default: config ha_ack_mode)"),
+    ),
+)
+def _ha(bench: "CloudyBench", ack_mode=None) -> EvalOutcome:
+    result = bench._compute_ha(ack_mode=ack_mode)
+    rows = [(
+        result.ack_mode, result.txns, result.acked,
+        f"{result.availability:.4f}",
+        result.failovers, result.restarts,
+        round(result.unavailable_s * 1000, 1),
+        round(result.bound_s * 1000, 1),
+        len(result.violations),
+        round(result.r_score, 4),
+    )]
+    return _outcome(
+        bench, name="ha",
+        title="Shard HA (replication + automated failover)",
+        headers=("ack", "txns", "acked", "availability", "failovers",
+                 "restarts", "unavail ms", "bound ms", "violations",
+                 "R-Score"),
+        rows=rows,
+        scores={"r": result.r_score},
+        payload=result,
+    )
+
+
 def _parse_counts(value) -> list:
     """Parse a comma-separated shard-count list (``"1,2,4"``)."""
     if isinstance(value, (list, tuple)):
@@ -381,18 +421,22 @@ def _overall(bench: "CloudyBench", duration_s: float = 300.0) -> EvalOutcome:
     data = bench._compute_overall(duration_s=duration_s)
     headers = ["arch", "P", "P*", "E1", "E1*", "R", "F", "E2",
                "C(ms)", "T", "T*", "O", "O*"]
-    # extra score columns (e.g. the overload D-Score) append after O*
-    # when the corresponding evaluator has run
-    with_d = any("d" in scores.extras for scores in data.values())
-    if with_d:
-        headers.append("D")
+    # extra score columns append after O* when the corresponding
+    # evaluator has run: "D" is the overload D-Score, "R-HA" the shard
+    # HA R-Score ("R" proper is the failover recovery time)
+    extra_columns = [
+        (key, header)
+        for key, header in (("d", "D"), ("r", "R-HA"))
+        if any(key in scores.extras for scores in data.values())
+    ]
+    headers.extend(header for _key, header in extra_columns)
     rows = []
     flat = {}
     for arch, scores in data.items():
         row = list(scores.as_row())
-        if with_d:
-            dscore = scores.extras.get("d")
-            row.append("-" if dscore is None else round(dscore, 3))
+        for key, _header in extra_columns:
+            value = scores.extras.get(key)
+            row.append("-" if value is None else round(value, 3))
         rows.append(tuple(row))
         flat[f"o.{arch}"] = scores.o
         flat[f"o_star.{arch}"] = scores.o_star

@@ -342,6 +342,7 @@ class ResilientSession:
         breaker_reset_s: float = 5.0,
         observer: Optional[Observer] = None,
         retry_budget: Optional["RetryBudget"] = None,
+        advance: Optional[Callable[[float], None]] = None,
     ):
         if not endpoints:
             raise ValueError("need at least one endpoint")
@@ -350,6 +351,12 @@ class ResilientSession:
         self.obs = observer or NULL_OBSERVER
         self._own_clock = _ManualClock() if clock is None else None
         self._clock = clock or self._own_clock
+        #: with an external ``clock``, the synchronous driver cannot move
+        #: time itself; ``advance(delta_s)`` lets it push a shared
+        #: virtual clock forward on backoffs and attempt latencies (the
+        #: HA evaluator shares one clock between session and failure
+        #: detector this way).
+        self._advance_external = advance
         self._rng = rng or random.Random(0)
         self.breakers: Dict[str, CircuitBreaker] = {
             name: CircuitBreaker(
@@ -552,8 +559,12 @@ class ResilientSession:
                 payload = (env.now, result)
 
     def _advance(self, delta_s: float) -> None:
-        if self._own_clock is not None and delta_s > 0:
+        if delta_s <= 0:
+            return
+        if self._own_clock is not None:
             self._own_clock.advance(delta_s)
+        elif self._advance_external is not None:
+            self._advance_external(delta_s)
 
     def _observe_outcome(
         self, started: float, ended: float, outcome: CallOutcome

@@ -82,6 +82,8 @@ class CloudyBench:
         self._oltp: Optional[Dict[str, AScore]] = None
         #: overload sweeps, cached per qos flag (True and False coexist)
         self._overload: Dict[bool, Dict[str, OverloadResult]] = {}
+        #: HA availability runs, cached per replication ack mode
+        self._ha: Dict[str, "HAResult"] = {}
         #: real scale-out runs, cached per (counts, cross, txns, driver)
         self._scaleout: Dict[Tuple, Dict[int, object]] = {}
 
@@ -447,6 +449,38 @@ class CloudyBench:
         self._overload[qos] = results
         return results
 
+    # -- shard HA / replication (the R-Score) --------------------------------------
+
+    def _compute_ha(self, ack_mode: Optional[str] = None) -> "HAResult":
+        """One HA fleet run through a mid-run primary kill, per ack mode.
+
+        This is testbed-level, not per-SUT: it exercises the engine's
+        own replication/failover stack (:mod:`repro.ha`), so a single
+        run covers every architecture row.  Cached per ack mode.
+        """
+        from repro.ha.evaluator import HAEvaluator
+        from repro.ha.lease import LeaseConfig
+
+        mode = ack_mode or self.config.ha_ack_mode
+        cached = self._ha.get(mode)
+        if cached is not None:
+            return cached
+        evaluator = HAEvaluator(
+            n_shards=self.config.ha_shards,
+            txns=self.config.ha_txns,
+            n_pairs=self.config.ha_pairs,
+            ack_mode=mode,
+            lease=LeaseConfig(
+                lease_s=self.config.ha_lease_s,
+                heartbeat_s=self.config.ha_heartbeat_s,
+            ),
+            seed=self.config.seed,
+            observer=self.observer,
+        )
+        result = evaluator.run()
+        self._ha[mode] = result
+        return result
+
     # -- real scale-out (sharded fleet) -------------------------------------------
 
     def _compute_scaleout_real(
@@ -555,6 +589,14 @@ class CloudyBench:
             overload = self._overload.get(self.config.qos_enabled)
             if overload and name in overload:
                 extras["d"] = overload[name].dscore
+            # ...and so does the HA R-Score; it is testbed-level, so the
+            # same availability-under-failover number annotates every row.
+            # Prefer the configured ack mode, but any computed mode counts.
+            ha = self._ha.get(self.config.ha_ack_mode)
+            if ha is None and self._ha:
+                ha = next(iter(self._ha.values()))
+            if ha is not None:
+                extras["r"] = ha.r_score
 
             scores[name] = PerfectScores(
                 arch_name=name,

@@ -28,6 +28,7 @@ _SECTIONS = (
     ("lagtime", "Replication lag (Section III-F)"),
     ("overload", "Overload protection (D-Score)"),
     ("scaleout-real", "Real scale-out (sharded fleet)"),
+    ("ha", "Shard HA (R-Score)"),
     ("overall", "Overall (Table IX)"),
 )
 

@@ -626,6 +626,25 @@ class Database:
             self.wal.truncate(record.lsn)
         return record.lsn
 
+    def install_checkpoint(self, checkpoint_lsn: int) -> None:
+        """Adopt the current tables as the durable base image at
+        ``checkpoint_lsn`` without logging anything.
+
+        Standby bootstrap: after :meth:`clone_full` copied the primary's
+        rows, this stamps the copy as a checkpoint taken at the
+        primary's durable horizon and positions the (pristine) WAL so
+        shipped records continue the primary's LSN sequence.  From then
+        on ``crash() + recover()`` replays exactly the shipped suffix --
+        which is what promotion does.
+        """
+        if self.txns.active:
+            raise EngineError("install_checkpoint requires quiescence")
+        self._checkpoint_snapshots = {
+            name: table.snapshot() for name, table in self._tables.items()
+        }
+        self.checkpoint_lsn = checkpoint_lsn
+        self.wal.start_from(checkpoint_lsn + 1)
+
     def crash(self) -> None:
         """Simulate an instance crash: lose all volatile state.
 

@@ -109,6 +109,22 @@ class NodeUnavailableError(EngineError):
     retryable = True
 
 
+class ShardUnavailableError(NodeUnavailableError):
+    """A shard of the fleet is down, demoted, or mid-failover.
+
+    Raised by the fleet facade instead of leaking the engine's internal
+    :class:`SimulatedCrash` when a statement lands on a dead shard.
+    Retryable -- once failover promotes the standby (or recovery revives
+    the primary) the same statement succeeds -- and, as a
+    :class:`NodeUnavailableError`, it counts against the client's
+    circuit breaker for the endpoint.
+    """
+
+    def __init__(self, message: str, shard_id: int | None = None):
+        super().__init__(message)
+        self.shard_id = shard_id
+
+
 class RequestTimeout(EngineError):
     """The per-request timeout budget elapsed before a response."""
 

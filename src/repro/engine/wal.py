@@ -23,7 +23,7 @@ from contextlib import contextmanager
 from dataclasses import dataclass, replace
 from typing import Any, Dict, Iterator, List, Optional, Tuple
 
-from repro.engine.errors import SimulatedCrash
+from repro.engine.errors import SimulatedCrash, WalCorruptionError
 from repro.obs import NULL_OBSERVER, Observer
 
 
@@ -143,6 +143,12 @@ class WriteAheadLog:
         #: once a crash point fires the instance is down: every further
         #: append is rejected until Database.crash() revives the log
         self._dead = False
+        #: log-shipping hook: called with each record appended through
+        #: the *clean* path.  A record written by a firing crash point is
+        #: never shipped -- the node died before acknowledging it, so it
+        #: is durable locally but unacked, exactly the suffix a promoted
+        #: standby is allowed to discard.
+        self.on_append: Optional[Any] = None
 
     @property
     def last_lsn(self) -> int:
@@ -244,7 +250,42 @@ class WriteAheadLog:
                 attrs={"mode": mode, "lsn": lsn},
             )
             raise SimulatedCrash(f"crash point: instance died writing LSN {lsn}")
+        if self.on_append is not None:
+            self.on_append(record)
         return record
+
+    def append_shipped(self, record: LogRecord) -> None:
+        """Standby side of log shipping: adopt a primary record verbatim.
+
+        The record keeps its primary LSN (the standby's log *is* the
+        primary's log suffix), so LSNs must arrive gap-free and the
+        record must verify -- a torn or corrupt record never ships.
+        Fsync accounting mirrors :meth:`append`: COMMIT/PREPARE/DECISION
+        records are durability points on the standby too, amortizable
+        through :meth:`group_commit` (semisync batches use this).
+        """
+        if self._dead:
+            raise SimulatedCrash("standby is down: shipped append rejected")
+        if record.lsn != self._next_lsn:
+            raise WalCorruptionError(
+                f"shipped LSN {record.lsn} breaks continuity (expected {self._next_lsn})"
+            )
+        if not record.is_intact:
+            raise WalCorruptionError(f"shipped LSN {record.lsn} fails its CRC")
+        self._records.append(record)
+        self._next_lsn = record.lsn + 1
+        if record.kind in (LogKind.COMMIT, LogKind.ABORT):
+            self._last_lsn_of_txn.pop(record.txn_id, None)
+        elif record.kind is not LogKind.CHECKPOINT:
+            self._last_lsn_of_txn[record.txn_id] = record.lsn
+        if record.kind in FSYNC_KINDS:
+            if self._group_depth > 0:
+                self._group_pending += 1
+            else:
+                self._count_fsync()
+        if self._c_append is not None:
+            self._c_append.value += 1.0
+            self._c_bytes.value += record.byte_size()
 
     # -- group commit --------------------------------------------------------
 
@@ -312,9 +353,32 @@ class WriteAheadLog:
         """Did a crash point fire (instance down until restart)?"""
         return self._dead
 
+    def kill(self) -> None:
+        """Take the node down *between* appends (process kill, not a
+        torn write): nothing half-written, every further append raises
+        :class:`~repro.engine.errors.SimulatedCrash` until revival."""
+        self._dead = True
+        self.obs.event(
+            "wal.kill", "engine", track="engine", attrs={"lsn": self.last_lsn},
+        )
+
     def revive(self) -> None:
         """Restart after a fired crash point; the durable log survives."""
         self._dead = False
+
+    def start_from(self, lsn: int) -> None:
+        """Position a pristine log so its next LSN is ``lsn``.
+
+        Standby bootstrap uses this: the base backup covers everything
+        below ``lsn``, and shipped records continue the primary's LSN
+        sequence from there.  Only valid before anything was appended.
+        """
+        if self._records or self._next_lsn != 1:
+            raise ValueError("start_from requires a pristine log")
+        if lsn < 1:
+            raise ValueError(f"LSN must be >= 1, got {lsn}")
+        self._next_lsn = lsn
+        self._truncated_before = lsn
 
     def flip_bit(self, lsn: int, bit: int = 0) -> LogRecord:
         """Corrupt a retained record in place (a bit flip on the tail).

@@ -1,0 +1,248 @@
+"""The crash-schedule sweep: every 2PC phase x fault target x failover.
+
+One *cell* of the matrix builds a fresh two-shard HA fleet, warms the
+PAIRS workload up, arms exactly one fault at one 2PC phase boundary --
+
+* ``coordinator`` -- the coordinator process dies at the boundary
+  (:meth:`~repro.shard.coordinator.TxnCoordinator.arm_crash`);
+* ``participant`` -- a shard primary's WAL is killed at the boundary
+  (:meth:`~repro.shard.coordinator.TxnCoordinator.arm_action`);
+* ``replica`` -- a shard's *standby* is killed at the boundary, so
+  replication breaks mid-protocol while the primary keeps serving --
+
+then drives transfers until the fault fires, recovers the fleet either
+in place (``failover=False``) or by promoting standbys over dead
+primaries (``failover=True``), drives more traffic to prove liveness,
+and hands the full operation history plus the final recovered state to
+the :class:`~repro.ha.history.HistoryChecker`.  The acceptance bar is
+*zero* violations over the whole sweep, and a byte-identical
+fingerprint for a given ``--seed``.
+
+The participant victim alternates with the failover dimension so both
+protocol orders are swept: killing shard 0 (first in prepare *and*
+decision order) exercises the dangling/blocking window, killing
+shard 1 exercises prepare-stage aborts and survivor-side commits.
+
+Run as a module for the CI smoke job::
+
+    python -m repro.ha.crashmatrix --quick --seed 7
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.engine.errors import SimulatedCrash
+from repro.ha.cluster import HAFleet
+from repro.ha.history import HistoryChecker, Violation
+from repro.ha.workload import PairWorkload, build_pairs_fleet
+from repro.shard.coordinator import PHASES
+from repro.sim.rng import derive_seed
+
+TARGETS = ("coordinator", "participant", "replica")
+
+
+@dataclass
+class CellResult:
+    """One (phase, target, failover) cell's outcome."""
+
+    phase: str
+    target: str
+    failover: bool
+    ack_mode: str
+    violations: List[Violation] = field(default_factory=list)
+    fault_fired: bool = False
+    #: acked transfers / reads after recovery (liveness evidence)
+    post_transfers: int = 0
+    post_reads: int = 0
+    ops: int = 0
+
+    @property
+    def label(self) -> str:
+        mode = "failover" if self.failover else "restart"
+        return f"{self.phase:<14s} {self.target:<11s} {mode:<8s} {self.ack_mode}"
+
+    @property
+    def passed(self) -> bool:
+        return (
+            not self.violations
+            and self.fault_fired
+            and self.post_transfers > 0
+            and self.post_reads > 0
+        )
+
+
+@dataclass
+class MatrixResult:
+    """The whole sweep."""
+
+    seed: int
+    cells: List[CellResult] = field(default_factory=list)
+
+    @property
+    def violations(self) -> List[Violation]:
+        return [violation for cell in self.cells for violation in cell.violations]
+
+    @property
+    def passed(self) -> bool:
+        return all(cell.passed for cell in self.cells)
+
+    def fingerprint(self) -> str:
+        """SHA-256 over every cell's outcome -- the determinism contract."""
+        digest = hashlib.sha256()
+        digest.update(f"seed={self.seed}".encode())
+        for cell in self.cells:
+            digest.update(cell.label.encode())
+            digest.update(
+                f"|fired={cell.fault_fired}|t={cell.post_transfers}"
+                f"|r={cell.post_reads}|ops={cell.ops}"
+                f"|v={len(cell.violations)}".encode()
+            )
+        return digest.hexdigest()
+
+    def describe(self) -> List[str]:
+        lines = [
+            f"{cell.label}  ops={cell.ops:<4d} "
+            f"post={cell.post_transfers}/{cell.post_reads}  "
+            f"{'ok' if cell.passed else 'FAIL'}"
+            for cell in self.cells
+        ]
+        lines.append(
+            f"{len(self.cells)} cells, {len(self.violations)} violations, "
+            f"fingerprint {self.fingerprint()[:16]}"
+        )
+        lines.extend(str(violation) for violation in self.violations)
+        return lines
+
+
+def run_cell(
+    phase: str,
+    target: str,
+    failover: bool,
+    seed: int = 7,
+    ack_mode: str = "sync",
+    n_pairs: int = 3,
+    warmup: int = 3,
+    post: int = 4,
+) -> CellResult:
+    """Run one cell of the matrix on a fresh fleet."""
+    if phase not in PHASES:
+        raise ValueError(f"unknown phase {phase!r}")
+    if target not in TARGETS:
+        raise ValueError(f"unknown target {target!r}")
+    cell = CellResult(phase=phase, target=target, failover=failover, ack_mode=ack_mode)
+    label = f"{phase}.{target}.{failover}.{ack_mode}"
+    fleet, pairs = build_pairs_fleet(
+        n_shards=2, n_pairs=n_pairs, fleet_cls=HAFleet,
+        ack_mode=ack_mode, name=f"matrix-{target}",
+    )
+    fleet.start_replication()
+    workload = PairWorkload(fleet, pairs, seed=derive_seed(seed, label))
+    for _ in range(warmup):
+        workload.transfer()
+        workload.read()
+
+    coordinator = fleet.coordinator
+    victim = 0 if failover else 1
+    if target == "coordinator":
+        victim = 1
+        coordinator.arm_crash(phase)
+    elif target == "participant":
+        coordinator.arm_action(phase, lambda: fleet.kill_primary(victim))
+    else:
+        coordinator.arm_action(phase, lambda: fleet.kill_standby(victim))
+
+    # Every transfer is cross-shard, so the first commit walks all seven
+    # boundaries; the loop only spins if an unrelated retryable abort
+    # got in first.
+    for _ in range(8 * n_pairs):
+        try:
+            workload.transfer()
+        except SimulatedCrash:
+            pass
+        if not coordinator.armed:
+            cell.fault_fired = True
+            break
+
+    # Degraded window: routed statements against the broken fleet must
+    # fail *cleanly* (retryable), never leak an engine crash exception.
+    for _ in range(2):
+        workload.read()
+
+    if target == "replica":
+        # The primary never stopped serving; prove it, then re-seed the
+        # standby so it is promotable again.
+        workload.transfer()
+        fleet.resync(victim)
+    if failover and target != "participant":
+        # The participant cells killed a primary already; the other two
+        # need one dead for the failover dimension to mean anything.
+        fleet.kill_primary(victim)
+
+    fleet.recover(failover=failover)
+
+    for _ in range(post):
+        cell.post_transfers += 1 if workload.transfer() else 0
+        cell.post_reads += 1 if workload.read() is not None else 0
+
+    report = HistoryChecker().check(workload.history, workload.final_stamps())
+    cell.violations = list(report.violations)
+    cell.ops = len(workload.history)
+    if not cell.fault_fired:
+        cell.violations.append(Violation(
+            "fault_not_fired",
+            f"armed {target} fault at {phase} never consumed",
+        ))
+    return cell
+
+
+def run_matrix(
+    seed: int = 7,
+    quick: bool = False,
+    ack_mode: Optional[str] = None,
+) -> MatrixResult:
+    """Sweep all 7 phases x 3 targets (x 2 failover modes unless quick).
+
+    ``ack_mode`` pins replication to one mode; by default cells
+    alternate sync / semisync deterministically so both ship paths are
+    in every sweep.
+    """
+    result = MatrixResult(seed=seed)
+    failover_modes = (True,) if quick else (False, True)
+    index = 0
+    for phase in PHASES:
+        for target in TARGETS:
+            for failover in failover_modes:
+                mode = ack_mode or ("semisync" if index % 2 else "sync")
+                result.cells.append(run_cell(
+                    phase, target, failover, seed=seed, ack_mode=mode,
+                ))
+                index += 1
+    return result
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="HA crash-schedule sweep (zero tolerated violations)"
+    )
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="failover cells only (21 instead of 42)",
+    )
+    parser.add_argument(
+        "--ack-mode", choices=("sync", "semisync"), default=None,
+        help="pin one replication mode (default: alternate both)",
+    )
+    args = parser.parse_args(argv)
+    result = run_matrix(seed=args.seed, quick=args.quick, ack_mode=args.ack_mode)
+    for line in result.describe():
+        print(line)
+    return 0 if result.passed else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

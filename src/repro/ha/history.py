@@ -1,0 +1,229 @@
+"""Jepsen-style operation histories and the consistency checker.
+
+The HA workload (:mod:`repro.ha.workload`) records every client
+operation twice: an ``invoke`` when it starts and exactly one of
+
+* ``ok``   -- the operation definitely happened (commit acked / read
+  returned);
+* ``fail`` -- the operation definitely did *not* happen (aborted
+  before any decision could be durable: presumed abort applies);
+* ``info`` -- the outcome is unknown (a crash swallowed the ack; the
+  transaction may surface as committed after recovery, or never).
+
+:class:`HistoryChecker` then replays the history against the PAIRS
+workload's invariants.  Each pair is two rows on *different* shards
+that every transfer stamps with the same, strictly increasing version,
+so consistency reduces to checks a machine can do exhaustively:
+
+* **fractured read** -- a read observed two different stamps for one
+  pair: a cross-shard transaction was visible on one shard but not the
+  other (atomicity broken);
+* **phantom version** -- a read observed a version no transfer ever
+  wrote;
+* **aborted read** -- a read observed a version whose transfer
+  definitely failed;
+* **non-monotonic read** -- one worker saw a pair's version go
+  backwards between two of its own reads;
+* **lost update** -- after final recovery a pair's stamp is below an
+  acked (``ok``) transfer's version: an acknowledged commit was lost;
+* **fractured state** -- the two rows of a pair disagree in the final,
+  fully recovered state (atomicity broken durably).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+#: outcome markers
+INVOKE, OK, FAIL, INFO = "invoke", "ok", "fail", "info"
+
+
+@dataclass
+class Op:
+    """One history entry (an invocation or its completion)."""
+
+    index: int
+    worker: int
+    kind: str  # invoke | ok | fail | info
+    f: str  # transfer | read
+    pair: int
+    #: the version a transfer wrote (transfers only)
+    version: Optional[int] = None
+    #: the (stamp_a, stamp_b) a read returned (ok reads only)
+    observed: Optional[Tuple[int, int]] = None
+    gtid: Optional[str] = None
+
+
+class History:
+    """An append-only, globally ordered operation history."""
+
+    def __init__(self) -> None:
+        self.ops: List[Op] = []
+
+    def __len__(self) -> int:
+        return len(self.ops)
+
+    def _record(self, kind: str, worker: int, f: str, pair: int, **kw) -> Op:
+        op = Op(index=len(self.ops), worker=worker, kind=kind, f=f, pair=pair, **kw)
+        self.ops.append(op)
+        return op
+
+    def invoke(self, worker: int, f: str, pair: int, **kw) -> Op:
+        return self._record(INVOKE, worker, f, pair, **kw)
+
+    def ok(self, worker: int, f: str, pair: int, **kw) -> Op:
+        return self._record(OK, worker, f, pair, **kw)
+
+    def fail(self, worker: int, f: str, pair: int, **kw) -> Op:
+        return self._record(FAIL, worker, f, pair, **kw)
+
+    def info(self, worker: int, f: str, pair: int, **kw) -> Op:
+        return self._record(INFO, worker, f, pair, **kw)
+
+    def completions(self, f: Optional[str] = None) -> List[Op]:
+        return [
+            op for op in self.ops
+            if op.kind != INVOKE and (f is None or op.f == f)
+        ]
+
+    def counts(self) -> Dict[str, int]:
+        out: Dict[str, int] = {}
+        for op in self.ops:
+            if op.kind != INVOKE:
+                out[f"{op.f}.{op.kind}"] = out.get(f"{op.f}.{op.kind}", 0) + 1
+        return out
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One broken invariant, anchored to the history entry that shows it."""
+
+    kind: str
+    detail: str
+    op_index: Optional[int] = None
+
+    def __str__(self) -> str:
+        where = f" (op {self.op_index})" if self.op_index is not None else ""
+        return f"[{self.kind}]{where} {self.detail}"
+
+
+@dataclass
+class CheckReport:
+    """The checker's verdict over one history."""
+
+    violations: List[Violation] = field(default_factory=list)
+    ops_checked: int = 0
+    reads_checked: int = 0
+
+    @property
+    def consistent(self) -> bool:
+        return not self.violations
+
+    def describe(self) -> List[str]:
+        if self.consistent:
+            return [
+                f"consistent: {self.ops_checked} ops, "
+                f"{self.reads_checked} reads, 0 violations"
+            ]
+        return [str(violation) for violation in self.violations]
+
+
+class HistoryChecker:
+    """Validates a PAIRS history plus the final recovered state."""
+
+    def check(
+        self,
+        history: History,
+        final_stamps: Optional[Dict[int, Tuple[int, int]]] = None,
+    ) -> CheckReport:
+        """Run every invariant; ``final_stamps`` maps pair -> the two
+        row stamps read after the last recovery pass."""
+        report = CheckReport(ops_checked=len(history.ops))
+        issued: Dict[int, set] = {}  # pair -> versions some transfer wrote
+        acked: Dict[int, int] = {}  # pair -> max version of an ok transfer
+        failed: Dict[int, set] = {}  # pair -> versions that definitely aborted
+        for op in history.completions("transfer"):
+            issued.setdefault(op.pair, set()).add(op.version)
+            if op.kind == OK:
+                acked[op.pair] = max(acked.get(op.pair, 0), op.version)
+            elif op.kind == FAIL:
+                failed.setdefault(op.pair, set()).add(op.version)
+
+        last_seen: Dict[Tuple[int, int], int] = {}  # (worker, pair) -> version
+        for op in history.completions("read"):
+            if op.kind != OK or op.observed is None:
+                continue
+            report.reads_checked += 1
+            stamp_a, stamp_b = op.observed
+            if stamp_a != stamp_b:
+                report.violations.append(Violation(
+                    "fractured_read",
+                    f"pair {op.pair}: worker {op.worker} saw "
+                    f"stamps {stamp_a} != {stamp_b}",
+                    op.index,
+                ))
+                continue
+            version = stamp_a
+            if version != 0 and version not in issued.get(op.pair, ()):
+                report.violations.append(Violation(
+                    "phantom_version",
+                    f"pair {op.pair}: observed version {version} "
+                    f"was never written",
+                    op.index,
+                ))
+            if version in failed.get(op.pair, ()):
+                report.violations.append(Violation(
+                    "aborted_read",
+                    f"pair {op.pair}: observed version {version} of a "
+                    f"transfer that definitely aborted",
+                    op.index,
+                ))
+            key = (op.worker, op.pair)
+            if version < last_seen.get(key, 0):
+                report.violations.append(Violation(
+                    "non_monotonic_read",
+                    f"pair {op.pair}: worker {op.worker} saw version "
+                    f"{version} after {last_seen[key]}",
+                    op.index,
+                ))
+            last_seen[key] = max(last_seen.get(key, 0), version)
+
+        if final_stamps is not None:
+            self._check_final(report, final_stamps, issued, acked, failed)
+        return report
+
+    @staticmethod
+    def _check_final(
+        report: CheckReport,
+        final_stamps: Dict[int, Tuple[int, int]],
+        issued: Dict[int, set],
+        acked: Dict[int, int],
+        failed: Dict[int, set],
+    ) -> None:
+        for pair, (stamp_a, stamp_b) in sorted(final_stamps.items()):
+            if stamp_a != stamp_b:
+                report.violations.append(Violation(
+                    "fractured_state",
+                    f"pair {pair}: final stamps {stamp_a} != {stamp_b} "
+                    f"after full recovery",
+                ))
+                continue
+            version = stamp_a
+            if version != 0 and version not in issued.get(pair, ()):
+                report.violations.append(Violation(
+                    "phantom_version",
+                    f"pair {pair}: final version {version} was never written",
+                ))
+            if version in failed.get(pair, ()):
+                report.violations.append(Violation(
+                    "aborted_read",
+                    f"pair {pair}: final state holds version {version} of "
+                    f"a transfer that definitely aborted",
+                ))
+            if version < acked.get(pair, 0):
+                report.violations.append(Violation(
+                    "lost_update",
+                    f"pair {pair}: final version {version} is below acked "
+                    f"version {acked[pair]} -- an acknowledged commit was lost",
+                ))

@@ -15,7 +15,13 @@ fleet-level recovery pass that resolves in-doubt branches after a crash
 by consulting the union of durable decisions.
 """
 
-from repro.shard.coordinator import PHASES, GlobalTransaction, TxnCoordinator
+from repro.engine.errors import ShardUnavailableError
+from repro.shard.coordinator import (
+    PHASES,
+    CoordinatorCrash,
+    GlobalTransaction,
+    TxnCoordinator,
+)
 from repro.shard.driver import ShardRunResult, run_inline, run_multiprocess, run_scaleout
 from repro.shard.fleet import (
     FleetRecoveryReport,
@@ -29,6 +35,8 @@ from repro.shard.workload import LocalShardWorkload, ShardSalesWorkload
 
 __all__ = [
     "PHASES",
+    "CoordinatorCrash",
+    "ShardUnavailableError",
     "GlobalTransaction",
     "TxnCoordinator",
     "ShardRunResult",

@@ -29,10 +29,14 @@ the half-run protocol state is exactly what crash-recovery tests need.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Set
+from typing import Callable, Dict, List, Optional, Sequence, Set
 
 from repro.engine.database import Database
-from repro.engine.errors import SimulatedCrash, TransactionAborted
+from repro.engine.errors import (
+    ShardUnavailableError,
+    SimulatedCrash,
+    TransactionAborted,
+)
 from repro.engine.txn import IsolationLevel, Transaction, TxnState
 from repro.obs import NULL_OBSERVER, Observer
 
@@ -50,6 +54,16 @@ PHASES = (
 )
 
 
+class CoordinatorCrash(SimulatedCrash):
+    """The node hosting the coordinator died at a 2PC phase boundary.
+
+    Distinct from a plain :class:`SimulatedCrash` raised by a
+    *participant's* WAL: when the coordinator itself dies there is
+    nobody left to clean up, whereas a surviving coordinator can (and
+    must) drive the remaining branches to a safe state.
+    """
+
+
 class GlobalTransaction:
     """A transaction that may span several shards.
 
@@ -64,12 +78,17 @@ class GlobalTransaction:
         gtid: str,
         isolation: Optional[IsolationLevel] = None,
         deadline=None,
+        is_retry: bool = False,
     ):
         self._coordinator = coordinator
         self.gtid = gtid
         self.isolation = isolation
         self.deadline = deadline
         self.state = TxnState.ACTIVE
+        #: a client-supplied gtid marks this as the retry of an earlier
+        #: commit whose outcome the client never learned; commit checks
+        #: the durable DECISION records before re-applying anything
+        self.is_retry = is_retry
         #: shard id -> local branch transaction
         self.locals: Dict[int, Transaction] = {}
 
@@ -141,9 +160,20 @@ class TxnCoordinator:
         self.name = name
         self._gtid_counter = start_gtid
         self._armed: Set[str] = set()
+        #: one-shot callables to run at a phase boundary (the crash
+        #: matrix kills participants / standbys here)
+        self._armed_actions: Dict[str, List[Callable[[], None]]] = {}
+        #: global transactions a participant crash left half-decided:
+        #: the decision phase had started but no decision is durable on
+        #: a *reachable* shard, so the survivors' prepared branches must
+        #: stay in doubt until failover makes the failed shard's log
+        #: readable again (see :meth:`finish_dangling`)
+        self.dangling: List[GlobalTransaction] = []
         self.single_commits = 0
         self.cross_commits = 0
         self.aborts = 0
+        #: retried commits satisfied from durable DECISION records
+        self.idempotent_commits = 0
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -157,7 +187,20 @@ class TxnCoordinator:
         self,
         isolation: Optional[IsolationLevel] = None,
         deadline=None,
+        gtid: Optional[str] = None,
     ) -> GlobalTransaction:
+        """Start a global transaction.
+
+        Passing ``gtid`` replays an earlier transaction under its
+        original id (the client's retry token after it lost the first
+        commit's outcome to a crash): commit then consults the durable
+        DECISION records and skips re-applying a transaction the fleet
+        already committed.
+        """
+        if gtid is not None:
+            return GlobalTransaction(
+                self, gtid, isolation=isolation, deadline=deadline, is_retry=True
+            )
         gtid = f"{self.name}:{self._gtid_counter}"
         self._gtid_counter += 1
         return GlobalTransaction(self, gtid, isolation=isolation, deadline=deadline)
@@ -170,7 +213,27 @@ class TxnCoordinator:
             raise ValueError(f"unknown 2PC phase {phase!r}; one of {PHASES}")
         self._armed.add(phase)
 
+    def arm_action(self, phase: str, action: Callable[[], None]) -> None:
+        """One-shot: run ``action`` when the next commit reaches ``phase``.
+
+        The crash matrix uses this to kill a participant's WAL (or an HA
+        standby) at an exact protocol position; unlike :meth:`arm_crash`
+        the boundary itself does not raise -- the protocol discovers the
+        damage at its next touch of the dead node.
+        """
+        if phase not in PHASES:
+            raise ValueError(f"unknown 2PC phase {phase!r}; one of {PHASES}")
+        self._armed_actions.setdefault(phase, []).append(action)
+
+    @property
+    def armed(self) -> bool:
+        """Is any crash point or phase action still waiting to fire?"""
+        return bool(self._armed or self._armed_actions)
+
     def _crash_point(self, phase: str) -> None:
+        actions = self._armed_actions.pop(phase, ())
+        for action in actions:
+            action()
         fire = phase in self._armed
         if fire:
             self._armed.discard(phase)
@@ -182,7 +245,7 @@ class TxnCoordinator:
                     "2pc.coord_crash", "shard", track="shard",
                     attrs={"phase": phase},
                 )
-            raise SimulatedCrash(f"coordinator {self.name} crashed at {phase}")
+            raise CoordinatorCrash(f"coordinator {self.name} crashed at {phase}")
 
     # -- commit / abort ------------------------------------------------------
 
@@ -205,6 +268,8 @@ class TxnCoordinator:
                 )
         crosses = []
         for gtxn in gtxns:
+            if gtxn.is_retry and self._absorb_retry(gtxn):
+                continue
             if gtxn.is_cross_shard:
                 crosses.append(gtxn)
             else:
@@ -217,7 +282,41 @@ class TxnCoordinator:
         if crosses:
             self._two_phase(crosses)
 
+    def _decided_union(self) -> Set[object]:
+        """Union of durable DECISION gtids across every reachable shard."""
+        decided: Set[object] = set()
+        for shard in self.shards:
+            if not shard.wal.is_dead:
+                decided |= shard.wal.decided_gtids()
+        return decided
+
+    def _absorb_retry(self, gtxn: GlobalTransaction) -> bool:
+        """Idempotent commit: satisfy a retried commit from the log.
+
+        A client that lost the first commit's outcome to a crash replays
+        the transaction under the same gtid.  If any reachable shard
+        holds a DECISION for that gtid, the original commit already
+        happened (recovery finished its branches off the decision
+        records) -- so the retry's freshly written branches are rolled
+        back, not committed, and the commit reports success.  Without
+        this check the replayed writes would apply *again* on every
+        shard, double-applying the transaction.
+        """
+        if gtxn.gtid not in self._decided_union():
+            return False
+        for txn in gtxn.locals.values():
+            try:
+                txn.rollback()
+            except SimulatedCrash:  # a branch shard died; nothing to undo there
+                continue
+        gtxn.state = TxnState.COMMITTED
+        self.idempotent_commits += 1
+        if self.obs.enabled:
+            self.obs.count("shard.2pc.idempotent")
+        return True
+
     def _two_phase(self, gtxns: List[GlobalTransaction]) -> None:
+        stage = "prepare"
         try:
             with self.obs.span("2pc.commit", "shard", track="shard"):
                 # Phase one: prepare every branch of every transaction.
@@ -234,6 +333,7 @@ class TxnCoordinator:
                             first = False
                             self._crash_point("mid_prepare")
                 self._crash_point("after_prepare")
+                stage = "decision"
 
                 # Decision: log COMMIT per participant, batched per shard
                 # so N decisions on one shard cost one fsync.
@@ -253,6 +353,7 @@ class TxnCoordinator:
                         first = False
                         self._crash_point("mid_decision")
                 self._crash_point("after_decision")
+                stage = "commit"
 
                 # Phase two: the outcome is durable; finish the branches.
                 first = True
@@ -267,17 +368,113 @@ class TxnCoordinator:
                     if self.obs.enabled:
                         self.obs.count("shard.2pc.cross_shard")
                 self._crash_point("after_commit")
-        except SimulatedCrash:
-            # The coordinator (or a shard's WAL) died mid-protocol.  No
-            # cleanup: prepared branches stay in doubt until the fleet
+        except CoordinatorCrash:
+            # The coordinator itself died mid-protocol.  No cleanup:
+            # prepared branches stay in doubt until the fleet
             # crash-recovers and resolves them against the durable
             # DECISION records.  That dangling state is the point.
             raise
+        except SimulatedCrash as crash:
+            # A *participant* died mid-protocol; this coordinator is
+            # alive and must drive the survivors to a safe state.
+            self._participant_died(gtxns, stage, crash)
         except BaseException:
             # A non-crash failure in phase one (lock conflict, deadline)
             # means nothing was promised: abort every branch.
             self._abort_all(gtxns)
             raise
+
+    def _participant_died(
+        self,
+        gtxns: List[GlobalTransaction],
+        stage: str,
+        crash: SimulatedCrash,
+    ) -> None:
+        """Finish the surviving branches after a participant crash.
+
+        * During **prepare** nothing was promised: presumed abort holds
+          everywhere (a commit needs a DECISION, and none can exist),
+          so the survivors abort and the client gets a retryable
+          :class:`~repro.engine.errors.ShardUnavailableError`.
+        * From the **decision** phase on: a transaction whose DECISION
+          is durable on a *reachable* shard is committed -- finish its
+          surviving branches and report success (the dead shard learns
+          its fate at recovery or promotion).  A transaction with no
+          reachable decision is genuinely unknown (the classic blocking
+          window of 2PC): its survivors stay prepared, locks held,
+          recorded as *dangling* until failover restores access to the
+          failed shard's log (:meth:`finish_dangling`).
+        """
+        if self.obs.enabled:
+            self.obs.count("shard.2pc.participant_crash")
+        if stage == "prepare":
+            self._abort_all(gtxns)
+            raise ShardUnavailableError(
+                f"participant shard died during prepare: {crash}"
+            ) from crash
+        decided = self._decided_union()
+        blocked = False
+        for gtxn in gtxns:
+            if gtxn.state is not TxnState.ACTIVE:
+                continue  # already fully committed before the crash
+            if gtxn.gtid in decided:
+                for txn in gtxn.locals.values():
+                    if txn.state is not TxnState.PREPARED:
+                        continue
+                    try:
+                        txn.commit()
+                    except SimulatedCrash:
+                        continue  # that shard is dead too; its log decides
+                gtxn.state = TxnState.COMMITTED
+                self.cross_commits += 1
+                if self.obs.enabled:
+                    self.obs.count("shard.2pc.cross_shard")
+            else:
+                self.dangling.append(gtxn)
+                blocked = True
+        if blocked:
+            if self.obs.enabled:
+                self.obs.count("shard.2pc.dangling")
+            raise crash
+
+    def finish_dangling(self) -> Dict[str, int]:
+        """Resolve transactions a participant crash left half-decided.
+
+        Call after failover: once the failed shard's authoritative log
+        (its promoted standby, or the recovered primary) is reachable
+        again, the decision union is complete -- each dangling
+        transaction commits iff a DECISION exists anywhere, and is
+        presumed aborted otherwise.  Releases the survivors' locks
+        either way.
+        """
+        done = {"committed": 0, "aborted": 0}
+        if not self.dangling:
+            return done
+        decided = self._decided_union()
+        for gtxn in self.dangling:
+            commit = gtxn.gtid in decided
+            for txn in gtxn.locals.values():
+                if txn.state is not TxnState.PREPARED:
+                    continue
+                try:
+                    if commit:
+                        txn.commit()
+                    else:
+                        txn.rollback()
+                except SimulatedCrash:
+                    continue  # dead branch: recovery applies the same verdict
+            if commit:
+                gtxn.state = TxnState.COMMITTED
+                self.cross_commits += 1
+                done["committed"] += 1
+            else:
+                gtxn.state = TxnState.ABORTED
+                self.aborts += 1
+                done["aborted"] += 1
+        self.dangling = []
+        if self.obs.enabled:
+            self.obs.count("shard.2pc.dangling_resolved", sum(done.values()))
+        return done
 
     def rollback(self, gtxn: GlobalTransaction) -> None:
         if not gtxn.is_active:
@@ -287,7 +484,12 @@ class TxnCoordinator:
     def _abort_all(self, gtxns: Sequence[GlobalTransaction]) -> None:
         for gtxn in gtxns:
             for txn in gtxn.locals.values():
-                txn.rollback()  # no-op for branches a shard already aborted
+                try:
+                    txn.rollback()  # no-op for branches a shard already aborted
+                except SimulatedCrash:
+                    # The branch's shard is dead: its volatile state is
+                    # gone with it and recovery presumes abort anyway.
+                    continue
             gtxn.state = TxnState.ABORTED
             self.aborts += 1
             if self.obs.enabled:

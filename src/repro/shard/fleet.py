@@ -25,6 +25,7 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 from repro.core.datagen import DataGenerator, GeneratedData, nominal_bytes
 from repro.core.schema import create_sales_schema
 from repro.engine.database import Database
+from repro.engine.errors import ShardUnavailableError, SimulatedCrash
 from repro.engine.executor import ResultSet
 from repro.engine.recovery import RecoveryReport
 from repro.engine.sql import InsertStatement, SelectStatement
@@ -124,8 +125,17 @@ class ShardedDatabase:
         self,
         isolation: Optional[IsolationLevel] = None,
         deadline=None,
+        gtid: Optional[str] = None,
     ) -> GlobalTransaction:
-        return self.coordinator.begin(isolation=isolation, deadline=deadline)
+        """Start a global transaction.
+
+        ``gtid`` is the client's retry token: replaying a commit whose
+        ack was lost under its original id makes the commit idempotent
+        (see :meth:`~repro.shard.coordinator.TxnCoordinator.begin`).
+        """
+        return self.coordinator.begin(
+            isolation=isolation, deadline=deadline, gtid=gtid
+        )
 
     # -- SQL -----------------------------------------------------------------
 
@@ -152,9 +162,7 @@ class ShardedDatabase:
         if shard_id is not None:
             if self.obs.enabled:
                 self.obs.count("shard.stmt.single_shard")
-            if gtxn is None:
-                return self.shards[shard_id].execute(sql, params)
-            return self.shards[shard_id].execute(sql, params, txn=gtxn.local(shard_id))
+            return self._run_on_shard(shard_id, sql, params, gtxn)
         if self.obs.enabled:
             self.obs.count("shard.stmt.fanout")
         if gtxn is None and not isinstance(statement, SelectStatement):
@@ -169,6 +177,44 @@ class ShardedDatabase:
             raise ShardError(f"query() is read-only: {sql.strip()[:60]!r}")
         return self.execute(sql, params)
 
+    def _shard_db(self, shard_id: int) -> Database:
+        """The live database currently serving ``shard_id``.
+
+        The HA fleet overrides this to gate on failover state (raising
+        :class:`~repro.engine.errors.ShardUnavailableError` while a
+        shard is between primaries).
+        """
+        return self.shards[shard_id]
+
+    def _run_on_shard(
+        self,
+        shard_id: int,
+        sql: str,
+        params: Sequence[Any],
+        gtxn: Optional[GlobalTransaction],
+    ) -> ResultSet:
+        """Run one routed statement on one shard.
+
+        A dead shard's WAL raises the engine-internal
+        :class:`~repro.engine.errors.SimulatedCrash` on the first append
+        (even a read pays a BEGIN record); clients should instead see a
+        retryable :class:`~repro.engine.errors.ShardUnavailableError`
+        that names the shard and classifies correctly for the resilience
+        stack's breakers and retry budget.
+        """
+        try:
+            shard = self._shard_db(shard_id)
+            if gtxn is None:
+                return shard.execute(sql, params)
+            return shard.execute(sql, params, txn=gtxn.local(shard_id))
+        except SimulatedCrash as crash:
+            if self.obs.enabled:
+                self.obs.count("shard.stmt.unavailable")
+            raise ShardUnavailableError(
+                f"shard {shard_id} is down mid-statement; retry after failover",
+                shard_id=shard_id,
+            ) from crash
+
     def _fanout(
         self,
         sql: str,
@@ -181,11 +227,8 @@ class ShardedDatabase:
         columns: Tuple[str, ...] = ()
         per_shard_rows: List[List[Tuple[Any, ...]]] = []
         rowcount = 0
-        for shard_id, shard in enumerate(self.shards):
-            if gtxn is None:
-                result = shard.execute(sql, params)
-            else:
-                result = shard.execute(sql, params, txn=gtxn.local(shard_id))
+        for shard_id in range(self.n_shards):
+            result = self._run_on_shard(shard_id, sql, params, gtxn)
             columns = result.columns or columns
             per_shard_rows.append(result.rows)
             rowcount += result.rowcount
@@ -264,14 +307,52 @@ class ShardedDatabase:
             name=self.name, start_gtid=next_gtid,
         )
 
+    def _recover_shard(self, shard_id: int) -> RecoveryReport:
+        """Restart one shard and replay its log.
+
+        Resets to the checkpoint image first (``crash()`` is a no-op on
+        state a crash already wiped) and disarms any still-armed WAL
+        crash point, so recovery converges to the same resolved state
+        whether the fleet crashed once, twice, never, or with a fault
+        scheduled but unfired.
+        """
+        shard = self.shards[shard_id]
+        shard.wal.disarm_crash()
+        shard.crash()
+        return shard.recover()
+
     def recover(self) -> FleetRecoveryReport:
-        """Per-shard ARIES recovery, then fleet-level in-doubt resolution."""
-        report = FleetRecoveryReport(
-            shard_reports=[shard.recover() for shard in self.shards]
-        )
+        """Per-shard ARIES recovery, then fleet-level in-doubt resolution.
+
+        Idempotent: recovering twice, or recovering a fleet that never
+        crashed, converges to the same resolved state (each pass resets
+        shards to their checkpoint image and replays the same durable
+        log; in-doubt branches resolved by an earlier pass are winners
+        to the next one).
+        """
+        reports = [self._recover_shard(shard_id) for shard_id in range(self.n_shards)]
+        return self._resolve_in_doubt(reports)
+
+    def _resolve_in_doubt(
+        self,
+        shard_reports: Sequence[RecoveryReport],
+        shard_ids: Optional[Sequence[int]] = None,
+    ) -> FleetRecoveryReport:
+        """Resolve in-doubt branches against the fleet-wide decision union.
+
+        ``shard_ids`` maps each report to its shard (defaults to all
+        shards in order); the union always spans every *reachable*
+        shard, so a single promoted shard resolves against the whole
+        fleet's decisions.
+        """
+        report = FleetRecoveryReport(shard_reports=list(shard_reports))
         for shard in self.shards:
-            report.decided_gtids |= shard.wal.decided_gtids()
-        for shard, shard_report in zip(self.shards, report.shard_reports):
+            if not shard.wal.is_dead:
+                report.decided_gtids |= shard.wal.decided_gtids()
+        if shard_ids is None:
+            shard_ids = range(len(report.shard_reports))
+        for shard_id, shard_report in zip(shard_ids, report.shard_reports):
+            shard = self.shards[shard_id]
             for txn_id, gtid in sorted(shard_report.in_doubt.items()):
                 commit = gtid in report.decided_gtids
                 shard.resolve_in_doubt(txn_id, commit=commit)

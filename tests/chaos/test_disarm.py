@@ -1,0 +1,131 @@
+"""Crash faults are events: every one-shot trigger disarms after firing.
+
+Covers the chaos injector's three one-shot families (COORD_CRASH,
+PRIMARY_CRASH, REPLICA_CRASH) and the coordinator's own armed crash
+points and phase actions -- a fired fault must never re-trip during the
+recovery that follows it.
+"""
+
+import pytest
+
+from repro.chaos.injector import ChaosInjector
+from repro.chaos.plan import FaultKind, FaultPlan, FaultSpec
+from repro.engine.errors import SimulatedCrash
+
+from tests.shard.test_2pc import load_keys
+from tests.shard.test_router import kv_fleet
+
+
+def injector(*specs):
+    return ChaosInjector(FaultPlan(specs, seed=1, name="disarm"))
+
+
+class TestCoordCrashOneShot:
+    def test_fires_once_per_spec(self):
+        chaos = injector(
+            FaultSpec(FaultKind.COORD_CRASH, "after_prepare", 0.0, 0.0)
+        )
+        assert chaos.take_coordinator_crash("after_prepare")
+        assert not chaos.take_coordinator_crash("after_prepare")
+
+    def test_other_phases_untouched(self):
+        chaos = injector(
+            FaultSpec(FaultKind.COORD_CRASH, "after_prepare", 0.0, 0.0)
+        )
+        assert not chaos.take_coordinator_crash("mid_commit")
+        assert chaos.take_coordinator_crash("after_prepare")
+
+    def test_two_specs_fire_independently(self):
+        chaos = injector(
+            FaultSpec(FaultKind.COORD_CRASH, "after_prepare", 0.0, 0.0),
+            FaultSpec(FaultKind.COORD_CRASH, "mid_commit", 0.0, 0.0),
+        )
+        assert chaos.take_coordinator_crash("after_prepare")
+        assert chaos.take_coordinator_crash("mid_commit")
+        assert not chaos.take_coordinator_crash("after_prepare")
+        assert not chaos.take_coordinator_crash("mid_commit")
+
+    def test_recovery_after_chaos_crash_does_not_retrip(self):
+        """End to end: the chaos-armed coordinator crash fires once; the
+        recovery and the traffic after it run clean."""
+        fleet = kv_fleet(
+            2,
+            chaos=injector(
+                FaultSpec(FaultKind.COORD_CRASH, "after_prepare", 0.0, 0.0)
+            ),
+        )
+        by_shard = load_keys(fleet)
+
+        def cross_write(value):
+            gtxn = fleet.begin()
+            for keys in by_shard:
+                fleet.execute(
+                    "UPDATE kv SET V = ? WHERE K = ?", [value, keys[0]], gtxn=gtxn
+                )
+            gtxn.commit()
+
+        with pytest.raises(SimulatedCrash):
+            cross_write(1)
+        fleet.crash()
+        fleet.recover()
+        cross_write(2)  # the same phase boundary passes silently now
+
+
+class TestNodeCrashOneShot:
+    @pytest.mark.parametrize(
+        "kind", [FaultKind.PRIMARY_CRASH, FaultKind.REPLICA_CRASH]
+    )
+    def test_fires_once_after_start(self, kind):
+        chaos = injector(FaultSpec(kind, "shard:1", 2.0, 0.0))
+        assert not chaos.take_node_crash(kind, "shard:1", 1.9)
+        assert chaos.take_node_crash(kind, "shard:1", 2.0)
+        # never again, no matter how often the detector polls
+        for now in (2.0, 2.5, 100.0):
+            assert not chaos.take_node_crash(kind, "shard:1", now)
+
+    def test_target_must_match(self):
+        chaos = injector(FaultSpec(FaultKind.PRIMARY_CRASH, "shard:1", 0.0, 0.0))
+        assert not chaos.take_node_crash(FaultKind.PRIMARY_CRASH, "shard:0", 5.0)
+        assert chaos.take_node_crash(FaultKind.PRIMARY_CRASH, "shard:1", 5.0)
+
+    def test_non_ha_kind_rejected(self):
+        chaos = injector()
+        with pytest.raises(ValueError, match="not an HA fault kind"):
+            chaos.take_node_crash(FaultKind.CRASH, "shard:0", 0.0)
+
+
+class TestArmedCoordinatorDisarms:
+    def test_arm_crash_is_one_shot(self):
+        fleet = kv_fleet(2)
+        by_shard = load_keys(fleet)
+        fleet.coordinator.arm_crash("after_prepare")
+        assert fleet.coordinator.armed
+        gtxn = fleet.begin()
+        for keys in by_shard:
+            fleet.execute(
+                "UPDATE kv SET V = ? WHERE K = ?", [1, keys[0]], gtxn=gtxn
+            )
+        with pytest.raises(SimulatedCrash):
+            gtxn.commit()
+        assert not fleet.coordinator.armed
+
+    def test_arm_action_is_one_shot(self):
+        fleet = kv_fleet(2)
+        by_shard = load_keys(fleet)
+        fired = []
+        fleet.coordinator.arm_action("before_prepare", lambda: fired.append(1))
+        assert fleet.coordinator.armed
+
+        def cross_write(value):
+            gtxn = fleet.begin()
+            for keys in by_shard:
+                fleet.execute(
+                    "UPDATE kv SET V = ? WHERE K = ?", [value, keys[0]], gtxn=gtxn
+                )
+            gtxn.commit()
+
+        cross_write(1)
+        assert fired == [1]
+        assert not fleet.coordinator.armed
+        cross_write(2)
+        assert fired == [1]  # ran exactly once

@@ -1,0 +1,72 @@
+"""The R-Score run and its registry wiring."""
+
+from repro.core.config import BenchConfig
+from repro.core.runner import CloudyBench
+from repro.ha.evaluator import HAEvaluator, HAResult
+from repro.ha.history import Violation
+
+
+def quick_eval(**kwargs):
+    kwargs.setdefault("txns", 60)
+    kwargs.setdefault("n_pairs", 4)
+    return HAEvaluator(**kwargs)
+
+
+class TestHAEvaluator:
+    def test_traffic_survives_a_primary_kill(self):
+        result = quick_eval().run()
+        assert result.failovers == 1 and result.restarts == 0
+        assert result.consistent
+        assert result.availability >= 0.95
+        assert result.r_score == result.availability
+
+    def test_unavailability_under_the_bound(self):
+        result = quick_eval().run()
+        (killed, detected, served) = result.outages[0]
+        assert killed <= detected <= served
+        assert result.unavailable_s <= result.bound_s
+
+    def test_violations_zero_the_score(self):
+        result = quick_eval().run()
+        result.violations.append(Violation("fractured_read", "synthetic"))
+        assert result.r_score == 0.0
+
+    def test_deterministic_per_seed(self):
+        first = quick_eval(seed=3).run()
+        second = quick_eval(seed=3).run()
+        assert first.acked == second.acked
+        assert first.outages == second.outages
+        assert first.counts == second.counts
+
+    def test_post_recovery_tps_recovers(self):
+        result = quick_eval().run()
+        assert result.pre_kill_tps > 0
+        assert result.post_recovery_tps >= 0.9 * result.pre_kill_tps
+
+
+class TestRegistryWiring:
+    def test_eval_ha_and_table_ix_fold(self):
+        bench = CloudyBench(BenchConfig.quick())
+        outcome = bench.run("ha")
+        assert isinstance(outcome.payload, HAResult)
+        assert outcome.scores["r"] == outcome.payload.r_score
+        # cached per ack mode
+        assert bench.run("ha").payload is outcome.payload
+        semi = bench.run("ha", ack_mode="semisync")
+        assert semi.payload is not outcome.payload
+        # the R-HA column rides along once the ha run is cached
+        overall = bench.run("overall", duration_s=60.0)
+        assert "R-HA" in overall.headers
+        column = overall.headers.index("R-HA")
+        for row in overall.rows:
+            assert row[column] == round(outcome.payload.r_score, 3)
+
+    def test_config_validation(self):
+        import pytest
+
+        with pytest.raises(ValueError, match="ha_shards"):
+            BenchConfig(ha_shards=1)
+        with pytest.raises(ValueError, match="ha_ack_mode"):
+            BenchConfig(ha_ack_mode="async")
+        with pytest.raises(ValueError, match="heartbeat"):
+            BenchConfig(ha_heartbeat_s=0.5, ha_lease_s=0.5)

@@ -1,0 +1,108 @@
+"""Every checker invariant trips on a synthetic bad history -- and a
+clean history (including unknown ``info`` outcomes) passes."""
+
+from repro.ha.history import History, HistoryChecker
+
+
+def transfer(history, worker, pair, version, outcome="ok"):
+    history.invoke(worker, "transfer", pair, version=version)
+    getattr(history, outcome)(worker, "transfer", pair, version=version)
+
+
+def read(history, worker, pair, observed):
+    history.invoke(worker, "read", pair)
+    history.ok(worker, "read", pair, observed=observed)
+
+
+def kinds(report):
+    return sorted({violation.kind for violation in report.violations})
+
+
+class TestCleanHistories:
+    def test_empty_history_is_consistent(self):
+        report = HistoryChecker().check(History())
+        assert report.consistent
+
+    def test_ok_transfers_and_matching_reads_pass(self):
+        history = History()
+        transfer(history, 0, 0, 1)
+        read(history, 1, 0, (1, 1))
+        transfer(history, 0, 0, 2)
+        read(history, 1, 0, (2, 2))
+        report = HistoryChecker().check(history, {0: (2, 2)})
+        assert report.consistent
+        assert report.reads_checked == 2
+
+    def test_info_outcome_may_surface_or_not(self):
+        # an unknown-outcome transfer is allowed to appear in reads and
+        # in the final state -- or to never have happened at all
+        for final in ((2, 2), (1, 1)):
+            history = History()
+            transfer(history, 0, 0, 1)
+            transfer(history, 0, 0, 2, outcome="info")
+            report = HistoryChecker().check(history, {0: final})
+            assert report.consistent, (final, report.violations)
+
+    def test_failed_transfer_version_burned(self):
+        history = History()
+        transfer(history, 0, 0, 1)
+        transfer(history, 0, 0, 2, outcome="fail")
+        transfer(history, 0, 0, 3)
+        report = HistoryChecker().check(history, {0: (3, 3)})
+        assert report.consistent
+
+
+class TestViolations:
+    def test_fractured_read(self):
+        history = History()
+        transfer(history, 0, 0, 1)
+        read(history, 1, 0, (1, 0))
+        assert kinds(HistoryChecker().check(history)) == ["fractured_read"]
+
+    def test_phantom_version(self):
+        history = History()
+        read(history, 1, 0, (9, 9))
+        assert kinds(HistoryChecker().check(history)) == ["phantom_version"]
+
+    def test_aborted_read(self):
+        history = History()
+        transfer(history, 0, 0, 1, outcome="fail")
+        read(history, 1, 0, (1, 1))
+        assert kinds(HistoryChecker().check(history)) == ["aborted_read"]
+
+    def test_non_monotonic_read_per_worker(self):
+        history = History()
+        transfer(history, 0, 0, 1)
+        transfer(history, 0, 0, 2)
+        read(history, 1, 0, (2, 2))
+        read(history, 1, 0, (1, 1))  # worker 1 went backwards
+        assert "non_monotonic_read" in kinds(HistoryChecker().check(history))
+
+    def test_different_workers_may_observe_out_of_order(self):
+        history = History()
+        transfer(history, 0, 0, 1)
+        transfer(history, 0, 0, 2)
+        read(history, 1, 0, (2, 2))
+        read(history, 2, 0, (1, 1))  # a *different* worker: no session order
+        assert HistoryChecker().check(history).consistent
+
+    def test_lost_update(self):
+        history = History()
+        transfer(history, 0, 0, 1)
+        transfer(history, 0, 0, 2)
+        report = HistoryChecker().check(history, {0: (1, 1)})
+        assert kinds(report) == ["lost_update"]
+
+    def test_fractured_state(self):
+        history = History()
+        transfer(history, 0, 0, 1)
+        report = HistoryChecker().check(history, {0: (1, 0)})
+        assert kinds(report) == ["fractured_state"]
+
+    def test_violations_carry_op_index(self):
+        history = History()
+        transfer(history, 0, 0, 1)
+        read(history, 1, 0, (1, 0))
+        violation = HistoryChecker().check(history).violations[0]
+        assert violation.op_index == history.ops[-1].index
+        assert "fractured_read" in str(violation)

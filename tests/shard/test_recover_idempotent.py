@@ -1,0 +1,71 @@
+"""``fleet.recover()`` converges no matter how often or when it runs."""
+
+import pytest
+
+from repro.engine.errors import ShardUnavailableError, SimulatedCrash
+
+from tests.shard.test_2pc import load_keys, value_of
+from tests.shard.test_router import kv_fleet
+
+
+def crash_mid_protocol(fleet, by_shard, phase="mid_decision"):
+    fleet.coordinator.arm_crash(phase)
+    gtxn = fleet.begin()
+    for keys in by_shard:
+        fleet.execute("UPDATE kv SET V = ? WHERE K = ?", [99, keys[0]], gtxn=gtxn)
+    with pytest.raises(SimulatedCrash):
+        gtxn.commit()
+
+
+class TestRecoverIdempotence:
+    def test_recover_twice_converges(self):
+        fleet = kv_fleet(2)
+        by_shard = load_keys(fleet)
+        crash_mid_protocol(fleet, by_shard)
+        fleet.crash()
+        first = fleet.recover()
+        values_first = [value_of(fleet, keys[0]) for keys in by_shard]
+        second = fleet.recover()
+        values_second = [value_of(fleet, keys[0]) for keys in by_shard]
+        assert values_first == values_second == [99, 99]
+        assert first.decided_gtids == second.decided_gtids
+        # branches resolved by the first pass are winners to the second
+        assert second.resolved_commit == 0
+
+    def test_recover_healthy_fleet_is_harmless(self):
+        fleet = kv_fleet(2)
+        by_shard = load_keys(fleet)
+        with fleet.begin() as gtxn:
+            for keys in by_shard:
+                fleet.execute(
+                    "UPDATE kv SET V = ? WHERE K = ?", [7, keys[0]], gtxn=gtxn
+                )
+        fleet.recover()
+        assert [value_of(fleet, keys[0]) for keys in by_shard] == [7, 7]
+
+    def test_recover_disarms_pending_wal_crash_point(self):
+        """A fault armed but unfired must not detonate inside recovery
+        -- and must stay disarmed for the traffic that follows."""
+        fleet = kv_fleet(2)
+        by_shard = load_keys(fleet)
+        fleet.shards[0].wal.arm_crash(
+            fleet.shards[0].wal.last_lsn + 3, mode="before"
+        )
+        fleet.crash()
+        fleet.recover()
+        fleet.execute("UPDATE kv SET V = ? WHERE K = ?", [5, by_shard[0][0]])
+        assert value_of(fleet, by_shard[0][0]) == 5
+
+    def test_recover_after_participant_death_and_retry(self):
+        """The full outage loop: participant dies mid-statement, the
+        client sees a retryable error, recovery revives the shard, the
+        retried statement lands -- and a second recover changes nothing."""
+        fleet = kv_fleet(2)
+        by_shard = load_keys(fleet)
+        fleet.shards[0].wal.kill()
+        with pytest.raises(ShardUnavailableError):
+            fleet.execute("UPDATE kv SET V = ? WHERE K = ?", [3, by_shard[0][0]])
+        fleet.recover()
+        fleet.execute("UPDATE kv SET V = ? WHERE K = ?", [3, by_shard[0][0]])
+        fleet.recover()
+        assert value_of(fleet, by_shard[0][0]) == 3

@@ -1,0 +1,80 @@
+"""Statements against a dead shard surface as retryable
+``ShardUnavailableError``, never as the engine's ``SimulatedCrash``."""
+
+import pytest
+
+from repro.engine.errors import (
+    NodeUnavailableError,
+    ShardUnavailableError,
+    SimulatedCrash,
+)
+
+from tests.shard.test_2pc import load_keys
+from tests.shard.test_router import kv_fleet
+
+
+def dead_fleet(n_shards=3, victim=1):
+    fleet = kv_fleet(n_shards)
+    by_shard = load_keys(fleet)
+    fleet.shards[victim].wal.kill()
+    return fleet, by_shard
+
+
+class TestSingleShardStatements:
+    def test_routed_write_raises_retryable(self):
+        fleet, by_shard = dead_fleet()
+        with pytest.raises(ShardUnavailableError) as exc:
+            fleet.execute("UPDATE kv SET V = ? WHERE K = ?", [1, by_shard[1][0]])
+        assert exc.value.retryable
+        assert exc.value.shard_id == 1
+        # the engine internal is chained, not leaked
+        assert isinstance(exc.value.__cause__, SimulatedCrash)
+
+    def test_routed_read_raises_retryable(self):
+        fleet, by_shard = dead_fleet()
+        with pytest.raises(ShardUnavailableError):
+            fleet.execute("SELECT V FROM kv WHERE K = ?", [by_shard[1][0]])
+
+    def test_healthy_shards_keep_serving(self):
+        fleet, by_shard = dead_fleet()
+        for shard_id in (0, 2):
+            result = fleet.execute(
+                "SELECT V FROM kv WHERE K = ?", [by_shard[shard_id][0]]
+            )
+            assert result.rows[0][0] == 0
+
+
+class TestFanOut:
+    def test_fanout_read_raises_retryable(self):
+        """The regression: a scatter SELECT touching the dead shard used
+        to leak ``SimulatedCrash`` out of the fan-out loop."""
+        fleet, _by_shard = dead_fleet()
+        with pytest.raises(ShardUnavailableError) as exc:
+            fleet.execute("SELECT V FROM kv WHERE V = ?", [0])
+        assert exc.value.retryable
+
+    def test_fanout_write_raises_retryable(self):
+        fleet, _by_shard = dead_fleet()
+        with pytest.raises(ShardUnavailableError):
+            fleet.execute("UPDATE kv SET V = ? WHERE V = ?", [1, 0])
+
+    def test_classifies_for_the_breaker(self):
+        # ShardUnavailableError must count as a node-health error so the
+        # resilience stack's circuit breakers trip on it
+        fleet, by_shard = dead_fleet()
+        with pytest.raises(NodeUnavailableError):
+            fleet.execute("SELECT V FROM kv WHERE K = ?", [by_shard[1][0]])
+
+
+class TestInsideGlobalTransactions:
+    def test_statement_on_dead_shard_mid_gtxn(self):
+        fleet, by_shard = dead_fleet()
+        gtxn = fleet.begin()
+        fleet.execute(
+            "UPDATE kv SET V = ? WHERE K = ?", [1, by_shard[0][0]], gtxn=gtxn
+        )
+        with pytest.raises(ShardUnavailableError):
+            fleet.execute(
+                "UPDATE kv SET V = ? WHERE K = ?", [1, by_shard[1][0]], gtxn=gtxn
+            )
+        gtxn.rollback()
