@@ -54,6 +54,12 @@ class AScore:
     breaker_reclosed: int = 0
     #: (request start, succeeded?) per request, in completion order
     samples: List[Tuple[float, bool]] = field(default_factory=list)
+    #: client arrival process the run was driven under
+    arrival: str = "closed"
+    #: CO-free sojourn percentiles in virtual ms (open arrivals only):
+    #: measured from each request's *scheduled* start, so a fault window
+    #: that stalls clients shows up in the tail instead of being omitted
+    openloop_latency_ms: dict = field(default_factory=dict)
 
     @property
     def goodput(self) -> float:
@@ -106,11 +112,15 @@ class AvailabilityEvaluator:
         scale_factor: int = 1,
         row_scale: float = 0.001,
         observer: Optional[Observer] = None,
+        arrival: str = "closed",
     ):
+        from repro.perf.openloop import parse_arrival
+
         if not 0.0 < slo < 1.0:
             raise ValueError("slo must be in (0, 1)")
         if n_clients < 1 or n_replicas < 1:
             raise ValueError("need at least one client and one replica")
+        self.arrival = parse_arrival(arrival)
         self.arch = arch
         self.plan = plan
         self.obs = observer or NULL_OBSERVER
@@ -210,6 +220,51 @@ class AvailabilityEvaluator:
             score.samples.append((started, outcome.ok))
             yield env.timeout(self.request_interval_s * (0.5 + rng.random()))
 
+    def _client_open(self, client_id: int, score: AScore, sojourn):
+        """Open-loop client: requests are due at seeded virtual instants.
+
+        The client waits for the next scheduled arrival only when idle;
+        when a call overruns (retrying through a fault window) the
+        following arrivals are already due and issue back to back, with
+        their sojourn measured from the *scheduled* start -- the backlog
+        the closed-loop client would silently omit.
+        """
+        from repro.perf.openloop import arrival_offsets_window
+
+        env = self._env
+        rate = (
+            self.arrival.rate / self.n_clients
+            if self.arrival.rate is not None
+            else 1.0 / (1.5 * self.request_interval_s)
+        )
+        schedule = arrival_offsets_window(
+            self.arrival, rate, self.duration_s,
+            self.rngs.stream(f"chaos.arrival.{client_id}"),
+        )
+        for scheduled in schedule:
+            if env.now < scheduled:
+                yield env.timeout(scheduled - env.now)
+            task = self._workload.next_task()
+            session = self._reads if task == "T3" else self._writes
+            outcome = yield env.process(
+                session.call_in(
+                    env,
+                    lambda endpoint, chosen=task: self._attempt(endpoint, chosen),
+                    timeout_budget_s=self.budget_s,
+                )
+            )
+            score.requests += 1
+            score.retries += max(0, outcome.attempts - 1)
+            if outcome.ok:
+                score.succeeded += 1
+            else:
+                score.failed += 1
+            score.samples.append((scheduled, outcome.ok))
+            latency = env.now - scheduled
+            sojourn.observe(latency)
+            if self.obs.enabled:
+                self.obs.observe("chaos.openloop.latency_s", latency)
+
     # -- the run ----------------------------------------------------------------
 
     def run(self) -> AScore:
@@ -258,10 +313,26 @@ class AvailabilityEvaluator:
             plan_fingerprint=self.plan.fingerprint(),
             slo=self.slo,
             duration_s=self.duration_s,
+            arrival=self.arrival.describe(),
         )
-        for client_id in range(self.n_clients):
-            self._env.process(self._client(client_id, score))
+        sojourn = None
+        if self.arrival.is_open:
+            from repro.obs.metrics import Histogram
+
+            sojourn = Histogram("chaos.openloop.latency_s")
+            for client_id in range(self.n_clients):
+                self._env.process(self._client_open(client_id, score, sojourn))
+        else:
+            for client_id in range(self.n_clients):
+                self._env.process(self._client(client_id, score))
         self._env.run(until=self.duration_s + self.budget_s)
+        if sojourn is not None and sojourn.count:
+            score.openloop_latency_ms = {
+                "p50": sojourn.percentile(50.0) * 1000.0,
+                "p95": sojourn.percentile(95.0) * 1000.0,
+                "p99": sojourn.percentile(99.0) * 1000.0,
+                "p999": sojourn.percentile(99.9) * 1000.0,
+            }
         score.breaker_opened = (
             self._reads.breaker_opens() + self._writes.breaker_opens()
         )

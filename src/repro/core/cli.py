@@ -74,6 +74,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--metrics-out", default=None, metavar="FILE",
         help="write a Prometheus-style text snapshot of the run's metrics",
     )
+    parser.add_argument(
+        "--bench-out", default=None, metavar="DIR",
+        help="with --eval perf: write BENCH_<workload>.json trajectory "
+             "records to this directory",
+    )
     return parser
 
 
@@ -155,6 +160,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         if outcome.notes:
             print(outcome.notes)
         outcome_table(outcome).print()
+        if args.bench_out:
+            if evaluation != "perf":
+                raise SystemExit("--bench-out only applies to --eval perf")
+            from repro.perf.trajectory import write_bench
+
+            for run in outcome.payload.values():
+                path = write_bench(run.to_record(), args.bench_out)
+                print(f"bench record written to {path}")
 
     if args.trace:
         from repro.obs import write_chrome_trace

@@ -225,13 +225,28 @@ def _chaos(bench: "CloudyBench") -> EvalOutcome:
     )
 
 
+def _parse_arrival_opt(value) -> str:
+    """Validate an arrival spec at option-parse time (clean CLI errors)."""
+    from repro.perf.openloop import parse_arrival
+
+    spec = str(value)
+    parse_arrival(spec)  # raises ValueError on a malformed spec
+    return spec
+
+
 @evaluator(
     "oltp",
     title="Instrumented OLTP run (fault-free)",
     summary="end-to-end run exercising engine, replication and clients",
+    options=(
+        EvalOption("arrival", _parse_arrival_opt, None,
+                   "client arrival process: closed (default) | "
+                   "poisson[:RATE] | burst[:RATE,N]; open arrivals record "
+                   "CO-free sojourn times from scheduled starts"),
+    ),
 )
-def _oltp(bench: "CloudyBench") -> EvalOutcome:
-    data = bench._compute_oltp()
+def _oltp(bench: "CloudyBench", arrival=None) -> EvalOutcome:
+    data = bench._compute_oltp(arrival=arrival)
     metrics = bench.observer.metrics
     commits = metrics.counter("engine.txn.commit").value
     lag_p99 = metrics.histogram("repl.lag_s").percentile(99.0)
@@ -243,12 +258,18 @@ def _oltp(bench: "CloudyBench") -> EvalOutcome:
         )
         for arch, score in data.items()
     ]
+    scores = {f"goodput.{arch}": score.goodput for arch, score in data.items()}
+    for arch, score in data.items():
+        if score.openloop_latency_ms:
+            scores[f"oltp.openloop_p99_ms.{arch}"] = (
+                score.openloop_latency_ms.get("p99", 0.0)
+            )
     return _outcome(
         bench, name="oltp", title="Instrumented OLTP run (fault-free)",
         headers=("arch", "requests", "goodput", "commits",
                  "lag p99 ms", "call p99 ms"),
         rows=rows,
-        scores={f"goodput.{arch}": score.goodput for arch, score in data.items()},
+        scores=scores,
         payload=data,
     )
 
@@ -263,10 +284,15 @@ def _oltp(bench: "CloudyBench") -> EvalOutcome:
             "admission control / deadlines / retry budgets on (default: "
             "the config's qos_enabled knob)",
         ),
+        EvalOption(
+            "arrival", str, None,
+            "arrival process: poisson (default) | burst[:RATE,N]; RATE is "
+            "a multiple of capacity",
+        ),
     ),
 )
-def _overload(bench: "CloudyBench", qos=None) -> EvalOutcome:
-    data = bench._compute_overload(qos=qos)
+def _overload(bench: "CloudyBench", qos=None, arrival=None) -> EvalOutcome:
+    data = bench._compute_overload(qos=qos, arrival=arrival)
     enabled = bench.config.qos_enabled if qos is None else qos
     rows = []
     scores = {}
@@ -303,10 +329,14 @@ def _parse_ack_mode(value) -> str:
     options=(
         EvalOption("ack_mode", _parse_ack_mode, None,
                    "replication ack mode (default: config ha_ack_mode)"),
+        EvalOption("arrival", _parse_arrival_opt, None,
+                   "client arrival process: closed (default) | "
+                   "poisson[:RATE] | burst[:RATE,N]; open arrivals record "
+                   "CO-free sojourn times through the failover"),
     ),
 )
-def _ha(bench: "CloudyBench", ack_mode=None) -> EvalOutcome:
-    result = bench._compute_ha(ack_mode=ack_mode)
+def _ha(bench: "CloudyBench", ack_mode=None, arrival=None) -> EvalOutcome:
+    result = bench._compute_ha(ack_mode=ack_mode, arrival=arrival)
     rows = [(
         result.ack_mode, result.txns, result.acked,
         f"{result.availability:.4f}",
@@ -316,6 +346,11 @@ def _ha(bench: "CloudyBench", ack_mode=None) -> EvalOutcome:
         len(result.violations),
         round(result.r_score, 4),
     )]
+    scores = {"r": result.r_score}
+    if result.openloop_latency_ms:
+        scores["ha.openloop_p99_ms"] = result.openloop_latency_ms.get(
+            "p99", 0.0
+        )
     return _outcome(
         bench, name="ha",
         title="Shard HA (replication + automated failover)",
@@ -323,7 +358,7 @@ def _ha(bench: "CloudyBench", ack_mode=None) -> EvalOutcome:
                  "restarts", "unavail ms", "bound ms", "violations",
                  "R-Score"),
         rows=rows,
-        scores={"r": result.r_score},
+        scores=scores,
         payload=result,
     )
 
@@ -355,10 +390,14 @@ def _parse_driver(value) -> str:
         EvalOption("txns", int, None, "total transactions per point"),
         EvalOption("driver", _parse_driver, None,
                    "'inline' (any cross ratio) or 'mp' (one process per shard)"),
+        EvalOption("arrival", _parse_arrival_opt, None,
+                   "latency recording: closed (default) | poisson[:RATE] | "
+                   "burst[:RATE,N] (inline driver only)"),
     ),
 )
 def _scaleout_real(
     bench: "CloudyBench", shards=None, cross=None, txns=None, driver=None,
+    arrival=None,
 ) -> EvalOutcome:
     from repro.core.metrics import scale_out_tps
 
@@ -370,6 +409,7 @@ def _scaleout_real(
         cross_ratio=None if cross is None else float(cross),
         transactions=None if txns is None else int(txns),
         driver=None if driver is None else _parse_driver(driver),
+        arrival=None if arrival is None else str(arrival),
     )
     # The analytic counterpart: the MVA scale-out curve (E2's substrate)
     # for the first configured architecture under the RW mix.  Measured
@@ -399,12 +439,97 @@ def _scaleout_real(
         ))
         scores[f"scaleout.tps@{n_shards}"] = result.tps_node
         scores[f"scaleout.speedup@{n_shards}"] = speedup
+        if result.openloop_latency_ms:
+            scores[f"scaleout.openloop_p99_ms@{n_shards}"] = (
+                result.openloop_latency_ms.get("p99", 0.0)
+            )
     return _outcome(
         bench, name="scaleout-real",
         title="Real scale-out (sharded fleet, 2PC)",
         headers=("shards", "driver", "cross", "committed", "aborted",
                  "2PC commits", "node TPS", "speedup", "modelled",
                  "fsyncs/txn"),
+        rows=rows, scores=scores, payload=data,
+    )
+
+
+def _parse_workloads(value) -> list:
+    """Parse a comma-separated perf workload list (``"oltp,shard"``)."""
+    from repro.perf.harness import perf_workload_names
+
+    if isinstance(value, (list, tuple)):
+        names = [str(item) for item in value]
+    else:
+        names = [item.strip() for item in str(value).split(",") if item.strip()]
+    known = perf_workload_names()
+    unknown = [name for name in names if name not in known]
+    if unknown:
+        raise ValueError(f"unknown perf workloads {unknown}; one of {known}")
+    return names
+
+
+@evaluator(
+    "perf",
+    title="Perf trajectory (two-stage measured harness)",
+    summary="pilot-calibrated measured runs: wall/CPU/RSS, CO-free tail "
+            "latency, subsystem cost breakdown, BENCH_<eval>.json records",
+    options=(
+        EvalOption("workloads", _parse_workloads, None,
+                   "comma-separated perf workloads (default: all)"),
+        EvalOption("arrival", _parse_arrival_opt, None,
+                   "arrival spec: closed | poisson[:RATE] | burst[:RATE,N]"),
+        EvalOption("txns", int, None,
+                   "fixed measured iteration count (default: config/pilot)"),
+        EvalOption("profile", parse_bool, None,
+                   "run the subsystem-profile pass (default: config)"),
+    ),
+)
+def _perf(
+    bench: "CloudyBench", workloads=None, arrival=None, txns=None,
+    profile=None,
+) -> EvalOutcome:
+    data = bench._compute_perf(
+        workloads=None if workloads is None else _parse_workloads(workloads),
+        arrival=None if arrival is None else str(arrival),
+        txns=None if txns is None else int(txns),
+        profile=None if profile is None else parse_bool(profile),
+    )
+    rows = []
+    scores = {}
+    for name in sorted(data):
+        run = data[name]
+        latency = run.service.latency_summary_ms()
+        sojourn = (
+            run.openloop.latency_summary_ms() if run.openloop is not None
+            else {}
+        )
+        top = ""
+        if run.profile is not None:
+            shares = {
+                k: v for k, v in run.profile.shares().items() if k != "other"
+            }
+            if shares:
+                name_top, share_top = max(shares.items(), key=lambda kv: kv[1])
+                top = f"{name_top} {share_top:.0%}"
+        rows.append((
+            name, run.arrival.describe(), run.txns, run.committed,
+            run.aborted, round(run.tps), round(run.wall_s, 3),
+            round(run.cpu_s, 3),
+            round(latency.get("p50", 0.0), 3),
+            round(latency.get("p99", 0.0), 3),
+            round(sojourn.get("p99", 0.0), 3) if sojourn else "-",
+            top or "-",
+        ))
+        scores[f"perf.tps.{name}"] = run.tps
+        scores[f"perf.p99_ms.{name}"] = latency.get("p99", 0.0)
+        if sojourn:
+            scores[f"perf.openloop_p99_ms.{name}"] = sojourn.get("p99", 0.0)
+    return _outcome(
+        bench, name="perf",
+        title="Perf trajectory (two-stage measured harness)",
+        headers=("workload", "arrival", "txns", "committed", "aborted",
+                 "TPS", "wall s", "CPU s", "p50 ms", "p99 ms",
+                 "open p99 ms", "top subsystem"),
         rows=rows, scores=scores, payload=data,
     )
 

@@ -80,12 +80,15 @@ class CloudyBench:
         self._lag: Optional[Dict[str, Dict[str, LagResult]]] = None
         self._chaos: Optional[Dict[str, AScore]] = None
         self._oltp: Optional[Dict[str, AScore]] = None
-        #: overload sweeps, cached per qos flag (True and False coexist)
-        self._overload: Dict[bool, Dict[str, OverloadResult]] = {}
-        #: HA availability runs, cached per replication ack mode
+        self._oltp_arrival: str = "closed"
+        #: overload sweeps, cached per (qos flag, arrival spec)
+        self._overload: Dict[Tuple, Dict[str, OverloadResult]] = {}
+        #: HA availability runs, cached per "ack_mode/arrival"
         self._ha: Dict[str, "HAResult"] = {}
         #: real scale-out runs, cached per (counts, cross, txns, driver)
         self._scaleout: Dict[Tuple, Dict[int, object]] = {}
+        #: perf trajectory runs, cached per (workloads, arrival, txns)
+        self._perf: Dict[Tuple, Dict[str, object]] = {}
 
     def snapshot(self) -> Dict[str, object]:
         """Point-in-time observability snapshot (metrics + trace stats)."""
@@ -359,7 +362,7 @@ class CloudyBench:
         """Deprecated: use ``run("oltp").payload``."""
         return self.run("oltp").payload
 
-    def _compute_oltp(self) -> Dict[str, AScore]:
+    def _compute_oltp(self, arrival: Optional[str] = None) -> Dict[str, AScore]:
         """A fault-free end-to-end run that exercises every layer.
 
         Reuses the availability machinery with an *empty* fault plan, so
@@ -369,7 +372,8 @@ class CloudyBench:
         the shared observer.  Only the first configured architecture runs:
         the point is one clean timeline, not a cross-SUT comparison.
         """
-        if self._oltp is not None:
+        spec = "closed" if arrival is None else arrival
+        if self._oltp is not None and self._oltp_arrival == spec:
             return self._oltp
         plan = FaultPlan((), seed=self.config.seed, name="healthy")
         arch = self.architectures[0]
@@ -382,8 +386,10 @@ class CloudyBench:
             duration_s=self.config.chaos_duration_s,
             row_scale=self.config.row_scale,
             observer=self.observer,
+            arrival=spec,
         )
         self._oltp = {arch.name: evaluator.run()}
+        self._oltp_arrival = spec
         return self._oltp
 
     # -- replication lag (Section III-F) ----------------------------------------------------------
@@ -422,16 +428,22 @@ class CloudyBench:
 
     # -- overload / graceful degradation (qos) -----------------------------------
 
-    def _compute_overload(self, qos: Optional[bool] = None) -> Dict[str, OverloadResult]:
+    def _compute_overload(
+        self,
+        qos: Optional[bool] = None,
+        arrival: Optional[str] = None,
+    ) -> Dict[str, OverloadResult]:
         """Goodput-vs-offered-load sweep past saturation, per SUT.
 
-        ``qos=None`` follows the config's ``qos_enabled`` knob.  Both
-        flags cache independently so a comparison run (the knee bench)
-        pays for each sweep once.
+        ``qos=None`` follows the config's ``qos_enabled`` knob.  Each
+        (qos, arrival) pair caches independently so a comparison run
+        (the knee bench) pays for each sweep once.
         """
         if qos is None:
             qos = self.config.qos_enabled
-        cached = self._overload.get(qos)
+        spec = "poisson" if arrival is None else arrival
+        key = (qos, spec)
+        cached = self._overload.get(key)
         if cached is not None:
             return cached
         results: Dict[str, OverloadResult] = {}
@@ -444,25 +456,33 @@ class CloudyBench:
                 duration_s=self.config.overload_duration_s,
                 seed=self.config.seed,
                 observer=self.observer,
+                arrival=spec,
             )
             results[arch.name] = evaluator.run(list(self.config.overload_multiples))
-        self._overload[qos] = results
+        self._overload[key] = results
         return results
 
     # -- shard HA / replication (the R-Score) --------------------------------------
 
-    def _compute_ha(self, ack_mode: Optional[str] = None) -> "HAResult":
+    def _compute_ha(
+        self,
+        ack_mode: Optional[str] = None,
+        arrival: Optional[str] = None,
+    ) -> "HAResult":
         """One HA fleet run through a mid-run primary kill, per ack mode.
 
         This is testbed-level, not per-SUT: it exercises the engine's
         own replication/failover stack (:mod:`repro.ha`), so a single
-        run covers every architecture row.  Cached per ack mode.
+        run covers every architecture row.  Cached per (ack mode,
+        arrival process).
         """
         from repro.ha.evaluator import HAEvaluator
         from repro.ha.lease import LeaseConfig
 
         mode = ack_mode or self.config.ha_ack_mode
-        cached = self._ha.get(mode)
+        spec = "closed" if arrival is None else arrival
+        key = f"{mode}/{spec}"
+        cached = self._ha.get(key)
         if cached is not None:
             return cached
         evaluator = HAEvaluator(
@@ -476,9 +496,10 @@ class CloudyBench:
             ),
             seed=self.config.seed,
             observer=self.observer,
+            arrival=spec,
         )
         result = evaluator.run()
-        self._ha[mode] = result
+        self._ha[key] = result
         return result
 
     # -- real scale-out (sharded fleet) -------------------------------------------
@@ -489,6 +510,7 @@ class CloudyBench:
         cross_ratio: Optional[float] = None,
         transactions: Optional[int] = None,
         driver: Optional[str] = None,
+        arrival: Optional[str] = None,
     ) -> Dict[int, object]:
         """Measured fleet throughput per shard count.
 
@@ -509,18 +531,59 @@ class CloudyBench:
             cross = 0.0 if driver == "mp" else self.config.shard_cross_ratio
         else:
             cross = cross_ratio
-        key = (tuple(counts), cross, txns, driver)
+        spec = "closed" if arrival is None else arrival
+        key = (tuple(counts), cross, txns, driver, spec)
         cached = self._scaleout.get(key)
         if cached is not None:
             return cached
         results = run_scaleout(
             counts, txns, cross_ratio=cross, seed=self.config.seed,
             row_scale=self.config.row_scale, driver=driver,
-            observer=self.observer,
+            observer=self.observer, arrival=spec,
         )
         data = {result.n_shards: result for result in results}
         self._scaleout[key] = data
         return data
+
+    # -- perf trajectory (two-stage measured harness) -----------------------------
+
+    def _compute_perf(
+        self,
+        workloads: Optional[List[str]] = None,
+        arrival: Optional[str] = None,
+        txns: Optional[int] = None,
+        profile: Optional[bool] = None,
+    ) -> Dict[str, object]:
+        """Measured perf runs, ``{workload: MeasuredRun}``.
+
+        Testbed-level, like the shard/HA evaluators: it measures the
+        engine's own hot paths (single-shard payment loop, cross-shard
+        2PC) through the two-stage harness, so one run covers every
+        architecture row.  Cached per (workloads, arrival, txns).
+        """
+        from repro.perf.harness import TwoStageHarness, perf_workload_names
+
+        names = list(workloads or perf_workload_names())
+        spec = arrival or self.config.perf_arrival
+        count = self.config.perf_txns if txns is None else txns
+        key = (tuple(names), spec, count)
+        cached = self._perf.get(key)
+        if cached is not None:
+            return cached
+        harness = TwoStageHarness(
+            seed=self.config.seed,
+            row_scale=self.config.row_scale,
+            pilot_txns=self.config.perf_pilot_txns,
+            target_s=self.config.perf_target_s,
+            txns=count,
+            arrival=spec,
+            profile=self.config.perf_profile if profile is None else profile,
+            shard_cross_ratio=self.config.shard_cross_ratio,
+            observer=self.observer,
+        )
+        runs = {name: harness.run(name) for name in names}
+        self._perf[key] = runs
+        return runs
 
     # -- the unified metric (Table IX) -----------------------------------------
 
@@ -586,13 +649,15 @@ class CloudyBench:
             # the D-Score annotates Table IX without forcing every
             # ``overall`` caller to pay for the overload evaluation
             extras = {}
-            overload = self._overload.get(self.config.qos_enabled)
+            overload = self._overload.get((self.config.qos_enabled, "poisson"))
+            if overload is None and self._overload:
+                overload = next(iter(self._overload.values()))
             if overload and name in overload:
                 extras["d"] = overload[name].dscore
             # ...and so does the HA R-Score; it is testbed-level, so the
             # same availability-under-failover number annotates every row.
             # Prefer the configured ack mode, but any computed mode counts.
-            ha = self._ha.get(self.config.ha_ack_mode)
+            ha = self._ha.get(f"{self.config.ha_ack_mode}/closed")
             if ha is None and self._ha:
                 ha = next(iter(self._ha.values()))
             if ha is not None:

@@ -78,10 +78,18 @@ class Database:
                     "conflicts", "snapshot_reads",
                 )
             }
+            # Eager registration: the plan-cache series exist (at zero)
+            # in every export even before the first prepare() call, and
+            # prepare() itself stays off the registry dict.
+            self._c_plan = {
+                event: metrics.counter(f"engine.sql.plan_cache.{event}")
+                for event in ("hit", "miss", "evict")
+            }
         else:
             self._c_txn = None
             self._h_txn_s = None
             self._c_mvcc = None
+            self._c_plan = None
         self.buffer: Optional[BufferPool] = (
             BufferPool(buffer_size_bytes, observer=self.obs)
             if buffer_size_bytes else None
@@ -299,19 +307,19 @@ class Database:
         if prepared is not None:
             self._prepared.move_to_end(sql)
             self.plan_cache_hits += 1
-            if self.obs.enabled:
-                self.obs.count("engine.sql.plan_cache.hit")
+            if self._c_plan is not None:
+                self._c_plan["hit"].inc()
             return prepared
         prepared = Prepared(self, sql)
         self._prepared[sql] = prepared
         self.plan_cache_misses += 1
-        if self.obs.enabled:
-            self.obs.count("engine.sql.plan_cache.miss")
+        if self._c_plan is not None:
+            self._c_plan["miss"].inc()
         if len(self._prepared) > self.plan_cache_size:
             self._prepared.popitem(last=False)
             self.plan_cache_evictions += 1
-            if self.obs.enabled:
-                self.obs.count("engine.sql.plan_cache.evict")
+            if self._c_plan is not None:
+                self._c_plan["evict"].inc()
         return prepared
 
     def execute(

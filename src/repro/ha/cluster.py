@@ -87,6 +87,13 @@ class HAFleet(ShardedDatabase):
         self.ack_mode = ack_mode
         self.clock = clock or VirtualClock()
         self.groups: Dict[int, HAShard] = {}
+        # Every statement routed into an outage window counts one
+        # rejection, so resolve the counter once instead of per call.
+        self._c_rejected = (
+            self.obs.metrics.counter("ha.stmt.rejected")
+            if self.obs.enabled
+            else None
+        )
 
     # -- replication lifecycle ----------------------------------------------
 
@@ -209,6 +216,35 @@ class HAFleet(ShardedDatabase):
         killed_at = group.last_killed_at if group.last_killed_at is not None else now
         group.outages.append((killed_at, now, served_at))
         if self.obs.enabled:
+            # The outage anatomy, laid down on the *virtual* timeline.
+            # The whole failover decision runs inside one poll() call,
+            # so the wall-clock "failover" span above only shows the
+            # promotion compute; these complete-spans reconstruct the
+            # phases a client actually waits through -- kill, lease
+            # expiry (detection), promote/restart decision, modelled
+            # log replay, first served statement.
+            attrs = {"shard": shard_id, "epoch": group.epoch}
+            self.obs.event(
+                "failover.lease_expired", "ha", ts=now, track="ha", attrs=attrs
+            )
+            if killed_at < now:
+                self.obs.complete(
+                    "failover.detect", "ha", killed_at, now,
+                    track="ha", attrs=attrs,
+                )
+            self.obs.event(
+                "failover.promoted" if promoted else "failover.restarted",
+                "ha", ts=now, track="ha",
+                attrs={**attrs, "records_scanned": report.records_scanned},
+            )
+            if replay_s > 0.0:
+                self.obs.complete(
+                    "failover.replay", "ha", now, served_at,
+                    track="ha", attrs={**attrs, "replay_s": replay_s},
+                )
+            self.obs.event(
+                "failover.served", "ha", ts=served_at, track="ha", attrs=attrs
+            )
             self.obs.event(
                 "failover.complete", "ha", track="ha",
                 attrs={
@@ -260,8 +296,8 @@ class HAFleet(ShardedDatabase):
         group = self.groups.get(shard_id)
         if group is not None and group.down_until is not None:
             if self.clock.now < group.down_until:
-                if self.obs.enabled:
-                    self.obs.count("ha.stmt.rejected")
+                if self._c_rejected is not None:
+                    self._c_rejected.inc()
                 raise ShardUnavailableError(
                     f"shard {shard_id} is failing over "
                     f"(epoch {group.epoch}, up at t={group.down_until:.3f}s)",

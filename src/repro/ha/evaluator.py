@@ -36,6 +36,7 @@ from repro.ha.history import HistoryChecker, Violation
 from repro.ha.lease import LeaseConfig, VirtualClock
 from repro.ha.workload import PairWorkload, build_pairs_fleet
 from repro.obs import NULL_OBSERVER, Observer
+from repro.obs.metrics import Histogram
 from repro.sim.rng import RngRegistry, derive_seed
 
 #: modelled service time of one client operation (virtual seconds)
@@ -65,6 +66,12 @@ class HAResult:
     #: per transfer call: (virtual start time, acked) -- the raw series
     #: the failover bench derives pre-kill vs post-recovery TPS from
     transfer_log: List[Tuple[float, bool]] = field(default_factory=list)
+    #: arrival process the run was driven under
+    arrival: str = "closed"
+    #: CO-free sojourn percentiles in virtual ms (open arrivals only):
+    #: latency measured from each transfer's *scheduled* arrival, so the
+    #: failover outage shows up in the tail instead of being omitted
+    openloop_latency_ms: Dict[str, float] = field(default_factory=dict)
 
     @property
     def consistent(self) -> bool:
@@ -141,11 +148,15 @@ class HAEvaluator:
         victim: int = 0,
         seed: int = 42,
         observer: Optional[Observer] = None,
+        arrival: str = "closed",
     ):
+        from repro.perf.openloop import parse_arrival
+
         self.n_shards = n_shards
         self.txns = txns
         self.n_pairs = n_pairs
         self.ack_mode = ack_mode
+        self.arrival = parse_arrival(arrival)
         self.lease = lease or LeaseConfig()
         # By default the kill lands ~40% into the projected run, so there
         # is a solid steady-state window on both sides of the outage.
@@ -203,13 +214,41 @@ class HAEvaluator:
             advance=fleet.advance,
         )
 
+        # Open arrivals: transfers are due at seeded virtual instants.
+        # The client advances the clock to the next arrival when idle,
+        # but when a call overruns (retrying through the outage) the
+        # following arrivals are already due and their sojourn includes
+        # the wait -- this is open-loop in virtual time, not a replay.
+        schedule: Optional[List[float]] = None
+        sojourn: Optional[Histogram] = None
+        if self.arrival.is_open:
+            from repro.perf.openloop import arrival_offsets
+
+            rate = self.arrival.rate or 1.0 / (2.0 * OP_LATENCY_S)
+            schedule = arrival_offsets(
+                self.arrival, rate, self.txns,
+                RngRegistry(
+                    derive_seed(self.seed, "ha.eval.arrival")
+                ).stream(self.arrival.kind),
+            )
+            sojourn = Histogram("ha.openloop.latency_s")
+
         acked = failed = reads_attempted = reads_ok = 0
         transfer_log: List[Tuple[float, bool]] = []
         for i in range(self.txns):
+            if schedule is not None:
+                scheduled = schedule[i]
+                if clock.now < scheduled:
+                    fleet.advance(scheduled - clock.now)
             started_at = clock.now
             outcome = session.call(self._attempt(fleet, workload.transfer))
             call_acked = bool(outcome.ok and outcome.value)
             transfer_log.append((started_at, call_acked))
+            if sojourn is not None:
+                latency = clock.now - schedule[i]
+                sojourn.observe(latency)
+                if self.obs.enabled:
+                    self.obs.observe("ha.openloop.latency_s", latency)
             if call_acked:
                 acked += 1
             else:
@@ -242,6 +281,17 @@ class HAEvaluator:
             kill_at_s=self.kill_at_s,
             counts=workload.history.counts(),
             transfer_log=transfer_log,
+            arrival=self.arrival.describe(),
+            openloop_latency_ms=(
+                {
+                    "p50": sojourn.percentile(50.0) * 1000.0,
+                    "p95": sojourn.percentile(95.0) * 1000.0,
+                    "p99": sojourn.percentile(99.0) * 1000.0,
+                    "p999": sojourn.percentile(99.9) * 1000.0,
+                }
+                if sojourn is not None and sojourn.count
+                else {}
+            ),
         )
         replay_s = max(
             (served - detected for _k, detected, served in result.outages),

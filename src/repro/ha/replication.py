@@ -82,6 +82,13 @@ class WalShipper:
         self.standby = standby
         self.mode = mode
         self.obs = observer or NULL_OBSERVER
+        # Shipping runs once per fsync batch on the primary's commit
+        # path; resolve the hot counter once (disconnects stay cold).
+        self._c_shipped = (
+            self.obs.metrics.counter("ha.ship.records")
+            if self.obs.enabled
+            else None
+        )
         #: False once the standby died or diverged; stays False until a
         #: fresh standby is bootstrapped (the link never self-heals)
         self.connected = True
@@ -147,5 +154,5 @@ class WalShipper:
                 )
             return
         self.shipped += shipped_of_batch
-        if self.obs.enabled:
-            self.obs.count("ha.ship.records", shipped_of_batch)
+        if self._c_shipped is not None:
+            self._c_shipped.inc(shipped_of_batch)

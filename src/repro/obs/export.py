@@ -88,10 +88,25 @@ def spans_to_jsonl(tracer: Tracer, out: TextIO) -> int:
 
 
 def observer_to_jsonl(observer: Observer, out: TextIO) -> int:
-    """Spans plus one trailing ``{"kind": "metrics", ...}`` line."""
+    """Spans plus one trailing ``{"kind": "metrics", ...}`` line.
+
+    The trailing line carries the tracer's own accounting too
+    (``trace.recorded`` / ``trace.dropped``): a consumer must be able
+    to tell a quiet run from one whose ring buffer silently shed the
+    spans it was looking for.
+    """
     written = spans_to_jsonl(observer.tracer, out)
     out.write(json.dumps(
-        {"kind": "metrics", **observer.metrics.snapshot()}, sort_keys=True
+        {
+            "kind": "metrics",
+            "trace": {
+                "recorded": observer.tracer.recorded,
+                "dropped": observer.tracer.dropped,
+                "capacity": observer.tracer.capacity,
+            },
+            **observer.metrics.snapshot(),
+        },
+        sort_keys=True,
     ) + "\n")
     return written + 1
 
@@ -119,9 +134,21 @@ def _prom_value(value: float) -> str:
     return repr(float(value))
 
 
-def metrics_to_prometheus(registry: MetricsRegistry) -> str:
-    """Render the registry in the Prometheus exposition text format."""
+def metrics_to_prometheus(
+    registry: MetricsRegistry, tracer: Tracer | None = None
+) -> str:
+    """Render the registry in the Prometheus exposition text format.
+
+    With ``tracer`` the snapshot also exposes the tracer's own health
+    (``tracer_spans_recorded_total`` / ``tracer_spans_dropped_total``)
+    so a scrape shows when the span ring buffer overflowed.
+    """
     lines: List[str] = []
+    if tracer is not None:
+        lines.append("# TYPE tracer_spans_recorded_total counter")
+        lines.append(f"tracer_spans_recorded_total {_prom_value(tracer.recorded)}")
+        lines.append("# TYPE tracer_spans_dropped_total counter")
+        lines.append(f"tracer_spans_dropped_total {_prom_value(tracer.dropped)}")
     for name, counter in sorted(registry.counters.items()):
         prom = _prom_name(name) + "_total"
         lines.append(f"# TYPE {prom} counter")
@@ -147,10 +174,10 @@ def metrics_to_prometheus(registry: MetricsRegistry) -> str:
 
 def write_prometheus(observer: Observer | MetricsRegistry, path: str) -> str:
     """Write the text snapshot to ``path``; returns the rendered text."""
-    registry = (
-        observer.metrics if isinstance(observer, Observer) else observer
-    )
-    text = metrics_to_prometheus(registry)
+    if isinstance(observer, Observer):
+        text = metrics_to_prometheus(observer.metrics, tracer=observer.tracer)
+    else:
+        text = metrics_to_prometheus(observer)
     with open(path, "w") as handle:
         handle.write(text)
     return text

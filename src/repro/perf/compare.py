@@ -1,0 +1,361 @@
+"""The trajectory comparator and CI regression gate.
+
+``python -m repro.perf.compare`` diffs measured runs against the
+committed baselines in ``benchmarks/baselines/``.  Three kinds of
+check, in decreasing order of strength:
+
+* **Identity** -- schema validity and workload-fingerprint equality.
+  A fingerprint mismatch means the two documents measured different
+  things; the comparator refuses to produce a number rather than
+  produce a wrong one.
+* **Exact** -- the deterministic work counters.  With a fixed
+  iteration count and the named seed streams, ``committed``,
+  ``aborted`` and ``fsyncs`` are machine-independent integers; any
+  drift is a behaviour change (a planner picking a different path, a
+  retry loop firing differently), not noise, and fails outright.
+* **Banded** -- wall-clock metrics (throughput, p50/p99 latency),
+  normalised by the **calibration-spin ratio** of the two hosts
+  before the band applies.  The spin (see
+  :func:`repro.perf.trajectory.calibration_spin`) measures each host's
+  single-thread Python speed; dividing it out turns "this runner is
+  40% slower than the one that wrote the baseline" from a false alarm
+  into a no-op.  Tail percentiles get double the band of medians --
+  tails are honest but noisy.
+
+With no file arguments the gate runs the two-stage harness live
+(``--quick`` pins the iteration count for CI) and compares the fresh
+records; with file arguments it validates and compares those instead.
+``--write`` refreshes the baselines in place.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+from repro.perf.trajectory import (
+    TrajectoryRecord,
+    bench_filename,
+    validate_bench,
+    write_bench,
+)
+
+__all__ = [
+    "CompareReport",
+    "MetricCheck",
+    "compare_docs",
+    "load_bench",
+    "main",
+]
+
+#: default relative band on normalised throughput / median latency
+DEFAULT_BAND = 0.5
+
+#: tail percentiles tolerate double the band
+TAIL_FACTOR = 2.0
+
+#: absolute grace (ms) added to the latency limits -- sub-millisecond
+#: percentiles over a few hundred samples sit inside scheduler-tick
+#: noise, where no relative band is wide enough without being useless
+#: on real regressions (which shift the tail by whole milliseconds)
+LATENCY_SLACK_MS = {"p50": 0.25, "p99": 1.0}
+
+#: minimum profiler coverage a record with a subsystem block must show
+MIN_COVERAGE = 0.9
+
+#: default location of the committed baselines (relative to the repo root)
+DEFAULT_BASELINE_DIR = "benchmarks/baselines"
+
+#: iteration count ``--quick`` pins (must match the committed baselines)
+QUICK_TXNS = 256
+
+
+@dataclass
+class MetricCheck:
+    """One comparator row: a metric, its limit, and the verdict."""
+
+    metric: str
+    kind: str                     # "exact" | "band" | "identity"
+    baseline: Any
+    current: Any
+    normalized: Optional[float] = None
+    limit: Optional[float] = None
+    ok: bool = True
+    note: str = ""
+
+    def format(self) -> str:
+        mark = "ok  " if self.ok else "FAIL"
+        if self.kind == "exact":
+            detail = f"baseline={self.baseline} current={self.current}"
+        elif self.kind == "band":
+            detail = (
+                f"baseline={self.baseline:.4g} current={self.current:.4g} "
+                f"normalized={self.normalized:.4g} limit={self.limit:.4g}"
+            )
+        else:
+            detail = self.note or f"{self.current!r}"
+        return f"  [{mark}] {self.metric:<28} {detail}"
+
+
+@dataclass
+class CompareReport:
+    """Everything :func:`compare_docs` decided, printable and testable."""
+
+    eval_name: str
+    checks: List[MetricCheck] = field(default_factory=list)
+    spin_ratio: float = 1.0
+
+    @property
+    def passed(self) -> bool:
+        return all(check.ok for check in self.checks)
+
+    @property
+    def failures(self) -> List[MetricCheck]:
+        return [check for check in self.checks if not check.ok]
+
+    def format(self) -> str:
+        verdict = "PASS" if self.passed else "FAIL"
+        lines = [
+            f"{self.eval_name}: {verdict} "
+            f"(spin ratio {self.spin_ratio:.3f})"
+        ]
+        lines.extend(check.format() for check in self.checks)
+        return "\n".join(lines)
+
+
+def _identity(report: CompareReport, metric: str, ok: bool, note: str) -> bool:
+    report.checks.append(
+        MetricCheck(metric=metric, kind="identity", baseline=None,
+                    current=None, ok=ok, note=note)
+    )
+    return ok
+
+
+def compare_docs(
+    current: Dict[str, Any],
+    baseline: Dict[str, Any],
+    band: float = DEFAULT_BAND,
+) -> CompareReport:
+    """Compare a fresh BENCH document against a committed baseline."""
+    name = str(current.get("eval", baseline.get("eval", "?")))
+    report = CompareReport(eval_name=name)
+
+    current_problems = validate_bench(current)
+    baseline_problems = validate_bench(baseline)
+    if not _identity(
+        report, "schema", not current_problems and not baseline_problems,
+        "; ".join(current_problems + baseline_problems) or "valid",
+    ):
+        return report
+
+    fp_current = current["workload"]["fingerprint"]
+    fp_baseline = baseline["workload"]["fingerprint"]
+    if not _identity(
+        report, "workload.fingerprint", fp_current == fp_baseline,
+        "match" if fp_current == fp_baseline else (
+            f"incomparable: {fp_current[:12]} != {fp_baseline[:12]} "
+            "(different workload parameters)"
+        ),
+    ):
+        return report
+
+    cur_m, base_m = current["metrics"], baseline["metrics"]
+
+    # Exact: deterministic counters, comparable iff the iteration count
+    # matches (a calibrating run legitimately does different work).
+    if cur_m["txns"] == base_m["txns"]:
+        for key in ("committed", "aborted", "fsyncs"):
+            report.checks.append(MetricCheck(
+                metric=f"metrics.{key}", kind="exact",
+                baseline=base_m[key], current=cur_m[key],
+                ok=cur_m[key] == base_m[key],
+            ))
+    else:
+        _identity(
+            report, "metrics.counters", True,
+            f"skipped exact counters: txns {cur_m['txns']} != "
+            f"{base_m['txns']} (calibrated run)",
+        )
+
+    # Banded: wall-clock metrics, spin-normalised.
+    spin_cur = float(current["env"]["spin_s"])
+    spin_base = float(baseline["env"]["spin_s"])
+    ratio = spin_cur / spin_base if spin_base > 0 else 1.0
+    report.spin_ratio = ratio
+
+    tps_cur, tps_base = float(cur_m["tps"]), float(base_m["tps"])
+    if tps_base > 0:
+        normalized = tps_cur * ratio  # slower host -> credit back its spin
+        limit = tps_base * (1.0 - band)
+        report.checks.append(MetricCheck(
+            metric="metrics.tps", kind="band",
+            baseline=tps_base, current=tps_cur,
+            normalized=normalized, limit=limit,
+            ok=normalized >= limit,
+        ))
+
+    for pct, factor in (("p50", 1.0), ("p99", TAIL_FACTOR)):
+        cur_v = cur_m["latency_ms"].get(pct)
+        base_v = base_m["latency_ms"].get(pct)
+        if not isinstance(cur_v, (int, float)) or not isinstance(
+            base_v, (int, float)
+        ) or base_v <= 0:
+            continue
+        normalized = float(cur_v) / ratio  # slower host -> scale down
+        limit = float(base_v) * (1.0 + band * factor) + LATENCY_SLACK_MS[pct]
+        report.checks.append(MetricCheck(
+            metric=f"metrics.latency_ms.{pct}", kind="band",
+            baseline=float(base_v), current=float(cur_v),
+            normalized=normalized, limit=limit,
+            ok=normalized <= limit,
+        ))
+
+    # Profiler coverage: a breakdown that sums to less than 90% of the
+    # profiled wall time is a broken hook, not a measurement.
+    subsystems = current.get("subsystems")
+    if subsystems:
+        coverage = float(subsystems.get("coverage", 0.0))
+        report.checks.append(MetricCheck(
+            metric="subsystems.coverage", kind="band",
+            baseline=MIN_COVERAGE, current=coverage,
+            normalized=coverage, limit=MIN_COVERAGE,
+            ok=coverage >= MIN_COVERAGE,
+        ))
+
+    return report
+
+
+def load_bench(path: Path | str) -> Dict[str, Any]:
+    with open(path) as handle:
+        return json.load(handle)
+
+
+# ---------------------------------------------------------------------------
+# CLI
+# ---------------------------------------------------------------------------
+
+def _run_harness(args: argparse.Namespace) -> List[TrajectoryRecord]:
+    from repro.core.config import BenchConfig
+    from repro.perf.harness import TwoStageHarness, perf_workload_names
+
+    names = (
+        [w.strip() for w in args.workloads.split(",") if w.strip()]
+        if args.workloads
+        else list(perf_workload_names())
+    )
+    # Workload knobs come from the same config the CLI evaluator uses,
+    # so `--eval perf --quick --bench-out` and `compare --quick` agree
+    # on the workload fingerprint and gate against the same baselines.
+    config = BenchConfig.quick() if args.quick else BenchConfig()
+    harness = TwoStageHarness(
+        seed=args.seed,
+        row_scale=config.row_scale,
+        pilot_txns=config.perf_pilot_txns,
+        target_s=config.perf_target_s,
+        txns=QUICK_TXNS if args.quick else args.txns,
+        arrival=args.arrival,
+        profile=not args.no_profile,
+        shard_cross_ratio=config.shard_cross_ratio,
+    )
+    records = []
+    for name in names:
+        run = harness.run(name)
+        records.append(run.to_record())
+    return records
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.perf.compare",
+        description=(
+            "Validate BENCH_<eval>.json documents and gate them against "
+            "committed baselines."
+        ),
+    )
+    parser.add_argument(
+        "files", nargs="*",
+        help="BENCH files to compare; with none, run the harness live",
+    )
+    parser.add_argument(
+        "--baseline-dir", default=DEFAULT_BASELINE_DIR,
+        help=f"committed baselines directory (default {DEFAULT_BASELINE_DIR})",
+    )
+    parser.add_argument(
+        "--band", type=float, default=DEFAULT_BAND,
+        help="relative band on normalised tps/p50 (tails get 2x)",
+    )
+    parser.add_argument(
+        "--quick", action="store_true",
+        help=f"pin the measured run to {QUICK_TXNS} txns (the CI shape)",
+    )
+    parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument(
+        "--workloads", default=None,
+        help="comma-separated workload names (default: all)",
+    )
+    parser.add_argument(
+        "--txns", type=int, default=None,
+        help="fixed measured iteration count (default: pilot-calibrated)",
+    )
+    parser.add_argument(
+        "--arrival", default="poisson",
+        help="arrival spec: closed | poisson[:RATE] | burst[:RATE,N]",
+    )
+    parser.add_argument(
+        "--no-profile", action="store_true",
+        help="skip the subsystem-profile pass",
+    )
+    parser.add_argument(
+        "--write", action="store_true",
+        help="write/refresh baselines instead of comparing",
+    )
+    parser.add_argument(
+        "--bench-out", default=None, metavar="DIR",
+        help="also write the fresh BENCH files to DIR",
+    )
+    args = parser.parse_args(argv)
+
+    baseline_dir = Path(args.baseline_dir)
+
+    if args.files:
+        docs = []
+        for path in args.files:
+            doc = load_bench(path)
+            problems = validate_bench(doc)
+            if problems:
+                print(f"{path}: INVALID")
+                for problem in problems:
+                    print(f"  - {problem}")
+                return 1
+            print(f"{path}: valid ({doc['eval']})")
+            docs.append(doc)
+    else:
+        records = _run_harness(args)
+        if args.bench_out:
+            for record in records:
+                print(f"wrote {write_bench(record, args.bench_out)}")
+        if args.write:
+            for record in records:
+                print(f"wrote {write_bench(record, baseline_dir)}")
+            return 0
+        docs = [record.to_doc() for record in records]
+
+    exit_code = 0
+    for doc in docs:
+        baseline_path = baseline_dir / bench_filename(doc["eval"])
+        if not baseline_path.exists():
+            print(f"{doc['eval']}: no baseline at {baseline_path} (skipped)")
+            continue
+        report = compare_docs(doc, load_bench(baseline_path), band=args.band)
+        print(report.format())
+        if not report.passed:
+            exit_code = 1
+    return exit_code
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,401 @@
+"""Open-loop, coordinated-omission-free load generation and recording.
+
+A *closed-loop* driver issues the next operation only after the
+previous one returned, so a stall in the server also stalls the load
+generator -- the driver "coordinates" with the system under test and
+omits exactly the samples that would have shown the stall (Tene's
+coordinated omission).  An *open-loop* driver decides arrival times in
+advance, independent of completions, and measures every operation from
+its **scheduled** start.  An operation that sat behind a backlog is
+charged its queueing delay; nothing is omitted.
+
+This module provides both halves:
+
+* **Arrival schedules** -- :func:`arrival_offsets` turns an
+  :class:`ArrivalSpec` (Poisson or burst, per client class) into a
+  sorted list of scheduled start offsets.  Randomness comes from a
+  caller-supplied :class:`random.Random` so the schedule is pinned by
+  the usual :func:`~repro.sim.rng.derive_seed` named streams.
+* **CO-free execution** -- :func:`run_open_loop` replays a schedule
+  against a synchronous ``run_one`` callable, accounting service on a
+  single-server virtual queue: each operation starts at
+  ``max(scheduled, previous completion)`` and its recorded latency is
+  ``completion - scheduled``.  The wall clock only measures *service*
+  durations; waiting is bookkept, not slept, so a measured run costs
+  the same wall time as the closed-loop equivalent while recording
+  honest open-loop sojourn times.
+* :func:`run_closed_loop` -- the traditional recording (latency =
+  service time of the operation just run), kept for the side-by-side
+  comparison in ``benchmarks/bench_tail_openloop.py``.
+
+Latencies land in a mergeable :class:`~repro.obs.metrics.Histogram`
+(and optionally in a shared observer under a caller-chosen metric
+name) so per-class and per-worker results aggregate exactly.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.obs.metrics import Histogram
+from repro.obs.observer import Observer
+
+__all__ = [
+    "ARRIVAL_KINDS",
+    "ArrivalSpec",
+    "OpenLoopResult",
+    "arrival_offsets",
+    "arrival_offsets_window",
+    "merge_schedules",
+    "parse_arrival",
+    "replay_open_loop",
+    "run_closed_loop",
+    "run_open_loop",
+]
+
+#: supported arrival processes ("closed" means: no schedule, classic loop)
+ARRIVAL_KINDS = ("closed", "poisson", "burst")
+
+#: default burst size for ``burst`` arrivals
+DEFAULT_BURST = 8
+
+
+@dataclass(frozen=True)
+class ArrivalSpec:
+    """One client class's arrival process.
+
+    ``rate`` is in operations per second; ``None`` lets the harness
+    substitute its pilot-calibrated target rate.  ``burst`` groups that
+    many arrivals at the same instant (bursty tenants, connection
+    storms); groups are spaced so the long-run rate still holds.
+    """
+
+    kind: str = "poisson"
+    rate: Optional[float] = None
+    burst: int = DEFAULT_BURST
+    name: str = "default"
+
+    def __post_init__(self) -> None:
+        if self.kind not in ARRIVAL_KINDS:
+            raise ValueError(
+                f"unknown arrival kind {self.kind!r}; one of {ARRIVAL_KINDS}"
+            )
+        if self.rate is not None and self.rate <= 0:
+            raise ValueError("arrival rate must be positive")
+        if self.burst < 1:
+            raise ValueError("burst size must be >= 1")
+
+    @property
+    def is_open(self) -> bool:
+        return self.kind != "closed"
+
+    def describe(self) -> str:
+        if self.kind == "closed":
+            return "closed"
+        rate = "auto" if self.rate is None else f"{self.rate:g}"
+        if self.kind == "burst":
+            return f"burst:{rate}x{self.burst}"
+        return f"poisson:{rate}"
+
+
+def parse_arrival(value) -> ArrivalSpec:
+    """Parse an arrival spec from its CLI spelling.
+
+    ``closed`` | ``poisson`` | ``poisson:RATE`` | ``burst`` |
+    ``burst:RATE`` | ``burst:RATE,N``.  ``RATE`` may be ``auto``.
+    Already-built specs pass through (programmatic callers).
+    """
+    if isinstance(value, ArrivalSpec):
+        return value
+    text = str(value).strip().lower()
+    kind, _sep, args = text.partition(":")
+    if kind not in ARRIVAL_KINDS:
+        raise ValueError(
+            f"unknown arrival kind {kind!r}; one of {ARRIVAL_KINDS}"
+        )
+    if kind == "closed":
+        if args:
+            raise ValueError("'closed' takes no arguments")
+        return ArrivalSpec(kind="closed")
+    rate: Optional[float] = None
+    burst = DEFAULT_BURST
+    if args:
+        rate_text, _sep, burst_text = args.partition(",")
+        if rate_text and rate_text != "auto":
+            rate = float(rate_text)
+        if burst_text:
+            if kind != "burst":
+                raise ValueError("only 'burst' arrivals take a burst size")
+            burst = int(burst_text)
+    return ArrivalSpec(kind=kind, rate=rate, burst=burst)
+
+
+def arrival_offsets(
+    spec: ArrivalSpec,
+    rate: float,
+    count: int,
+    rng: random.Random,
+) -> List[float]:
+    """``count`` scheduled start offsets (seconds from t=0), sorted.
+
+    ``rate`` is the effective arrival rate; it overrides nothing --
+    callers pass ``spec.rate or calibrated_rate``.  Poisson draws
+    exponential gaps; burst emits groups of ``spec.burst`` simultaneous
+    arrivals spaced ``burst / rate`` apart (same long-run rate, maximal
+    short-term pressure).
+    """
+    if spec.kind == "closed":
+        raise ValueError("closed-loop runs have no arrival schedule")
+    if rate <= 0:
+        raise ValueError("arrival rate must be positive")
+    if count < 1:
+        raise ValueError("need at least one arrival")
+    offsets: List[float] = []
+    t = 0.0
+    if spec.kind == "poisson":
+        for _ in range(count):
+            t += rng.expovariate(rate)
+            offsets.append(t)
+    else:  # burst
+        gap = spec.burst / rate
+        while len(offsets) < count:
+            take = min(spec.burst, count - len(offsets))
+            offsets.extend([t] * take)
+            t += gap
+    return offsets
+
+
+def arrival_offsets_window(
+    spec: ArrivalSpec,
+    rate: float,
+    duration_s: float,
+    rng: random.Random,
+) -> List[float]:
+    """Scheduled start offsets inside ``[0, duration_s)``, sorted.
+
+    The duration-bounded sibling of :func:`arrival_offsets` for
+    fixed-window simulations (the overload sweep): the number of
+    arrivals is whatever the process produces in the window.
+    """
+    if spec.kind == "closed":
+        raise ValueError("closed-loop runs have no arrival schedule")
+    if rate <= 0:
+        raise ValueError("arrival rate must be positive")
+    if duration_s <= 0:
+        raise ValueError("duration must be positive")
+    offsets: List[float] = []
+    if spec.kind == "poisson":
+        t = rng.expovariate(rate)
+        while t < duration_s:
+            offsets.append(t)
+            t += rng.expovariate(rate)
+    else:  # burst
+        gap = spec.burst / rate
+        t = gap
+        while t < duration_s:
+            offsets.extend([t] * spec.burst)
+            t += gap
+    return offsets
+
+
+def merge_schedules(
+    schedules: Dict[str, Sequence[float]],
+) -> List[Tuple[float, str]]:
+    """Interleave per-class schedules into one ``(offset, class)`` list.
+
+    Stable on ties (sorted by offset, then class name) so multi-class
+    runs stay deterministic.
+    """
+    merged = [
+        (offset, name)
+        for name, offsets in schedules.items()
+        for offset in offsets
+    ]
+    merged.sort()
+    return merged
+
+
+@dataclass
+class OpenLoopResult:
+    """Latency record of one (open- or closed-loop) drive."""
+
+    mode: str                       # "open" | "closed"
+    operations: int = 0
+    errors: int = 0
+    wall_s: float = 0.0             # wall time actually spent in run_one
+    #: virtual completion time of the last operation (open loop only);
+    #: >= wall_s by exactly the scheduled idle time
+    makespan_s: float = 0.0
+    histogram: Histogram = field(
+        default_factory=lambda: Histogram("openloop.latency_s")
+    )
+    #: per-operation service durations (== ``histogram`` for closed mode)
+    service_histogram: Histogram = field(
+        default_factory=lambda: Histogram("openloop.service_s")
+    )
+    #: per-class histograms when the schedule carries classes
+    by_class: Dict[str, Histogram] = field(default_factory=dict)
+
+    def percentile_ms(self, pct: float) -> float:
+        return self.histogram.percentile(pct) * 1000.0
+
+    def latency_summary_ms(self) -> Dict[str, float]:
+        """The p50/p95/p99/p999 block every BENCH file reports."""
+        if not self.histogram.count:
+            return {}
+        return {
+            "p50": self.percentile_ms(50.0),
+            "p95": self.percentile_ms(95.0),
+            "p99": self.percentile_ms(99.0),
+            "p999": self.percentile_ms(99.9),
+        }
+
+    def service_view(self) -> "OpenLoopResult":
+        """This run's *service-time* record (closed-loop style latencies).
+
+        For an open-loop run the primary histogram holds CO-free sojourn
+        times; the service view exposes the raw per-operation durations
+        under the same interface, so a BENCH file can report both.
+        """
+        if self.mode == "closed":
+            return self
+        return OpenLoopResult(
+            mode="closed",
+            operations=self.operations,
+            errors=self.errors,
+            wall_s=self.wall_s,
+            makespan_s=self.wall_s,
+            histogram=self.service_histogram,
+            service_histogram=self.service_histogram,
+        )
+
+
+def _class_histogram(result: OpenLoopResult, name: str) -> Histogram:
+    histogram = result.by_class.get(name)
+    if histogram is None:
+        histogram = result.by_class[name] = Histogram(
+            f"openloop.latency_s.{name}"
+        )
+    return histogram
+
+
+def run_open_loop(
+    run_one: Callable[[], object],
+    schedule: Sequence[float] | Sequence[Tuple[float, str]],
+    observer: Optional[Observer] = None,
+    metric: str = "perf.openloop.latency_s",
+    clock: Callable[[], float] = time.perf_counter,
+) -> OpenLoopResult:
+    """Drive ``run_one`` once per scheduled arrival, recording CO-free.
+
+    Service is accounted on a single-server virtual queue: operation
+    *i* begins service at ``max(scheduled_i, completion_{i-1})`` and
+    its latency is ``completion_i - scheduled_i`` -- queueing delay
+    plus service time, exactly what a client that sent the request at
+    its scheduled instant would observe.  ``run_one`` returning
+    ``False`` (the workloads' retryable-abort convention) counts as an
+    error but still consumes service time.
+
+    ``schedule`` entries are either plain offsets or ``(offset,
+    class_name)`` pairs (see :func:`merge_schedules`); classes get
+    per-class histograms on top of the merged one.
+    """
+    result = OpenLoopResult(mode="open")
+    free_at = 0.0
+    wall = 0.0
+    for entry in schedule:
+        if isinstance(entry, tuple):
+            scheduled, cls = entry
+        else:
+            scheduled, cls = entry, None
+        begin = clock()
+        ok = run_one()
+        service_s = clock() - begin
+        wall += service_s
+        start = scheduled if scheduled > free_at else free_at
+        free_at = start + service_s
+        latency = free_at - scheduled
+        result.histogram.observe(latency)
+        result.service_histogram.observe(service_s)
+        if cls is not None:
+            _class_histogram(result, cls).observe(latency)
+        if observer is not None and observer.enabled:
+            observer.observe(metric, latency)
+        result.operations += 1
+        if ok is False:
+            result.errors += 1
+    result.wall_s = wall
+    result.makespan_s = free_at
+    return result
+
+
+def replay_open_loop(
+    service_s: Sequence[float],
+    schedule: Sequence[float],
+    errors: int = 0,
+) -> OpenLoopResult:
+    """Open-loop accounting over already-measured service durations.
+
+    The virtual-queue arithmetic of :func:`run_open_loop` needs only
+    the per-operation service times (in execution order) and the
+    arrival schedule -- not the operations themselves.  Drivers that
+    already ran their loop can therefore record closed-loop and
+    *replay* the same durations against an arrival schedule to get the
+    CO-free view, paying zero extra execution time.
+    """
+    if len(service_s) != len(schedule):
+        raise ValueError(
+            f"{len(service_s)} service durations vs "
+            f"{len(schedule)} scheduled arrivals"
+        )
+    result = OpenLoopResult(mode="open")
+    free_at = 0.0
+    wall = 0.0
+    for scheduled, duration in zip(schedule, service_s):
+        wall += duration
+        start = scheduled if scheduled > free_at else free_at
+        free_at = start + duration
+        result.histogram.observe(free_at - scheduled)
+        result.service_histogram.observe(duration)
+        result.operations += 1
+    result.errors = errors
+    result.wall_s = wall
+    result.makespan_s = free_at
+    return result
+
+
+def run_closed_loop(
+    run_one: Callable[[], object],
+    count: int,
+    observer: Optional[Observer] = None,
+    metric: str = "perf.closedloop.latency_s",
+    clock: Callable[[], float] = time.perf_counter,
+) -> OpenLoopResult:
+    """The traditional recording: latency = the operation's own duration.
+
+    This is the coordinated-omission-*prone* baseline the open-loop
+    runner is compared against; a backlog that delays every subsequent
+    operation leaves no trace here.
+    """
+    if count < 1:
+        raise ValueError("need at least one operation")
+    result = OpenLoopResult(mode="closed")
+    result.service_histogram = result.histogram
+    wall = 0.0
+    for _ in range(count):
+        begin = clock()
+        ok = run_one()
+        service_s = clock() - begin
+        wall += service_s
+        result.histogram.observe(service_s)
+        if observer is not None and observer.enabled:
+            observer.observe(metric, service_s)
+        result.operations += 1
+        if ok is False:
+            result.errors += 1
+    result.wall_s = wall
+    result.makespan_s = wall
+    return result

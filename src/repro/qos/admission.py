@@ -127,9 +127,17 @@ class AdmissionController:
             self._g_depth = metrics.gauge("qos.queue_depth")
             self._g_inflight = metrics.gauge("qos.inflight")
             self._g_limit.set(self.policy.initial_limit)
+            # One depth gauge per priority class: the aggregate depth
+            # hides which class the backlog lives in (whether p0 keeps
+            # its queue empty while p2 absorbs the overload).
+            self._g_prio = [
+                metrics.gauge(f"qos.queue_depth.p{priority}")
+                for priority in range(self.policy.priorities)
+            ]
         else:
             self._c = None
             self._g_limit = self._g_depth = self._g_inflight = None
+            self._g_prio = None
         self.limit = float(self.policy.initial_limit)
         self.inflight = 0
         self._queues: List[Deque[Ticket]] = [
@@ -194,6 +202,7 @@ class AdmissionController:
         if self._c is not None:
             self._c["queued"].value += 1.0
             self._g_depth.set(float(self._depth))
+            self._g_prio[priority].set(float(len(self._queues[priority])))
         return ticket
 
     def next_ready(self, now: float) -> Optional[Ticket]:
@@ -222,12 +231,14 @@ class AdmissionController:
         return None
 
     def _pop(self, now: float) -> Optional[Ticket]:
-        for queue in self._queues:
+        for priority, queue in enumerate(self._queues):
             if queue:
                 self._depth -= 1
+                ticket = queue.popleft()
                 if self._g_depth is not None:
                     self._g_depth.set(float(self._depth))
-                return queue.popleft()
+                    self._g_prio[priority].set(float(len(queue)))
+                return ticket
         return None
 
     # -- completion & the AIMD limit ------------------------------------------

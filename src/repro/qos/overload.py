@@ -177,9 +177,18 @@ class OverloadEvaluator:
         replica_ratio: float = 0.5,
         policy: Optional[AdmissionPolicy] = None,
         observer: Optional[Observer] = None,
+        arrival: str = "poisson",
     ):
+        from repro.perf.openloop import parse_arrival
+
         if capacity_rps <= 0 or duration_s <= 0 or deadline_s <= 0:
             raise ValueError("capacity, duration and deadline must be positive")
+        self.arrival = parse_arrival(arrival)
+        if not self.arrival.is_open:
+            raise ValueError(
+                "the overload sweep is open-loop by definition; "
+                "use a poisson or burst arrival spec"
+            )
         self.arch = arch
         self.qos = qos
         self.capacity_rps = capacity_rps
@@ -277,14 +286,21 @@ class OverloadEvaluator:
             heapq.heappush(events, (at_s, kind, seq, payload))
             seq += 1
 
-        # pre-seed the arrival stream for the whole window
-        t = 0.0
-        rid = 0
+        # pre-seed the arrival stream for the whole window through the
+        # shared open-loop generator (the spec's rate, when set, is a
+        # multiple of capacity like the sweep's own points)
+        from repro.perf.openloop import arrival_offsets_window
+
+        arrival_rate = (
+            self.arrival.rate * self.capacity_rps
+            if self.arrival.rate is not None
+            else rate
+        )
         requests: List[_Request] = []
-        while True:
-            t += rng.expovariate(rate)
-            if t >= self.duration_s:
-                break
+        for rid, t in enumerate(
+            arrival_offsets_window(self.arrival, arrival_rate,
+                                   self.duration_s, rng)
+        ):
             request = _Request(
                 rid=rid,
                 arrival_s=t,
@@ -293,7 +309,6 @@ class OverloadEvaluator:
             )
             requests.append(request)
             push(t, _ARRIVE, request)
-            rid += 1
 
         succeeded = shed = expired = timeouts = retries = 0
         latencies: List[float] = []

@@ -156,6 +156,26 @@ class TxnCoordinator:
     ):
         self.shards = list(shards)
         self.obs = observer or NULL_OBSERVER
+        # Pre-resolved counters: 2PC accounting runs on the commit hot
+        # path, so the registry lookup happens once here instead of a
+        # dict lookup per protocol step (same idiom as qos.admission).
+        if self.obs.enabled:
+            metrics = self.obs.metrics
+            self._c = {
+                event: metrics.counter(f"shard.2pc.{event}")
+                for event in (
+                    "prepare",
+                    "single_shard",
+                    "cross_shard",
+                    "abort",
+                    "idempotent",
+                    "participant_crash",
+                    "dangling",
+                    "dangling_resolved",
+                )
+            }
+        else:
+            self._c = None
         self.chaos = chaos
         self.name = name
         self._gtid_counter = start_gtid
@@ -277,8 +297,8 @@ class TxnCoordinator:
                     txn.commit()
                 gtxn.state = TxnState.COMMITTED
                 self.single_commits += 1
-                if self.obs.enabled:
-                    self.obs.count("shard.2pc.single_shard")
+                if self._c is not None:
+                    self._c["single_shard"].inc()
         if crosses:
             self._two_phase(crosses)
 
@@ -311,48 +331,60 @@ class TxnCoordinator:
                 continue
         gtxn.state = TxnState.COMMITTED
         self.idempotent_commits += 1
-        if self.obs.enabled:
-            self.obs.count("shard.2pc.idempotent")
+        if self._c is not None:
+            self._c["idempotent"].inc()
         return True
 
     def _two_phase(self, gtxns: List[GlobalTransaction]) -> None:
         stage = "prepare"
         try:
-            with self.obs.span("2pc.commit", "shard", track="shard"):
+            with self.obs.span(
+                "2pc.commit", "shard", track="shard",
+                attrs={"txns": len(gtxns)},
+            ):
                 # Phase one: prepare every branch of every transaction.
-                self._crash_point("before_prepare")
-                first = True
-                for gtxn in gtxns:
-                    for shard_id in gtxn.participants:
-                        self.shards[shard_id].prepare_commit(
-                            gtxn.locals[shard_id], gtxn.gtid
-                        )
-                        if self.obs.enabled:
-                            self.obs.count("shard.2pc.prepare")
-                        if first:
-                            first = False
-                            self._crash_point("mid_prepare")
-                self._crash_point("after_prepare")
+                with self.obs.span("2pc.prepare", "shard", track="shard"):
+                    self._crash_point("before_prepare")
+                    first = True
+                    for gtxn in gtxns:
+                        for shard_id in gtxn.participants:
+                            self.shards[shard_id].prepare_commit(
+                                gtxn.locals[shard_id], gtxn.gtid
+                            )
+                            if self._c is not None:
+                                self._c["prepare"].inc()
+                            if first:
+                                first = False
+                                self._crash_point("mid_prepare")
+                    self._crash_point("after_prepare")
                 stage = "decision"
 
                 # Decision: log COMMIT per participant, batched per shard
                 # so N decisions on one shard cost one fsync.
-                by_shard: Dict[int, List[GlobalTransaction]] = {}
-                for gtxn in gtxns:
-                    for shard_id in gtxn.participants:
-                        by_shard.setdefault(shard_id, []).append(gtxn)
-                first = True
-                for shard_id in sorted(by_shard):
-                    shard = self.shards[shard_id]
-                    with shard.wal.group_commit():
-                        for gtxn in by_shard[shard_id]:
-                            shard.log_decision(
-                                gtxn.locals[shard_id].txn_id, gtxn.gtid
-                            )
-                    if first:
-                        first = False
-                        self._crash_point("mid_decision")
-                self._crash_point("after_decision")
+                with self.obs.span("2pc.decision", "shard", track="shard"):
+                    by_shard: Dict[int, List[GlobalTransaction]] = {}
+                    for gtxn in gtxns:
+                        for shard_id in gtxn.participants:
+                            by_shard.setdefault(shard_id, []).append(gtxn)
+                    first = True
+                    for shard_id in sorted(by_shard):
+                        shard = self.shards[shard_id]
+                        with self.obs.span(
+                            "2pc.group_commit", "shard", track="shard",
+                            attrs={
+                                "shard": shard_id,
+                                "batch": len(by_shard[shard_id]),
+                            },
+                        ):
+                            with shard.wal.group_commit():
+                                for gtxn in by_shard[shard_id]:
+                                    shard.log_decision(
+                                        gtxn.locals[shard_id].txn_id, gtxn.gtid
+                                    )
+                        if first:
+                            first = False
+                            self._crash_point("mid_decision")
+                    self._crash_point("after_decision")
                 stage = "commit"
 
                 # Phase two: the outcome is durable; finish the branches.
@@ -365,8 +397,8 @@ class TxnCoordinator:
                             self._crash_point("mid_commit")
                     gtxn.state = TxnState.COMMITTED
                     self.cross_commits += 1
-                    if self.obs.enabled:
-                        self.obs.count("shard.2pc.cross_shard")
+                    if self._c is not None:
+                        self._c["cross_shard"].inc()
                 self._crash_point("after_commit")
         except CoordinatorCrash:
             # The coordinator itself died mid-protocol.  No cleanup:
@@ -405,8 +437,8 @@ class TxnCoordinator:
           recorded as *dangling* until failover restores access to the
           failed shard's log (:meth:`finish_dangling`).
         """
-        if self.obs.enabled:
-            self.obs.count("shard.2pc.participant_crash")
+        if self._c is not None:
+            self._c["participant_crash"].inc()
         if stage == "prepare":
             self._abort_all(gtxns)
             raise ShardUnavailableError(
@@ -427,14 +459,14 @@ class TxnCoordinator:
                         continue  # that shard is dead too; its log decides
                 gtxn.state = TxnState.COMMITTED
                 self.cross_commits += 1
-                if self.obs.enabled:
-                    self.obs.count("shard.2pc.cross_shard")
+                if self._c is not None:
+                    self._c["cross_shard"].inc()
             else:
                 self.dangling.append(gtxn)
                 blocked = True
         if blocked:
-            if self.obs.enabled:
-                self.obs.count("shard.2pc.dangling")
+            if self._c is not None:
+                self._c["dangling"].inc()
             raise crash
 
     def finish_dangling(self) -> Dict[str, int]:
@@ -472,8 +504,8 @@ class TxnCoordinator:
                 self.aborts += 1
                 done["aborted"] += 1
         self.dangling = []
-        if self.obs.enabled:
-            self.obs.count("shard.2pc.dangling_resolved", sum(done.values()))
+        if self._c is not None:
+            self._c["dangling_resolved"].inc(sum(done.values()))
         return done
 
     def rollback(self, gtxn: GlobalTransaction) -> None:
@@ -492,5 +524,5 @@ class TxnCoordinator:
                     continue
             gtxn.state = TxnState.ABORTED
             self.aborts += 1
-            if self.obs.enabled:
-                self.obs.count("shard.2pc.abort")
+            if self._c is not None:
+                self._c["abort"].inc()

@@ -52,6 +52,12 @@ class ShardRunResult:
     fsyncs: int
     loaded_rows: int
     per_shard: List[Dict] = field(default_factory=list)
+    #: arrival process the latency block was recorded under
+    arrival: str = "closed"
+    #: per-txn service-time percentiles (ms), when latency recording is on
+    latency_ms: Dict[str, float] = field(default_factory=dict)
+    #: CO-free sojourn-time percentiles (ms), open arrivals only
+    openloop_latency_ms: Dict[str, float] = field(default_factory=dict)
 
     @property
     def tps_wall(self) -> float:
@@ -71,22 +77,59 @@ def run_inline(
     row_scale: float = 0.002,
     observer=None,
     chaos=None,
+    arrival: str = "closed",
 ) -> ShardRunResult:
-    """Drive one in-process fleet through ``transactions`` payments."""
+    """Drive one in-process fleet through ``transactions`` payments.
+
+    ``arrival`` selects the latency recording (see
+    :func:`repro.perf.openloop.parse_arrival`): ``closed`` keeps the
+    seed behaviour (no per-txn timing at all -- zero overhead on the
+    hot loop); an open spec records per-txn service times and replays
+    them against a seeded arrival schedule for the
+    coordinated-omission-free sojourn percentiles.  An ``auto`` rate
+    pins the offered load at the observed service rate (the knee).
+    """
+    from repro.perf.openloop import parse_arrival
+
     if transactions < 1:
         raise ValueError("transactions must be >= 1")
+    spec = parse_arrival(arrival)
     fleet, _data = load_sales_fleet(
         n_shards, scale_factor=scale_factor, row_scale=row_scale,
         seed=seed, observer=observer, chaos=chaos,
     )
     workload = ShardSalesWorkload(fleet, cross_ratio=cross_ratio, seed=seed)
     fsyncs_before = fleet.fsyncs
+    service_s: List[float] = []
     wall_start = time.perf_counter()
     cpu_start = time.process_time()
-    for _ in range(transactions):
-        workload.run_one()
+    if spec.is_open:
+        for _ in range(transactions):
+            begin = time.perf_counter()
+            workload.run_one()
+            service_s.append(time.perf_counter() - begin)
+    else:
+        for _ in range(transactions):
+            workload.run_one()
     cpu_s = time.process_time() - cpu_start
     wall_s = time.perf_counter() - wall_start
+    latency_ms: Dict[str, float] = {}
+    openloop_ms: Dict[str, float] = {}
+    if spec.is_open:
+        from repro.perf.openloop import arrival_offsets, replay_open_loop
+        from repro.sim.rng import RngRegistry
+
+        rate = spec.rate or (transactions / wall_s if wall_s > 0 else 1.0)
+        schedule = arrival_offsets(
+            spec, rate, transactions,
+            RngRegistry(seed).stream("shard.arrival"),
+        )
+        replay = replay_open_loop(service_s, schedule)
+        openloop_ms = replay.latency_summary_ms()
+        latency_ms = replay.service_view().latency_summary_ms()
+        if observer is not None and observer.enabled:
+            for duration in service_s:
+                observer.observe("shard.txn.service_s", duration)
     return ShardRunResult(
         n_shards=n_shards,
         driver="inline",
@@ -99,6 +142,9 @@ def run_inline(
         node_s=cpu_s,
         fsyncs=fleet.fsyncs - fsyncs_before,
         loaded_rows=fleet.total_rows(),
+        arrival=spec.describe(),
+        latency_ms=latency_ms,
+        openloop_latency_ms=openloop_ms,
     )
 
 
@@ -245,6 +291,7 @@ def run_scaleout(
     row_scale: float = 0.002,
     driver: str = "inline",
     observer=None,
+    arrival: str = "closed",
 ) -> List[ShardRunResult]:
     """Sweep shard counts with a fixed workload; one result per count."""
     if driver not in ("inline", "mp"):
@@ -260,6 +307,6 @@ def run_scaleout(
             results.append(run_inline(
                 n_shards, transactions, cross_ratio=cross_ratio, seed=seed,
                 scale_factor=scale_factor, row_scale=row_scale,
-                observer=observer,
+                observer=observer, arrival=arrival,
             ))
     return results

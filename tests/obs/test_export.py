@@ -110,4 +110,10 @@ def test_write_prometheus_accepts_registry_or_observer(tmp_path):
     path_b = tmp_path / "b.prom"
     text_a = write_prometheus(obs, str(path_a))
     text_b = write_prometheus(obs.metrics, str(path_b))
-    assert text_a == text_b == path_a.read_text() == path_b.read_text()
+    assert text_a == path_a.read_text()
+    assert text_b == path_b.read_text()
+    # The observer path adds the tracer's own accounting on top of the
+    # identical registry snapshot; a bare registry has no tracer.
+    assert text_a.endswith(text_b)
+    assert "tracer_spans_recorded_total" in text_a
+    assert "tracer_spans_recorded_total" not in text_b

@@ -1,0 +1,197 @@
+"""The regression comparator: identity, exact and banded checks."""
+
+import pytest
+
+from repro.core.config import BenchConfig
+from repro.perf.compare import (
+    DEFAULT_BAND,
+    MIN_COVERAGE,
+    QUICK_TXNS,
+    compare_docs,
+    main,
+)
+from tests.perf.test_trajectory import valid_doc
+
+
+def docs():
+    return valid_doc(), valid_doc()
+
+
+class TestIdentity:
+    def test_identical_docs_pass(self):
+        current, baseline = docs()
+        report = compare_docs(current, baseline)
+        assert report.passed
+        assert report.spin_ratio == pytest.approx(1.0)
+
+    def test_invalid_schema_short_circuits(self):
+        current, baseline = docs()
+        del current["metrics"]["tps"]
+        report = compare_docs(current, baseline)
+        assert not report.passed
+        assert [check.metric for check in report.failures] == ["schema"]
+        assert len(report.checks) == 1  # nothing else was attempted
+
+    def test_fingerprint_mismatch_refuses_to_compare(self):
+        from repro.perf.trajectory import workload_fingerprint
+
+        current, baseline = docs()
+        current["workload"]["params"]["row_scale"] = 0.01
+        current["workload"]["fingerprint"] = workload_fingerprint(
+            current["workload"]["params"]
+        )
+        report = compare_docs(current, baseline)
+        assert not report.passed
+        assert report.failures[0].metric == "workload.fingerprint"
+        assert "incomparable" in report.failures[0].note
+        # no banded checks were produced for incomparable docs
+        assert all(check.kind == "identity" for check in report.checks)
+
+
+class TestExactCounters:
+    def test_counter_drift_fails_outright(self):
+        current, baseline = docs()
+        current["metrics"]["fsyncs"] += 1
+        report = compare_docs(current, baseline)
+        assert not report.passed
+        assert report.failures[0].metric == "metrics.fsyncs"
+
+    def test_different_txns_skips_exact_counters(self):
+        current, baseline = docs()
+        current["metrics"]["txns"] = 512
+        current["metrics"]["committed"] = 512
+        report = compare_docs(current, baseline)
+        metrics = [check.metric for check in report.checks]
+        assert "metrics.committed" not in metrics
+        assert "metrics.counters" in metrics  # the skip is visible
+        assert report.passed
+
+
+class TestBands:
+    def test_regression_beyond_band_fails(self):
+        current, baseline = docs()
+        current["metrics"]["tps"] = baseline["metrics"]["tps"] * (
+            1.0 - DEFAULT_BAND
+        ) * 0.9
+        report = compare_docs(current, baseline)
+        assert not report.passed
+        assert report.failures[0].metric == "metrics.tps"
+
+    def test_spin_normalisation_forgives_a_slow_host(self):
+        # Half the throughput on a host whose spin is twice as slow is
+        # not a regression: normalised tps is unchanged.
+        current, baseline = docs()
+        current["env"]["spin_s"] = baseline["env"]["spin_s"] * 2.0
+        current["metrics"]["tps"] = baseline["metrics"]["tps"] / 2.0
+        current["metrics"]["latency_ms"] = {
+            key: value * 2.0
+            for key, value in baseline["metrics"]["latency_ms"].items()
+        }
+        report = compare_docs(current, baseline)
+        assert report.spin_ratio == pytest.approx(2.0)
+        assert report.passed
+
+    def test_fast_host_does_not_mask_a_regression(self):
+        # Twice-as-fast host, but tps dropped anyway: normalisation
+        # scales the measured tps *up*, so the drop must be real to fail.
+        current, baseline = docs()
+        current["env"]["spin_s"] = baseline["env"]["spin_s"] / 2.0
+        current["metrics"]["tps"] = baseline["metrics"]["tps"] / 8.0
+        report = compare_docs(current, baseline)
+        assert any(
+            check.metric == "metrics.tps" and not check.ok
+            for check in report.checks
+        )
+
+    def test_tail_gets_double_band(self):
+        current, baseline = docs()
+        # p99 40% over baseline: within band * TAIL_FACTOR (1.0), ok
+        current["metrics"]["latency_ms"]["p99"] = (
+            baseline["metrics"]["latency_ms"]["p99"] * 1.4
+        )
+        # keep percentiles monotone
+        current["metrics"]["latency_ms"]["p999"] = (
+            current["metrics"]["latency_ms"]["p99"] * 2
+        )
+        assert compare_docs(current, baseline).passed
+
+    def test_tail_gets_absolute_scheduler_slack(self):
+        from repro.perf.compare import LATENCY_SLACK_MS
+
+        # a sub-ms baseline tail hit by one scheduler tick: far outside
+        # any relative band, but inside the absolute grace
+        current, baseline = docs()
+        current["metrics"]["latency_ms"]["p99"] = (
+            baseline["metrics"]["latency_ms"]["p99"]
+            + LATENCY_SLACK_MS["p99"] * 0.9
+        )
+        current["metrics"]["latency_ms"]["p999"] = (
+            current["metrics"]["latency_ms"]["p99"] * 2
+        )
+        assert compare_docs(current, baseline).passed
+
+    def test_whole_millisecond_tail_regression_still_fails(self):
+        current, baseline = docs()
+        current["metrics"]["latency_ms"]["p99"] = (
+            baseline["metrics"]["latency_ms"]["p99"] + 5.0
+        )
+        current["metrics"]["latency_ms"]["p999"] = (
+            current["metrics"]["latency_ms"]["p99"] * 2
+        )
+        report = compare_docs(current, baseline)
+        assert not report.passed
+        assert report.failures[0].metric == "metrics.latency_ms.p99"
+
+    def test_low_profiler_coverage_fails(self):
+        current, baseline = docs()
+        current["subsystems"]["coverage"] = MIN_COVERAGE - 0.2
+        report = compare_docs(current, baseline)
+        assert not report.passed
+        assert report.failures[0].metric == "subsystems.coverage"
+
+    def test_report_formats_every_check(self):
+        current, baseline = docs()
+        text = compare_docs(current, baseline).format()
+        assert text.splitlines()[0].startswith("oltp: PASS")
+        assert "metrics.tps" in text
+
+
+class TestCliAndConstants:
+    def test_quick_txns_matches_quick_config(self):
+        # the CI gate's --quick and the registry's quick() must pin the
+        # same measured iteration count, or the committed baselines'
+        # exact counters would never be comparable with CLI output
+        assert BenchConfig.quick().perf_txns == QUICK_TXNS
+
+    def test_files_mode_validates(self, tmp_path, capsys):
+        import json
+
+        good = tmp_path / "BENCH_oltp.json"
+        good.write_text(json.dumps(valid_doc()))
+        assert main([str(good), "--baseline-dir", str(tmp_path / "none")]) == 0
+        out = capsys.readouterr().out
+        assert "valid (oltp)" in out
+        assert "no baseline" in out
+
+    def test_files_mode_rejects_invalid(self, tmp_path, capsys):
+        import json
+
+        doc = valid_doc()
+        del doc["env"]
+        bad = tmp_path / "BENCH_oltp.json"
+        bad.write_text(json.dumps(doc))
+        assert main([str(bad)]) == 1
+        assert "INVALID" in capsys.readouterr().out
+
+    def test_files_mode_gates_against_baseline(self, tmp_path, capsys):
+        import json
+
+        baseline_dir = tmp_path / "baselines"
+        baseline_dir.mkdir()
+        (baseline_dir / "BENCH_oltp.json").write_text(json.dumps(valid_doc()))
+        regressed = valid_doc()
+        regressed["metrics"]["fsyncs"] += 7
+        fresh = tmp_path / "BENCH_oltp.json"
+        fresh.write_text(json.dumps(regressed))
+        assert main([str(fresh), "--baseline-dir", str(baseline_dir)]) == 1
+        assert "FAIL" in capsys.readouterr().out

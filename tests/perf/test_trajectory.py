@@ -1,0 +1,155 @@
+"""BENCH document schema: fingerprints, round-trips, validation."""
+
+import json
+
+import pytest
+
+from repro.perf.trajectory import (
+    BENCH_SCHEMA,
+    TrajectoryRecord,
+    bench_filename,
+    env_fingerprint,
+    validate_bench,
+    workload_fingerprint,
+    write_bench,
+)
+
+
+def valid_doc():
+    params = {"workload": "oltp", "row_scale": 0.002, "cross_ratio": 0.0}
+    return {
+        "schema": BENCH_SCHEMA,
+        "eval": "oltp",
+        "workload": {
+            "name": "oltp",
+            "seed": 42,
+            "arrival": "poisson:auto",
+            "params": params,
+            "fingerprint": workload_fingerprint(params),
+        },
+        "env": {
+            "python": "3.12.0",
+            "implementation": "CPython",
+            "platform": "linux",
+            "machine": "x86_64",
+            "cpu_count": 8,
+            "spin_s": 0.02,
+        },
+        "pilot": {"txns": 48, "rate_tps": 5000.0, "target_rate_tps": 5000.0},
+        "metrics": {
+            "txns": 256,
+            "committed": 256,
+            "aborted": 0,
+            "fsyncs": 256,
+            "wall_s": 0.05,
+            "cpu_s": 0.05,
+            "peak_rss_kb": 40000,
+            "tps": 5120.0,
+            "latency_ms": {"p50": 0.1, "p95": 0.2, "p99": 0.3, "p999": 0.4},
+        },
+        "subsystems": {
+            "wall_s": 0.06,
+            "coverage": 0.98,
+            "seconds": {"executor": 0.03, "wal": 0.02},
+            "shares": {"executor": 0.6, "wal": 0.4},
+        },
+    }
+
+
+class TestFingerprint:
+    def test_stable_across_key_order(self):
+        a = workload_fingerprint({"a": 1, "b": [2, 3]})
+        b = workload_fingerprint({"b": [2, 3], "a": 1})
+        assert a == b and len(a) == 64
+
+    def test_sensitive_to_any_parameter(self):
+        base = {"workload": "oltp", "row_scale": 0.002}
+        assert workload_fingerprint(base) != workload_fingerprint(
+            {**base, "row_scale": 0.003}
+        )
+
+    def test_env_fingerprint_shape(self):
+        env = env_fingerprint(spin_s=0.01)
+        for key in ("python", "platform", "cpu_count", "spin_s"):
+            assert key in env
+        assert env["spin_s"] == 0.01
+
+
+class TestValidation:
+    def test_valid_document_has_no_problems(self):
+        assert validate_bench(valid_doc()) == []
+
+    def test_not_an_object(self):
+        assert validate_bench([1, 2]) == ["document is not a JSON object"]
+
+    def test_wrong_schema_tag(self):
+        doc = valid_doc()
+        doc["schema"] = "something/else"
+        assert any("schema" in p for p in validate_bench(doc))
+
+    def test_missing_required_path(self):
+        doc = valid_doc()
+        del doc["metrics"]["fsyncs"]
+        assert "missing metrics.fsyncs" in validate_bench(doc)
+
+    def test_type_mismatch(self):
+        doc = valid_doc()
+        doc["metrics"]["committed"] = "256"
+        assert any("metrics.committed" in p for p in validate_bench(doc))
+
+    def test_bool_does_not_satisfy_int(self):
+        doc = valid_doc()
+        doc["metrics"]["txns"] = True
+        assert any("metrics.txns" in p for p in validate_bench(doc))
+
+    def test_fingerprint_must_match_params(self):
+        doc = valid_doc()
+        doc["workload"]["params"]["row_scale"] = 0.5
+        assert (
+            "workload.fingerprint does not match workload.params"
+            in validate_bench(doc)
+        )
+
+    def test_percentiles_must_be_monotone(self):
+        doc = valid_doc()
+        doc["metrics"]["latency_ms"]["p99"] = 0.05  # below p50
+        assert "latency percentiles are not monotone" in validate_bench(doc)
+
+    def test_coverage_bounds(self):
+        doc = valid_doc()
+        doc["subsystems"]["coverage"] = 1.4
+        assert any("coverage" in p for p in validate_bench(doc))
+
+    def test_negative_subsystem_seconds(self):
+        doc = valid_doc()
+        doc["subsystems"]["seconds"]["wal"] = -0.1
+        assert any("seconds" in p for p in validate_bench(doc))
+
+
+class TestRoundTrip:
+    def test_record_to_doc_to_record(self):
+        record = TrajectoryRecord.from_doc(valid_doc())
+        again = TrajectoryRecord.from_doc(record.to_doc())
+        assert again == record
+        assert record.fingerprint == valid_doc()["workload"]["fingerprint"]
+
+    def test_from_doc_rejects_invalid(self):
+        doc = valid_doc()
+        del doc["pilot"]
+        with pytest.raises(ValueError, match="invalid BENCH document"):
+            TrajectoryRecord.from_doc(doc)
+
+    def test_write_bench_canonical_name_and_layout(self, tmp_path):
+        record = TrajectoryRecord.from_doc(valid_doc())
+        path = write_bench(record, tmp_path)
+        assert path.name == "BENCH_oltp.json"
+        text = path.read_text()
+        assert text.endswith("\n")
+        assert json.loads(text) == record.to_doc()
+        # sorted keys: a diff-stable layout for committed baselines
+        assert text == json.dumps(
+            record.to_doc(), indent=2, sort_keys=True
+        ) + "\n"
+
+    def test_bench_filename_slugs_dashes(self):
+        assert bench_filename("scaleout-real") == "BENCH_scaleout_real.json"

@@ -105,7 +105,7 @@ class TestRegistry:
         spec = get_evaluator("overload")
         assert "goodput" in spec.title
         names = [option.name for option in spec.options]
-        assert names == ["qos"]
+        assert names == ["qos", "arrival"]
 
     def test_run_returns_scored_outcome(self, bench):
         outcome = bench.run("overload")
