@@ -31,7 +31,9 @@ def _testbed(seed: int, architectures=None) -> CloudyBench:
 
 def test_chaos_availability(benchmark):
     bench = _testbed(42)
-    results = benchmark.pedantic(bench.run_chaos, rounds=1, iterations=1)
+    results = benchmark.pedantic(
+        lambda: bench.run("chaos").payload, rounds=1, iterations=1
+    )
     plan = bench.chaos_plan()
 
     print(f"\nfault plan fingerprint: {plan.fingerprint()}")
@@ -62,8 +64,8 @@ def test_chaos_availability(benchmark):
 
     # Determinism: an independent testbed with the same seed yields a
     # byte-identical fault schedule and the identical A-Score.
-    first = _testbed(42, ["cdb1"]).run_chaos()["cdb1"]
-    second = _testbed(42, ["cdb1"]).run_chaos()["cdb1"]
+    first = _testbed(42, ["cdb1"]).run("chaos").payload["cdb1"]
+    second = _testbed(42, ["cdb1"]).run("chaos").payload["cdb1"]
     assert _testbed(42).chaos_plan().fingerprint() == plan.fingerprint()
     assert _testbed(42).chaos_plan().describe() == plan.describe()
     assert first.plan_fingerprint == second.plan_fingerprint

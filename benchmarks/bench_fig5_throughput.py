@@ -16,7 +16,7 @@ from repro.core.report import TextTable
 
 
 def collect_matrix(bench):
-    return bench.run_throughput()
+    return bench.run("throughput").payload
 
 
 def test_fig5_throughput(benchmark, bench_full):

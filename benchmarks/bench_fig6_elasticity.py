@@ -16,7 +16,9 @@ from repro.core.report import TextTable
 
 
 def test_fig6_elasticity(benchmark, bench_full):
-    results = benchmark.pedantic(bench_full.run_elasticity, rounds=1, iterations=1)
+    results = benchmark.pedantic(
+        lambda: bench_full.run("elasticity").payload, rounds=1, iterations=1
+    )
 
     table = TextTable(
         ["system", "pattern", "mode", "avg TPS", "total cost", "E1-Score"],

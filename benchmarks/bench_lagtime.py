@@ -19,7 +19,9 @@ from repro.core.report import TextTable
 
 
 def test_lagtime(benchmark, bench_full):
-    results = benchmark.pedantic(bench_full.run_lagtime, rounds=1, iterations=1)
+    results = benchmark.pedantic(
+        lambda: bench_full.run("lagtime").payload, rounds=1, iterations=1
+    )
 
     table = TextTable(
         ["system", "pattern", "insert (ms)", "update (ms)", "delete (ms)",

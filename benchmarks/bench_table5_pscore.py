@@ -16,7 +16,9 @@ from repro.core.report import TextTable
 
 
 def test_table5_pscore(benchmark, bench_full):
-    rows = benchmark.pedantic(bench_full.run_pscore, rounds=1, iterations=1)
+    rows = benchmark.pedantic(
+        lambda: bench_full.run("pscore").payload, rounds=1, iterations=1
+    )
 
     table = TextTable(
         ["system", "cpu", "mem", "sto", "iops", "net", "total/min",

@@ -19,7 +19,9 @@ from repro.core.report import TextTable
 
 
 def test_table7_multitenancy(benchmark, bench_full):
-    results = benchmark.pedantic(bench_full.run_multitenancy, rounds=1, iterations=1)
+    results = benchmark.pedantic(
+        lambda: bench_full.run("multitenancy").payload, rounds=1, iterations=1
+    )
 
     table = TextTable(
         ["system", "TPS(a)", "TPS(b)", "TPS(c)", "TPS(d)",

@@ -16,7 +16,9 @@ from repro.core.report import TextTable
 
 
 def test_table8_failover(benchmark, bench_full):
-    results = benchmark.pedantic(bench_full.run_failover, rounds=1, iterations=1)
+    results = benchmark.pedantic(
+        lambda: bench_full.run("failover").payload, rounds=1, iterations=1
+    )
 
     table = TextTable(
         ["system", "F(RW)", "F(RO)", "F(avg)", "R(RW)", "R(RO)", "R(avg)", "total (s)"],

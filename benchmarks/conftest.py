@@ -26,7 +26,7 @@ def bench_full():
 @pytest.fixture(scope="session")
 def overall_scores(bench_full):
     """Table IX scores, computed once and shared."""
-    return bench_full.overall()
+    return bench_full.run("overall").payload
 
 
 def arch_display(name: str) -> str:

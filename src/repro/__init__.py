@@ -15,7 +15,7 @@ Quickstart::
 
     from repro import CloudyBench, BenchConfig
     bench = CloudyBench(BenchConfig.quick())
-    for key, tps in bench.run_throughput().items():
+    for key, tps in bench.run("throughput").payload.items():
         print(key, round(tps))
 """
 

@@ -50,6 +50,13 @@ class FaultKind(enum.Enum):
     # recovery run.
     PRIMARY_CRASH = "primary_crash"
     REPLICA_CRASH = "replica_crash"
+    # serving layer: the SQL-over-socket tier misbehaves at the
+    # connection level.  CONN_DROP hangs up on a connection abruptly
+    # (per-statement with probability ``intensity``, possibly
+    # mid-pipeline); CONN_STALL freezes statement processing for
+    # ``intensity``-scaled pauses inside the window.
+    CONN_DROP = "conn_drop"
+    CONN_STALL = "conn_stall"
 
 
 #: kinds applied to the engine's WAL rather than the DES substrate
@@ -62,6 +69,8 @@ HA_KINDS = (FaultKind.PRIMARY_CRASH, FaultKind.REPLICA_CRASH)
 NETWORK_KINDS = (FaultKind.PARTITION, FaultKind.DELAY, FaultKind.LOSS, FaultKind.FLAP)
 #: kinds degrading the target node itself
 NODE_KINDS = (FaultKind.STALL, FaultKind.GRAY)
+#: kinds injected at the SQL-over-socket serving tier
+SERVE_KINDS = (FaultKind.CONN_DROP, FaultKind.CONN_STALL)
 
 
 @dataclass(frozen=True)

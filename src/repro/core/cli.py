@@ -76,8 +76,8 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--bench-out", default=None, metavar="DIR",
-        help="with --eval perf: write BENCH_<workload>.json trajectory "
-             "records to this directory",
+        help="with --eval perf (or serve): write BENCH_<eval>.json "
+             "trajectory records to this directory",
     )
     return parser
 
@@ -161,13 +161,27 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             print(outcome.notes)
         outcome_table(outcome).print()
         if args.bench_out:
-            if evaluation != "perf":
-                raise SystemExit("--bench-out only applies to --eval perf")
-            from repro.perf.trajectory import write_bench
+            if evaluation == "perf":
+                from repro.perf.trajectory import write_bench
 
-            for run in outcome.payload.values():
-                path = write_bench(run.to_record(), args.bench_out)
+                for run in outcome.payload.values():
+                    path = write_bench(run.to_record(), args.bench_out)
+                    print(f"bench record written to {path}")
+            elif evaluation == "serve":
+                # the committed baseline is comparable only at the
+                # pinned shape, so the record comes from the canonical
+                # builder, not from the (arbitrarily-swept) outcome
+                from repro.perf.trajectory import write_bench
+                from repro.serve.bench import bench_record
+
+                path = write_bench(
+                    bench_record(seed=bench.config.seed), args.bench_out
+                )
                 print(f"bench record written to {path}")
+            else:
+                raise SystemExit(
+                    "--bench-out only applies to --eval perf or --eval serve"
+                )
 
     if args.trace:
         from repro.obs import write_chrome_trace

@@ -1,0 +1,361 @@
+"""The transport-agnostic ``Client`` protocol.
+
+Every workload in the testbed issues the same seven verbs --
+``connect`` / ``execute`` / ``query`` / ``begin`` / ``commit`` /
+``rollback`` / ``close`` -- and this module pins them down as a
+:class:`typing.Protocol` so the *same workload code* can run over any
+transport:
+
+* :class:`EngineClient` -- in-process against one
+  :class:`~repro.engine.database.Database` (the seed behaviour);
+* :class:`FleetClient` -- in-process against a
+  :class:`~repro.shard.fleet.ShardedDatabase`, with cross-shard
+  transaction affinity (statements inside ``begin``/``commit`` enlist
+  in one global transaction);
+* :class:`ResilientClient` -- wraps other clients behind a
+  :class:`~repro.core.resilience.ResilientSession`, so autocommit
+  statements retry/fail over exactly as the resilience stack dictates;
+* :class:`repro.serve.client.SocketClient` -- the same verbs over a
+  real TCP socket to a :class:`repro.serve.server.SQLServer`.
+
+The contract that makes transports interchangeable is the *error*
+surface: every implementation raises the engine's exception hierarchy
+(:mod:`repro.engine.errors`), with ``retryable`` and ``retry_after_s``
+intact -- the socket client reconstructs them from wire frames (see
+:mod:`repro.serve.errors`), so ``is_retryable`` / breaker
+classification behave identically in-process and over the wire.
+
+Two optional attributes ride along for workloads that need them:
+``gtid`` (the id of the most recently begun global transaction --
+``None`` for single-node clients) and ``deadline`` (anything with
+``expired() -> bool``, propagated into the engine's cancellation
+points where the transport supports it).
+"""
+
+from __future__ import annotations
+
+from typing import (
+    Any,
+    Dict,
+    Optional,
+    Protocol,
+    Sequence,
+    runtime_checkable,
+)
+
+from repro.engine.database import Database
+from repro.engine.errors import EngineError, SqlError
+from repro.engine.executor import ResultSet
+from repro.engine.txn import IsolationLevel
+from repro.core.resilience import ResilientSession
+
+__all__ = [
+    "Client",
+    "ClientError",
+    "EngineClient",
+    "FleetClient",
+    "ResilientClient",
+    "coerce_isolation",
+]
+
+
+class ClientError(EngineError):
+    """Client-side protocol misuse (begin inside begin, commit outside).
+
+    Not retryable: the caller's state machine is wrong, not the server.
+    """
+
+
+def coerce_isolation(
+    isolation: Optional[object],
+) -> Optional[IsolationLevel]:
+    """Accept an :class:`IsolationLevel`, its name, or ``None``."""
+    if isolation is None or isinstance(isolation, IsolationLevel):
+        return isolation
+    name = str(isolation).strip().upper()
+    try:
+        return IsolationLevel[name]
+    except KeyError:
+        raise ClientError(f"unknown isolation level {isolation!r}") from None
+
+
+@runtime_checkable
+class Client(Protocol):
+    """What every transport must provide (structural; no inheritance)."""
+
+    def connect(self) -> None: ...
+
+    def execute(self, sql: str, params: Sequence[Any] = ()) -> ResultSet: ...
+
+    def query(self, sql: str, params: Sequence[Any] = ()) -> ResultSet: ...
+
+    def begin(self, isolation: Optional[object] = None) -> None: ...
+
+    def commit(self) -> None: ...
+
+    def rollback(self) -> None: ...
+
+    def close(self) -> None: ...
+
+    def abandon(self) -> None: ...
+
+    @property
+    def in_txn(self) -> bool: ...
+
+
+class EngineClient:
+    """In-process :class:`Client` over one engine database."""
+
+    def __init__(self, db: Database):
+        self.db = db
+        self._txn = None
+        #: per-statement deadline, propagated into the engine's
+        #: cancellation points (set by deadline-aware workloads)
+        self.deadline = None
+        #: single-node transport: no global transaction ids
+        self.gtid = None
+
+    def connect(self) -> None:
+        pass
+
+    @property
+    def in_txn(self) -> bool:
+        return self._txn is not None and self._txn.is_active
+
+    def execute(self, sql: str, params: Sequence[Any] = ()) -> ResultSet:
+        if self.in_txn:
+            return self.db.execute(sql, params, txn=self._txn)
+        return self.db.execute(sql, params, deadline=self.deadline)
+
+    def query(self, sql: str, params: Sequence[Any] = ()) -> ResultSet:
+        if self.in_txn:
+            # reads inside the transaction must see its own writes
+            return self.db.execute(sql, params, txn=self._txn)
+        return self.db.query(sql, params, deadline=self.deadline)
+
+    def begin(self, isolation: Optional[object] = None) -> None:
+        if self.in_txn:
+            raise ClientError("begin() inside an open transaction")
+        self._txn = self.db.begin(
+            isolation=coerce_isolation(isolation), deadline=self.deadline
+        )
+
+    def commit(self) -> None:
+        txn = self._require_txn("commit")
+        try:
+            txn.commit()
+        finally:
+            if not txn.is_active:
+                self._txn = None
+
+    def rollback(self) -> None:
+        txn = self._require_txn("rollback")
+        try:
+            txn.rollback()
+        finally:
+            if not txn.is_active:
+                self._txn = None
+
+    def close(self) -> None:
+        if self.in_txn:
+            self.rollback()
+
+    def abandon(self) -> None:
+        """Drop transaction affinity without rolling back.
+
+        For when a :class:`~repro.engine.errors.SimulatedCrash` left
+        the transaction dangling on purpose: the branch state belongs
+        to crash recovery now, but this client must be able to
+        ``begin()`` the next transaction.
+        """
+        self._txn = None
+
+    def _require_txn(self, verb: str):
+        if self._txn is None:
+            raise ClientError(f"{verb}() outside a transaction")
+        return self._txn
+
+
+class FleetClient:
+    """In-process :class:`Client` over a sharded fleet.
+
+    Transaction affinity: between ``begin()`` and ``commit()`` every
+    statement enlists in one :class:`~repro.shard.coordinator.
+    GlobalTransaction`, so multi-statement transactions run cross-shard
+    2PC exactly as the raw ``fleet.begin()`` API does.
+    """
+
+    def __init__(self, fleet):
+        self.fleet = fleet
+        self._gtxn = None
+        self.deadline = None
+        #: id of the most recently begun global transaction (persists
+        #: after commit -- history recorders read it post-ack)
+        self.gtid: Optional[str] = None
+
+    def connect(self) -> None:
+        pass
+
+    @property
+    def in_txn(self) -> bool:
+        return self._gtxn is not None and self._gtxn.is_active
+
+    def execute(self, sql: str, params: Sequence[Any] = ()) -> ResultSet:
+        if self.in_txn:
+            return self.fleet.execute(sql, params, gtxn=self._gtxn)
+        return self.fleet.execute(sql, params)
+
+    def query(self, sql: str, params: Sequence[Any] = ()) -> ResultSet:
+        if self.in_txn:
+            return self.fleet.execute(sql, params, gtxn=self._gtxn)
+        return self.fleet.query(sql, params)
+
+    def begin(self, isolation: Optional[object] = None) -> None:
+        if self.in_txn:
+            raise ClientError("begin() inside an open transaction")
+        self._gtxn = self.fleet.begin(
+            isolation=coerce_isolation(isolation), deadline=self.deadline
+        )
+        self.gtid = self._gtxn.gtid
+
+    def commit(self) -> None:
+        gtxn = self._require_txn("commit")
+        try:
+            gtxn.commit()
+        finally:
+            if not gtxn.is_active:
+                self._gtxn = None
+
+    def rollback(self) -> None:
+        gtxn = self._require_txn("rollback")
+        try:
+            gtxn.rollback()
+        finally:
+            if not gtxn.is_active:
+                self._gtxn = None
+
+    def close(self) -> None:
+        if self.in_txn:
+            try:
+                self.rollback()
+            except EngineError:
+                pass
+
+    def abandon(self) -> None:
+        """Drop transaction affinity without rolling back (post-crash)."""
+        self._gtxn = None
+
+    def _require_txn(self, verb: str):
+        if self._gtxn is None:
+            raise ClientError(f"{verb}() outside a transaction")
+        return self._gtxn
+
+
+class ResilientClient:
+    """A :class:`Client` whose autocommit statements ride the
+    resilience stack.
+
+    ``clients`` maps endpoint names to inner clients; ``session`` (a
+    :class:`~repro.core.resilience.ResilientSession` over the same
+    endpoint names) owns retries, backoff, breakers and failover.
+    Autocommit ``execute``/``query`` go through ``session.call`` --
+    retryable errors replay against the next healthy endpoint, exactly
+    as the availability evaluator's raw sessions do.  Transactions pin
+    to one endpoint at ``begin()`` (statement replay inside an open
+    transaction would duplicate writes); ``commit``/``rollback`` run on
+    the pinned endpoint and unpin.
+    """
+
+    def __init__(
+        self,
+        clients: Dict[str, "Client"],
+        session: Optional[ResilientSession] = None,
+        timeout_budget_s: Optional[float] = None,
+    ):
+        if not clients:
+            raise ValueError("need at least one endpoint client")
+        self.clients = dict(clients)
+        self.session = session or ResilientSession(list(self.clients))
+        unknown = [e for e in self.session.endpoints if e not in self.clients]
+        if unknown:
+            raise ValueError(f"session endpoints without clients: {unknown}")
+        self.timeout_budget_s = timeout_budget_s
+        self._pinned: Optional[str] = None
+        self.deadline = None
+        self.gtid: Optional[str] = None
+
+    def connect(self) -> None:
+        for client in self.clients.values():
+            client.connect()
+
+    @property
+    def in_txn(self) -> bool:
+        return (
+            self._pinned is not None
+            and self.clients[self._pinned].in_txn
+        )
+
+    def _call(self, attempt) -> ResultSet:
+        outcome = self.session.call(
+            attempt, timeout_budget_s=self.timeout_budget_s
+        )
+        if outcome.ok:
+            return outcome.value
+        raise outcome.error or SqlError("resilient call failed without error")
+
+    def execute(self, sql: str, params: Sequence[Any] = ()) -> ResultSet:
+        if self.in_txn:
+            return self.clients[self._pinned].execute(sql, params)
+        return self._call(
+            lambda endpoint: self.clients[endpoint].execute(sql, params)
+        )
+
+    def query(self, sql: str, params: Sequence[Any] = ()) -> ResultSet:
+        if self.in_txn:
+            return self.clients[self._pinned].query(sql, params)
+        return self._call(
+            lambda endpoint: self.clients[endpoint].query(sql, params)
+        )
+
+    def begin(self, isolation: Optional[object] = None) -> None:
+        if self.in_txn:
+            raise ClientError("begin() inside an open transaction")
+
+        def attempt(endpoint: str):
+            self.clients[endpoint].begin(isolation)
+            return endpoint
+
+        self._pinned = self._call(attempt)
+        self.gtid = getattr(self.clients[self._pinned], "gtid", None)
+
+    def commit(self) -> None:
+        pinned = self._require_pin("commit")
+        try:
+            self.clients[pinned].commit()
+        finally:
+            if not self.clients[pinned].in_txn:
+                self._pinned = None
+
+    def rollback(self) -> None:
+        pinned = self._require_pin("rollback")
+        try:
+            self.clients[pinned].rollback()
+        finally:
+            if not self.clients[pinned].in_txn:
+                self._pinned = None
+
+    def close(self) -> None:
+        for client in self.clients.values():
+            client.close()
+        self._pinned = None
+
+    def abandon(self) -> None:
+        """Drop transaction affinity without rolling back (post-crash)."""
+        if self._pinned is not None:
+            self.clients[self._pinned].abandon()
+            self._pinned = None
+
+    def _require_pin(self, verb: str) -> str:
+        if self._pinned is None:
+            raise ClientError(f"{verb}() outside a transaction")
+        return self._pinned

@@ -107,6 +107,18 @@ class BenchConfig:
     perf_arrival: str = "poisson"         # closed | poisson[:RATE] | burst[:RATE,N]
     perf_profile: bool = True
 
+    # -- serving tier (SQL over sockets)
+    serve_connections: List[int] = field(default_factory=lambda: [8, 32, 128])
+    serve_txns_per_conn: int = 16
+    serve_workers: int = 0                # 0 -> single in-process server
+    serve_shards: int = 2
+    serve_qos: bool = True
+    serve_deadline_s: Optional[float] = None
+    serve_max_connections: int = 2048
+    serve_max_queue: int = 64
+    serve_arrival: str = "closed"
+    serve_persona: str = "payment"
+
     # -- shard HA / replication (the R-Score run)
     ha_shards: int = 2
     ha_pairs: int = 6
@@ -160,6 +172,27 @@ class BenchConfig:
         from repro.perf.openloop import parse_arrival
 
         parse_arrival(self.perf_arrival)  # raises on a malformed spec
+        if not self.serve_connections or any(
+            n < 1 for n in self.serve_connections
+        ):
+            raise ValueError("serve_connections must be >= 1 connection each")
+        if self.serve_txns_per_conn < 1:
+            raise ValueError("serve_txns_per_conn must be >= 1")
+        if self.serve_workers < 0:
+            raise ValueError("serve_workers must be >= 0 (0 = in-process)")
+        if self.serve_shards < 1:
+            raise ValueError("serve_shards must be >= 1")
+        if self.serve_deadline_s is not None and self.serve_deadline_s <= 0:
+            raise ValueError("serve_deadline_s must be positive (or None)")
+        if self.serve_max_connections < 1 or self.serve_max_queue < 1:
+            raise ValueError(
+                "serve_max_connections and serve_max_queue must be >= 1"
+            )
+        if self.serve_persona not in ("payment", "reader", "mixed"):
+            raise ValueError(
+                "serve_persona must be 'payment', 'reader' or 'mixed'"
+            )
+        parse_arrival(self.serve_arrival)
         if self.ha_shards < 2:
             raise ValueError("ha_shards must be >= 2 (transfers are cross-shard)")
         if self.ha_pairs < 1 or self.ha_txns < 1:
@@ -233,6 +266,8 @@ class BenchConfig:
             overload_duration_s=3.0,
             shard_counts=[1, 2],
             shard_txns=120,
+            serve_connections=[4, 8],
+            serve_txns_per_conn=8,
             ha_txns=80,
             ha_pairs=4,
             perf_pilot_txns=16,

@@ -377,6 +377,15 @@ def _parse_driver(value) -> str:
     return driver
 
 
+def _parse_transport(value) -> str:
+    transport = str(value)
+    if transport not in ("inline", "socket"):
+        raise ValueError(
+            f"unknown transport {transport!r}; use 'inline' or 'socket'"
+        )
+    return transport
+
+
 @evaluator(
     "scaleout-real",
     title="Real scale-out (sharded fleet, 2PC)",
@@ -393,11 +402,15 @@ def _parse_driver(value) -> str:
         EvalOption("arrival", _parse_arrival_opt, None,
                    "latency recording: closed (default) | poisson[:RATE] | "
                    "burst[:RATE,N] (inline driver only)"),
+        EvalOption("transport", _parse_transport, None,
+                   "'inline' (in-process clients, default) or 'socket' "
+                   "(the same workload over the serving tier's loopback "
+                   "socket; inline driver only)"),
     ),
 )
 def _scaleout_real(
     bench: "CloudyBench", shards=None, cross=None, txns=None, driver=None,
-    arrival=None,
+    arrival=None, transport=None,
 ) -> EvalOutcome:
     from repro.core.metrics import scale_out_tps
 
@@ -410,6 +423,7 @@ def _scaleout_real(
         transactions=None if txns is None else int(txns),
         driver=None if driver is None else _parse_driver(driver),
         arrival=None if arrival is None else str(arrival),
+        transport=None if transport is None else _parse_transport(transport),
     )
     # The analytic counterpart: the MVA scale-out curve (E2's substrate)
     # for the first configured architecture under the RW mix.  Measured
@@ -450,6 +464,122 @@ def _scaleout_real(
                  "2PC commits", "node TPS", "speedup", "modelled",
                  "fsyncs/txn"),
         rows=rows, scores=scores, payload=data,
+    )
+
+
+def _parse_persona(value) -> str:
+    persona = str(value)
+    if persona not in ("payment", "reader", "mixed"):
+        raise ValueError(
+            f"unknown persona {persona!r}; use 'payment', 'reader' or 'mixed'"
+        )
+    return persona
+
+
+@evaluator(
+    "serve",
+    title="Serving tier (SQL over sockets)",
+    summary="measured TPS / p50 / p99 vs connection count through the "
+            "asyncio SQL server; optional qos-on/off knee comparison",
+    options=(
+        EvalOption("connections", _parse_counts, None,
+                   "comma-separated connection counts "
+                   "(default: config serve_connections)"),
+        EvalOption("txns", int, None, "transactions per connection"),
+        EvalOption("qos", parse_bool, None,
+                   "admission queue + deadline shedding on "
+                   "(default: config serve_qos)"),
+        EvalOption("workers", int, None,
+                   "SO_REUSEPORT server processes "
+                   "(0 = single in-process server, deterministic)"),
+        EvalOption("arrival", _parse_arrival_opt, None,
+                   "client arrival process: closed (default) | "
+                   "poisson[:RATE] | burst[:RATE,N]"),
+        EvalOption("persona", _parse_persona, None,
+                   "load persona: payment | reader | mixed"),
+        EvalOption("rate", float, None,
+                   "total offered rate for open arrivals (txns/s)"),
+        EvalOption("deadline", float, None,
+                   "per-request deadline in seconds (expired work is shed)"),
+        EvalOption("knee", parse_bool, False,
+                   "also drive a qos-on vs qos-off overload pair past the "
+                   "knee at the deepest connection count"),
+    ),
+)
+def _serve(
+    bench: "CloudyBench", connections=None, txns=None, qos=None,
+    workers=None, arrival=None, persona=None, rate=None, deadline=None,
+    knee=False,
+) -> EvalOutcome:
+    txns_opt = None if txns is None else int(txns)
+    workers_opt = None if workers is None else int(workers)
+    persona_opt = None if persona is None else _parse_persona(persona)
+    data = bench._compute_serve(
+        connections=None if connections is None else _parse_counts(connections),
+        txns_per_conn=txns_opt,
+        qos=None if qos is None else parse_bool(qos),
+        workers=workers_opt,
+        arrival=None if arrival is None else str(arrival),
+        persona=persona_opt,
+        rate_tps=None if rate is None else float(rate),
+        deadline_s=None if deadline is None else float(deadline),
+    )
+
+    def _row(count, result):
+        return (
+            count, "on" if result.qos else "off", result.driver,
+            result.offered, result.committed,
+            result.shed + result.expired, result.errors,
+            round(result.tps), round(result.goodput_tps),
+            round(result.latency_ms.get("p50", 0.0), 2),
+            round(result.latency_ms.get("p99", 0.0), 2),
+        )
+
+    rows = []
+    scores = {}
+    for count in sorted(data):
+        result = data[count]
+        rows.append(_row(count, result))
+        scores[f"serve.tps@{count}"] = result.tps
+        scores[f"serve.goodput@{count}"] = result.goodput_tps
+        scores[f"serve.p99_ms@{count}"] = result.latency_ms.get("p99", 0.0)
+    notes = ""
+    if parse_bool(knee):
+        # Overload the deepest point at ~2.5x its measured closed-loop
+        # service rate with a tight deadline and a short admission queue
+        # -- the regime where shedding pays -- once with the qos stack
+        # on, once off.  The ratio is the end-to-end D-Score analogue
+        # measured over a real socket.
+        deepest = max(data)
+        knee_rate = max(data[deepest].tps, 1.0) * 2.5
+        knee_deadline = 0.1 if deadline is None else float(deadline)
+        pair = {}
+        for flag in (True, False):
+            run = bench._compute_serve(
+                connections=[deepest],
+                txns_per_conn=txns_opt,
+                qos=flag,
+                workers=workers_opt,
+                arrival=f"poisson:{knee_rate:.6g}",
+                persona=persona_opt,
+                deadline_s=knee_deadline,
+                max_queue=8,
+            )[deepest]
+            pair[flag] = run
+            rows.append(_row(deepest, run))
+        ratio = pair[True].goodput_tps / max(pair[False].goodput_tps, 1e-9)
+        scores["serve.knee_ratio"] = ratio
+        notes = (
+            f"knee @ {deepest} conns: offered {knee_rate:.0f} tps poisson, "
+            f"deadline {knee_deadline:g}s -> qos-on goodput "
+            f"{pair[True].goodput_tps:.1f} vs off "
+            f"{pair[False].goodput_tps:.1f} ({ratio:.2f}x)"
+        )
+    return _outcome(
+        bench, name="serve", title="Serving tier (SQL over sockets)",
+        headers=("conns", "qos", "driver", "offered", "committed",
+                 "shed+exp", "errors", "TPS", "goodput", "p50 ms", "p99 ms"),
+        rows=rows, scores=scores, notes=notes, payload=data,
     )
 
 

@@ -7,6 +7,7 @@ benchmark in ``benchmarks/`` is a thin wrapper over one method here.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
@@ -39,6 +40,20 @@ from repro.qos.overload import OverloadEvaluator, OverloadResult
 
 #: key of one throughput measurement: (arch, scale factor, mode, concurrency)
 ThroughputKey = Tuple[str, int, str, int]
+
+
+def _deprecated(wrapper: str, replacement: str) -> None:
+    """Warn once per call site that a legacy ``run_*`` wrapper ran.
+
+    ``stacklevel=3`` points the warning at the *caller* of the wrapper
+    (helper -> wrapper -> caller), which is the line that needs the
+    migration.
+    """
+    warnings.warn(
+        f"CloudyBench.{wrapper}() is deprecated; use {replacement}",
+        DeprecationWarning,
+        stacklevel=3,
+    )
 
 
 @dataclass
@@ -87,6 +102,8 @@ class CloudyBench:
         self._ha: Dict[str, "HAResult"] = {}
         #: real scale-out runs, cached per (counts, cross, txns, driver)
         self._scaleout: Dict[Tuple, Dict[int, object]] = {}
+        #: serve sweeps, cached per (counts, txns, qos, workers, ...)
+        self._serve: Dict[Tuple, Dict[int, object]] = {}
         #: perf trajectory runs, cached per (workloads, arrival, txns)
         self._perf: Dict[Tuple, Dict[str, object]] = {}
 
@@ -128,6 +145,7 @@ class CloudyBench:
 
     def run_throughput(self) -> Dict[ThroughputKey, float]:
         """Deprecated: use ``run("throughput").payload``."""
+        _deprecated("run_throughput", 'run("throughput").payload')
         return self.run("throughput").payload
 
     def _compute_throughput(self) -> Dict[ThroughputKey, float]:
@@ -157,6 +175,7 @@ class CloudyBench:
 
     def run_pscore(self, n_ro_nodes: int = 1) -> List[PScoreRow]:
         """Deprecated: use ``run("pscore", n_ro_nodes=...).payload``."""
+        _deprecated("run_pscore", 'run("pscore", n_ro_nodes=...).payload')
         return self.run("pscore", n_ro_nodes=n_ro_nodes).payload
 
     def _compute_pscore(self, n_ro_nodes: int = 1) -> List[PScoreRow]:
@@ -215,6 +234,7 @@ class CloudyBench:
 
     def run_elasticity(self) -> Dict[str, Dict[str, Dict[str, ElasticityResult]]]:
         """Deprecated: use ``run("elasticity").payload``."""
+        _deprecated("run_elasticity", 'run("elasticity").payload')
         return self.run("elasticity").payload
 
     def _compute_elasticity(
@@ -268,6 +288,7 @@ class CloudyBench:
 
     def run_multitenancy(self) -> Dict[str, Dict[str, TenancyResult]]:
         """Deprecated: use ``run("multitenancy").payload``."""
+        _deprecated("run_multitenancy", 'run("multitenancy").payload')
         return self.run("multitenancy").payload
 
     def _compute_multitenancy(self) -> Dict[str, Dict[str, TenancyResult]]:
@@ -293,6 +314,7 @@ class CloudyBench:
 
     def run_failover(self) -> Dict[str, FailoverScores]:
         """Deprecated: use ``run("failover").payload``."""
+        _deprecated("run_failover", 'run("failover").payload')
         return self.run("failover").payload
 
     def _compute_failover(self) -> Dict[str, FailoverScores]:
@@ -335,6 +357,7 @@ class CloudyBench:
 
     def run_chaos(self) -> Dict[str, AScore]:
         """Deprecated: use ``run("chaos").payload``."""
+        _deprecated("run_chaos", 'run("chaos").payload')
         return self.run("chaos").payload
 
     def _compute_chaos(self) -> Dict[str, AScore]:
@@ -360,6 +383,7 @@ class CloudyBench:
 
     def run_oltp(self) -> Dict[str, AScore]:
         """Deprecated: use ``run("oltp").payload``."""
+        _deprecated("run_oltp", 'run("oltp").payload')
         return self.run("oltp").payload
 
     def _compute_oltp(self, arrival: Optional[str] = None) -> Dict[str, AScore]:
@@ -399,6 +423,7 @@ class CloudyBench:
     ) -> Dict[str, Dict[str, LagResult]]:
         """Deprecated: use ``run("lagtime").payload`` (custom ``patterns``
         still go through this wrapper; they bypass the cache)."""
+        _deprecated("run_lagtime", 'run("lagtime").payload')
         if patterns is not None:
             return self._compute_lagtime(patterns)
         return self.run("lagtime").payload
@@ -511,19 +536,22 @@ class CloudyBench:
         transactions: Optional[int] = None,
         driver: Optional[str] = None,
         arrival: Optional[str] = None,
+        transport: Optional[str] = None,
     ) -> Dict[int, object]:
         """Measured fleet throughput per shard count.
 
         Unlike the rest of the runner this is not a model: it loads one
         real sharded fleet per point and drives the payment workload
         through it (:mod:`repro.shard.driver`).  Returns ``{n_shards:
-        ShardRunResult}``.
+        ShardRunResult}``.  ``transport="socket"`` reruns the inline
+        driver's workload through the serving tier's loopback socket.
         """
         from repro.shard.driver import run_scaleout
 
         counts = list(shard_counts or self.config.shard_counts)
         txns = self.config.shard_txns if transactions is None else transactions
         driver = driver or self.config.shard_driver
+        wire = "inline" if transport is None else transport
         if cross_ratio is None:
             # the mp driver has no cross-process coordinator, so its
             # only valid ratio is 0; don't let the config default for
@@ -532,17 +560,77 @@ class CloudyBench:
         else:
             cross = cross_ratio
         spec = "closed" if arrival is None else arrival
-        key = (tuple(counts), cross, txns, driver, spec)
+        key = (tuple(counts), cross, txns, driver, spec, wire)
         cached = self._scaleout.get(key)
         if cached is not None:
             return cached
         results = run_scaleout(
             counts, txns, cross_ratio=cross, seed=self.config.seed,
             row_scale=self.config.row_scale, driver=driver,
-            observer=self.observer, arrival=spec,
+            observer=self.observer, arrival=spec, transport=wire,
         )
         data = {result.n_shards: result for result in results}
         self._scaleout[key] = data
+        return data
+
+    # -- serving tier (SQL over sockets) ------------------------------------------
+
+    def _compute_serve(
+        self,
+        connections: Optional[List[int]] = None,
+        txns_per_conn: Optional[int] = None,
+        qos: Optional[bool] = None,
+        workers: Optional[int] = None,
+        arrival: Optional[str] = None,
+        persona: Optional[str] = None,
+        rate_tps: Optional[float] = None,
+        deadline_s: Optional[float] = None,
+        max_queue: Optional[int] = None,
+        fault_plan=None,
+    ) -> Dict[int, object]:
+        """One serve sweep, ``{connections: ServeRunResult}``.
+
+        Boots the real serving tier (:mod:`repro.serve`) per connection
+        count and drives it with the async load generator -- measured
+        end-to-end over a loopback socket, like the scale-out runs.
+        Testbed-level (one run covers every architecture row).  Cached
+        per fully-resolved parameter tuple; runs with a fault plan
+        bypass the cache (plans are not hashable and rarely repeated).
+        """
+        from repro.serve.driver import run_sweep
+
+        counts = list(connections or self.config.serve_connections)
+        txns = (
+            self.config.serve_txns_per_conn
+            if txns_per_conn is None else txns_per_conn
+        )
+        qos_on = self.config.serve_qos if qos is None else qos
+        n_workers = self.config.serve_workers if workers is None else workers
+        spec = arrival or self.config.serve_arrival
+        who = persona or self.config.serve_persona
+        deadline = (
+            self.config.serve_deadline_s if deadline_s is None else deadline_s
+        )
+        queue = self.config.serve_max_queue if max_queue is None else max_queue
+        key = (
+            tuple(counts), txns, qos_on, n_workers, spec, who,
+            rate_tps, deadline, queue,
+        )
+        if fault_plan is None:
+            cached = self._serve.get(key)
+            if cached is not None:
+                return cached
+        results = run_sweep(
+            counts, txns, n_shards=self.config.serve_shards,
+            workers=n_workers, qos=qos_on, persona=who, arrival=spec,
+            rate_tps=rate_tps, deadline_s=deadline, seed=self.config.seed,
+            row_scale=self.config.row_scale,
+            max_connections=self.config.serve_max_connections,
+            max_queue=queue, observer=self.observer, fault_plan=fault_plan,
+        )
+        data = {result.connections: result for result in results}
+        if fault_plan is None:
+            self._serve[key] = data
         return data
 
     # -- perf trajectory (two-stage measured harness) -----------------------------
@@ -589,6 +677,7 @@ class CloudyBench:
 
     def overall(self, duration_s: float = 300.0) -> Dict[str, PerfectScores]:
         """Deprecated: use ``run("overall", duration_s=...).payload``."""
+        _deprecated("overall", 'run("overall", duration_s=...).payload')
         return self.run("overall", duration_s=duration_s).payload
 
     def _compute_overall(self, duration_s: float = 300.0) -> Dict[str, PerfectScores]:

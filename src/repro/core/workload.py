@@ -29,12 +29,14 @@ from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
 
 from repro.cloud.workload_model import TxnClass, WorkloadMix
+from repro.core.client import Client, EngineClient
 from repro.core.datagen import nominal_bytes
 from repro.core.distributions import KeyDistribution, UniformDistribution, make_distribution
 from repro.core.schema import BASE_ROWS
 from repro.core.resilience import retry_transaction
 from repro.core.sqlreader import SqlStmts
 from repro.engine.database import Database
+from repro.engine.errors import EngineError
 
 #: calibrated resource footprints of the four transactions
 TXN_CLASSES: Dict[str, TxnClass] = {
@@ -144,7 +146,14 @@ LAG_PATTERNS: Dict[str, TransactionMix] = {
 
 
 class SalesWorkload:
-    """Functional executor of T1-T4 against a real engine database."""
+    """Functional executor of T1-T4 against a real engine database.
+
+    All statement traffic goes through a transport-agnostic
+    :class:`~repro.core.client.Client` (default: an in-process
+    :class:`~repro.core.client.EngineClient` over ``db``), so the same
+    four transaction bodies run unchanged over the socket transport.
+    ``db`` is still required for key-space setup (row counts).
+    """
 
     def __init__(
         self,
@@ -154,8 +163,11 @@ class SalesWorkload:
         latest_k: int = 10,
         seed: int = 42,
         stmts: Optional[SqlStmts] = None,
+        client: Optional[Client] = None,
     ):
         self.db = db
+        self.client: Client = client if client is not None else EngineClient(db)
+        self.client.connect()
         self.mix = mix
         self.stmts = stmts or SqlStmts()
         self._rng = random.Random(seed)
@@ -170,10 +182,18 @@ class SalesWorkload:
         self.executed: Dict[str, int] = {task: 0 for task in ("T1", "T2", "T3", "T4")}
         self.aborted = 0
         self.retry_attempts = 3
-        #: optional per-statement deadline (anything with ``.expired()``),
-        #: propagated into the engine's cancellation points; clients set
-        #: it per call via :meth:`run_one`'s ``deadline`` argument
-        self.deadline = None
+
+    #: optional per-statement deadline (anything with ``.expired()``),
+    #: propagated into the engine's cancellation points; clients set
+    #: it per call via :meth:`run_one`'s ``deadline`` argument.  Stored
+    #: on the client so the transport (not the workload) owns it.
+    @property
+    def deadline(self):
+        return self.client.deadline
+
+    @deadline.setter
+    def deadline(self, value) -> None:
+        self.client.deadline = value
 
     # -- transaction bodies -----------------------------------------------------
 
@@ -185,11 +205,10 @@ class SalesWorkload:
         """Insert a new orderline; returns nothing observable (autocommit)."""
         (statement,) = self.stmts.statements("T1")
         o_id = self._order_keys.next_key()
-        self.db.execute(
+        self.client.execute(
             statement,
             [o_id, self._rng.randint(1, 100_000), self._rng.randint(1, 10),
              round(self._rng.uniform(1, 100), 2)],
-            deadline=self.deadline,
         )
         self._orderline_high += 1
         return self._orderline_high
@@ -201,32 +220,40 @@ class SalesWorkload:
         """
         select, update_order, update_customer = self.stmts.statements("T2")
         o_id = self._order_keys.next_key()
-        with self.db.begin(deadline=self.deadline) as txn:
-            rows = self.db.execute(select, [o_id], txn=txn).rows
+        client = self.client
+        client.begin()
+        try:
+            rows = client.execute(select, [o_id]).rows
             if not rows:
+                client.commit()
                 return None
             _o_id, c_id, _total, _updated = rows[0]
             now = self._now()
-            self.db.execute(update_order, [now, o_id], txn=txn)
-            self.db.execute(
+            client.execute(update_order, [now, o_id])
+            client.execute(
                 update_customer,
                 [round(self._rng.uniform(1, 50), 2), now, c_id],
-                txn=txn,
             )
+            client.commit()
+        except BaseException:
+            if client.in_txn:
+                try:
+                    client.rollback()
+                except EngineError:
+                    pass
+            raise
         return o_id, now
 
     def run_t3(self) -> Optional[Tuple]:
         (statement,) = self.stmts.statements("T3")
         o_id = self._order_keys.next_key()
-        return self.db.query(statement, [o_id], deadline=self.deadline).first()
+        return self.client.query(statement, [o_id]).first()
 
     def run_t4(self) -> bool:
         """Delete an orderline; returns False when it was already gone."""
         (statement,) = self.stmts.statements("T4")
         ol_id = self._rng.randint(1, max(1, self._orderline_high))
-        return self.db.execute(
-            statement, [ol_id], deadline=self.deadline
-        ).rowcount > 0
+        return self.client.execute(statement, [ol_id]).rowcount > 0
 
     # -- driver -------------------------------------------------------------------
 

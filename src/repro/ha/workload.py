@@ -27,6 +27,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Tuple, Type
 
+from repro.core.client import Client, FleetClient
 from repro.engine.errors import EngineError, ShardUnavailableError, SimulatedCrash
 from repro.engine.txn import IsolationLevel
 from repro.engine.types import Column, ColumnType, Schema
@@ -94,10 +95,13 @@ class PairWorkload:
         seed: int = 42,
         n_workers: int = 4,
         reraise_unavailable: bool = False,
+        client: Optional[Client] = None,
     ):
         if not pairs:
             raise ValueError("need at least one pair")
         self.fleet = fleet
+        self.client: Client = client if client is not None else FleetClient(fleet)
+        self.client.connect()
         self.pairs = pairs
         self.history = history if history is not None else History()
         self.n_workers = max(1, n_workers)
@@ -132,39 +136,44 @@ class PairWorkload:
         version = self._versions[pair]
         self.history.invoke(worker, "transfer", pair, version=version)
         commit_started = False
-        gtxn = self.fleet.begin(isolation=IsolationLevel.SERIALIZABLE)
+        client = self.client
+        client.begin(isolation=IsolationLevel.SERIALIZABLE)
+        gtid = client.gtid
         try:
-            self.fleet.execute(UPDATE_STAMP, [version, row_a], gtxn=gtxn)
-            self.fleet.execute(UPDATE_STAMP, [version, row_b], gtxn=gtxn)
+            client.execute(UPDATE_STAMP, [version, row_a])
+            client.execute(UPDATE_STAMP, [version, row_b])
             commit_started = True
-            gtxn.commit()
+            client.commit()
         except ShardUnavailableError:
             # The coordinator survived and aborted everything (prepare-
             # stage participant death, or a statement hit a dead shard):
             # presumed abort guarantees this transfer never happened.
-            self._quiet_rollback(gtxn)
+            self._quiet_rollback(client)
             self.history.fail(worker, "transfer", pair, version=version)
             if self.reraise_unavailable:
                 raise
             return False
         except SimulatedCrash:
             # A crash point fired mid-protocol.  If the commit had
-            # started the outcome is genuinely unknown until recovery.
+            # started the outcome is genuinely unknown until recovery:
+            # leave the branches exactly as the protocol left them and
+            # only drop the client's affinity.
             if commit_started:
+                client.abandon()
                 self.history.info(
-                    worker, "transfer", pair, version=version, gtid=gtxn.gtid
+                    worker, "transfer", pair, version=version, gtid=gtid
                 )
             else:
-                self._quiet_rollback(gtxn)
+                self._quiet_rollback(client)
                 self.history.fail(worker, "transfer", pair, version=version)
             raise
         except EngineError as error:
             if not error.retryable:
                 raise
-            self._quiet_rollback(gtxn)
+            self._quiet_rollback(client)
             self.history.fail(worker, "transfer", pair, version=version)
             return False
-        self.history.ok(worker, "transfer", pair, version=version, gtid=gtxn.gtid)
+        self.history.ok(worker, "transfer", pair, version=version, gtid=gtid)
         return True
 
     def read(self, worker: Optional[int] = None) -> Optional[Tuple[int, int]]:
@@ -178,16 +187,17 @@ class PairWorkload:
         pair = self._rng.randrange(len(self.pairs))
         row_a, row_b = self.pairs[pair]
         self.history.invoke(worker, "read", pair)
-        gtxn = self.fleet.begin(isolation=IsolationLevel.SERIALIZABLE)
+        client = self.client
+        client.begin(isolation=IsolationLevel.SERIALIZABLE)
         try:
-            stamp_a = self.fleet.execute(SELECT_STAMP, [row_a], gtxn=gtxn).rows[0][0]
-            stamp_b = self.fleet.execute(SELECT_STAMP, [row_b], gtxn=gtxn).rows[0][0]
+            stamp_a = client.execute(SELECT_STAMP, [row_a]).rows[0][0]
+            stamp_b = client.execute(SELECT_STAMP, [row_b]).rows[0][0]
         except SimulatedCrash:
-            self._quiet_rollback(gtxn)
+            self._quiet_rollback(client)
             self.history.fail(worker, "read", pair)
             raise
         except ShardUnavailableError:
-            self._quiet_rollback(gtxn)
+            self._quiet_rollback(client)
             self.history.fail(worker, "read", pair)
             if self.reraise_unavailable:
                 raise
@@ -195,11 +205,11 @@ class PairWorkload:
         except EngineError as error:
             if not error.retryable:
                 raise
-            self._quiet_rollback(gtxn)
+            self._quiet_rollback(client)
             self.history.fail(worker, "read", pair)
             return None
         # Rollback, not commit: releases the S locks without a 2PC round.
-        self._quiet_rollback(gtxn)
+        self._quiet_rollback(client)
         self.history.ok(worker, "read", pair, observed=(stamp_a, stamp_b))
         return (stamp_a, stamp_b)
 
@@ -207,17 +217,22 @@ class PairWorkload:
         """Both stamps of every pair, read after the last recovery pass."""
         out: Dict[int, Tuple[int, int]] = {}
         for pair, (row_a, row_b) in enumerate(self.pairs):
-            stamp_a = self.fleet.execute(SELECT_STAMP, [row_a]).rows[0][0]
-            stamp_b = self.fleet.execute(SELECT_STAMP, [row_b]).rows[0][0]
+            stamp_a = self.client.execute(SELECT_STAMP, [row_a]).rows[0][0]
+            stamp_b = self.client.execute(SELECT_STAMP, [row_b]).rows[0][0]
             out[pair] = (stamp_a, stamp_b)
         return out
 
     @staticmethod
-    def _quiet_rollback(gtxn) -> None:
-        if not gtxn.is_active:
+    def _quiet_rollback(client: Client) -> None:
+        if not client.in_txn:
             return
         try:
-            gtxn.rollback()
+            client.rollback()
         except EngineError:
             # A branch's shard is down; recovery presumes abort anyway.
             pass
+        finally:
+            # a rollback the dead shard swallowed must not pin the
+            # client: the next operation begins a fresh transaction
+            if client.in_txn:
+                client.abandon()

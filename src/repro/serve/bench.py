@@ -1,0 +1,167 @@
+"""The serve BENCH baseline builder.
+
+``python -m repro.serve.bench --quick --out DIR`` measures one pinned
+end-to-end run through the serving tier -- real asyncio server, real
+loopback sockets, the payment persona -- and writes it as a
+``BENCH_serve.json`` trajectory record (schema of
+:mod:`repro.perf.trajectory`).  CI regenerates the record and gates it
+against the committed baseline with ``python -m repro.perf.compare``.
+
+The shape is pinned so the record stays comparable across commits:
+
+* ``workers = 0`` -- the single in-process server.  Forked
+  SO_REUSEPORT workers forfeit counter determinism (the kernel's
+  connection balancing is not seeded), which would break the
+  comparator's exact-counter checks.
+* ``qos = False`` -- no admission queue in the path.  The baseline
+  measures the serving tier's framing/session/execution cost; the
+  qos knee has its own end-to-end check in the serve smoke bench.
+* closed-loop arrival -- every offered transaction runs, so
+  ``committed``/``aborted``/``fsyncs`` are exact machine-independent
+  integers (8 connections x 32 payment transactions = 256 offered,
+  matching the perf baselines' quick shape).
+"""
+
+from __future__ import annotations
+
+import argparse
+import resource
+import sys
+import time
+from typing import List, Optional
+
+from repro.perf.trajectory import (
+    TrajectoryRecord,
+    env_fingerprint,
+    validate_bench,
+    workload_fingerprint,
+    write_bench,
+)
+from repro.serve.driver import ServeRunResult, run_serve
+
+__all__ = [
+    "BENCH_CONNECTIONS",
+    "BENCH_TXNS_PER_CONN",
+    "bench_record",
+    "main",
+    "serve_record",
+]
+
+#: the pinned quick shape: 8 x 32 = 256 offered transactions, the same
+#: iteration count the perf baselines pin under ``--quick``
+BENCH_CONNECTIONS = 8
+BENCH_TXNS_PER_CONN = 32
+
+#: fixed data scale of the baseline fleet
+BENCH_SHARDS = 2
+BENCH_ROW_SCALE = 0.002
+
+
+def serve_record(
+    result: ServeRunResult,
+    seed: int,
+    row_scale: float,
+    cpu_s: float,
+    peak_rss_kb: float,
+    spin_s: Optional[float] = None,
+) -> TrajectoryRecord:
+    """Shape one measured :class:`ServeRunResult` as a BENCH record.
+
+    ``cpu_s`` and ``peak_rss_kb`` are measured by the caller around the
+    drive (the result itself only times the load loop).
+    """
+    params = {
+        "connections": result.connections,
+        "txns_per_conn": result.txns_per_conn,
+        "n_shards": BENCH_SHARDS,
+        "persona": result.persona,
+        "qos": result.qos,
+        "workers": result.workers,
+        "arrival": result.arrival,
+        "row_scale": row_scale,
+    }
+    latency = dict(result.latency_ms)
+    for pct in ("p50", "p95", "p99", "p999"):
+        latency.setdefault(pct, 0.0)
+    return TrajectoryRecord(
+        eval_name="serve",
+        workload={
+            "name": f"serve-{result.persona}",
+            "seed": seed,
+            "arrival": result.arrival,
+            "params": params,
+            "fingerprint": workload_fingerprint(params),
+        },
+        env=env_fingerprint(spin_s),
+        # the serve drive has no pilot stage: the iteration count is
+        # pinned, and the "observed rate" is the measured throughput
+        pilot={"txns": result.offered, "rate_tps": result.tps},
+        metrics={
+            "txns": result.offered,
+            "committed": result.committed,
+            "aborted": result.aborted,
+            "fsyncs": result.fsyncs,
+            "wall_s": result.wall_s,
+            "cpu_s": cpu_s,
+            "peak_rss_kb": peak_rss_kb,
+            "tps": result.tps,
+            "goodput_tps": result.goodput_tps,
+            "latency_ms": latency,
+        },
+    )
+
+
+def bench_record(seed: int = 42, spin_s: Optional[float] = None) -> TrajectoryRecord:
+    """Measure the pinned serve shape and return its BENCH record."""
+    cpu_start = time.process_time()
+    result = run_serve(
+        BENCH_CONNECTIONS, BENCH_TXNS_PER_CONN,
+        n_shards=BENCH_SHARDS, workers=0, qos=False,
+        persona="payment", arrival="closed",
+        seed=seed, row_scale=BENCH_ROW_SCALE,
+    )
+    cpu_s = time.process_time() - cpu_start
+    peak_rss_kb = float(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss)
+    return serve_record(
+        result, seed=seed, row_scale=BENCH_ROW_SCALE,
+        cpu_s=cpu_s, peak_rss_kb=peak_rss_kb, spin_s=spin_s,
+    )
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.serve.bench",
+        description="Measure the pinned serve shape; write BENCH_serve.json.",
+    )
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="accepted for CI symmetry; the serve shape is always pinned",
+    )
+    parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument(
+        "--out", default=None, metavar="DIR",
+        help="write BENCH_serve.json to DIR (default: print a summary only)",
+    )
+    args = parser.parse_args(argv)
+
+    record = bench_record(seed=args.seed)
+    problems = validate_bench(record.to_doc())
+    if problems:
+        print("BENCH record is invalid:")
+        for problem in problems:
+            print(f"  - {problem}")
+        return 1
+    metrics = record.metrics
+    print(
+        f"serve bench: {metrics['committed']}/{metrics['txns']} committed, "
+        f"{metrics['tps']:.1f} tps, p99 {metrics['latency_ms']['p99']:.2f} ms, "
+        f"{metrics['fsyncs']} fsyncs"
+    )
+    if args.out:
+        path = write_bench(record, args.out)
+        print(f"wrote {path}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,441 @@
+"""Clients for the SQL-over-socket protocol.
+
+Three layers, innermost first:
+
+* :class:`SocketClient` -- a *synchronous* blocking-socket client
+  implementing the transport-agnostic :class:`~repro.core.client.
+  Client` protocol verb-for-verb, so any workload written against
+  ``Client`` (the sales mix, the HA pair workload, the shard payment
+  workload) runs over the wire unchanged.  Error frames are
+  reconstructed into the engine exception hierarchy by
+  :func:`~repro.serve.errors.from_wire`, so ``retryable`` /
+  ``retry_after_s`` classification is identical to in-process runs.
+* :class:`AsyncSQLClient` -- the asyncio counterpart, with split
+  ``send_nowait``/``recv_response`` halves for statement pipelining
+  (the load generator keeps many requests in flight per connection).
+* :class:`AsyncClientPool` -- a bounded pool of connected
+  :class:`AsyncSQLClient` instances with an ``acquire()`` context
+  manager, for callers that multiplex a few connections rather than
+  owning one per task.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import socket
+from collections import deque
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.client import ClientError, coerce_isolation
+from repro.engine.executor import ResultSet
+from repro.serve import wire
+from repro.serve.errors import from_wire
+
+__all__ = ["AsyncClientPool", "AsyncSQLClient", "SocketClient"]
+
+
+def _unwrap(frame: Optional[Dict[str, Any]]) -> Dict[str, Any]:
+    """Turn a response frame into a result payload or an exception."""
+    if frame is None:
+        raise ConnectionError("server closed the connection")
+    if frame.get("ok"):
+        return frame
+    raise from_wire(frame.get("error", {}))
+
+
+def _result_set(frame: Dict[str, Any]) -> ResultSet:
+    """Rebuild an engine :class:`ResultSet` from a response frame."""
+    return ResultSet(
+        columns=tuple(frame.get("columns", ())),
+        rows=[tuple(row) for row in frame.get("rows", ())],
+        rowcount=int(frame.get("rowcount", 0)),
+    )
+
+
+class SocketClient:
+    """Blocking-socket :class:`~repro.core.client.Client` implementation.
+
+    One instance is one connection is one session: transaction affinity
+    lives server-side, so ``begin()`` .. ``commit()`` here brackets a
+    server-held global transaction exactly as
+    :class:`~repro.core.client.FleetClient` brackets an in-process one.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        client_name: str = "socket-client",
+        priority: int = 1,
+        timeout_s: Optional[float] = None,
+        max_frame: int = wire.MAX_FRAME_BYTES,
+    ):
+        self.host = host
+        self.port = port
+        self.client_name = client_name
+        self.priority = priority
+        self.timeout_s = timeout_s
+        self._sock: Optional[socket.socket] = None
+        self._decoder = wire.FrameDecoder(max_frame=max_frame)
+        self._inbox: "deque[Dict[str, Any]]" = deque()
+        self._in_txn = False
+        #: deadlines do not cross the wire (accepted for protocol parity)
+        self.deadline = None
+        #: gtid of the most recently begun server-side transaction
+        self.gtid: Optional[str] = None
+        self.n_shards: Optional[int] = None
+
+    # -- plumbing ------------------------------------------------------------
+
+    @property
+    def connected(self) -> bool:
+        return self._sock is not None
+
+    def _request(self, frame: Dict[str, Any]) -> Dict[str, Any]:
+        if self._sock is None:
+            raise ClientError("client is not connected")
+        try:
+            self._sock.sendall(wire.encode_frame(frame))
+            return _unwrap(self._read_frame())
+        except (ConnectionError, OSError, wire.FrameError):
+            # the stream is gone or poisoned: this session is over
+            self._teardown()
+            raise
+
+    def _read_frame(self) -> Optional[Dict[str, Any]]:
+        while not self._inbox:
+            data = self._sock.recv(65536)
+            if not data:
+                if self._decoder.pending_bytes:
+                    raise wire.FrameError("stream truncated inside a frame")
+                return None
+            self._inbox.extend(self._decoder.feed(data))
+        return self._inbox.popleft()
+
+    def _teardown(self) -> None:
+        sock, self._sock = self._sock, None
+        self._in_txn = False
+        if sock is not None:
+            try:
+                sock.close()
+            except OSError:
+                pass
+
+    # -- the Client protocol -------------------------------------------------
+
+    def connect(self) -> None:
+        if self._sock is not None:
+            return
+        self._sock = socket.create_connection(
+            (self.host, self.port), timeout=self.timeout_s
+        )
+        self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        try:
+            hello = self._request(
+                {"op": "hello", "client": self.client_name,
+                 "priority": self.priority}
+            )
+        except BaseException:
+            # a rejected handshake (connection cap) must not leave a
+            # stale socket behind -- the caller retries with connect()
+            self._teardown()
+            raise
+        self.n_shards = hello.get("n_shards")
+
+    @property
+    def in_txn(self) -> bool:
+        return self._in_txn
+
+    def execute(self, sql: str, params: Sequence[Any] = ()) -> ResultSet:
+        return _result_set(
+            self._request({"op": "execute", "sql": sql,
+                           "params": list(params)})
+        )
+
+    def query(self, sql: str, params: Sequence[Any] = ()) -> ResultSet:
+        return _result_set(
+            self._request({"op": "query", "sql": sql,
+                           "params": list(params)})
+        )
+
+    def begin(self, isolation: Optional[object] = None) -> None:
+        if self._in_txn:
+            raise ClientError("begin() inside an open transaction")
+        level = coerce_isolation(isolation)
+        response = self._request(
+            {"op": "begin",
+             "isolation": None if level is None else level.name}
+        )
+        self._in_txn = True
+        self.gtid = response.get("gtid")
+
+    def commit(self) -> None:
+        if not self._in_txn:
+            raise ClientError("commit() outside a transaction")
+        try:
+            self._request({"op": "commit"})
+        finally:
+            self._in_txn = False
+
+    def rollback(self) -> None:
+        if not self._in_txn:
+            raise ClientError("rollback() outside a transaction")
+        try:
+            self._request({"op": "rollback"})
+        finally:
+            self._in_txn = False
+
+    def abandon(self) -> None:
+        """Drop transaction affinity without rolling back (post-crash).
+
+        The server detaches the dangling global transaction from this
+        session (its branches stay for crash recovery to resolve) so
+        the connection can ``begin()`` afresh.
+        """
+        if not self._in_txn:
+            return
+        try:
+            self._request({"op": "abandon"})
+        except (ConnectionError, OSError, wire.FrameError):
+            pass
+        finally:
+            self._in_txn = False
+
+    def close(self) -> None:
+        if self._sock is None:
+            return
+        try:
+            self._request({"op": "goodbye"})
+        except (ConnectionError, OSError, wire.FrameError):
+            pass
+        self._teardown()
+
+    # -- extensions beyond the core protocol ---------------------------------
+
+    def batch(self, stmts: Sequence[Tuple[str, Sequence[Any]]]) -> List[int]:
+        """One whole transaction in one frame; returns the rowcounts."""
+        response = self._request(
+            {"op": "batch",
+             "stmts": [[sql, list(params)] for sql, params in stmts]}
+        )
+        self.gtid = response.get("gtid")
+        return [int(n) for n in response.get("rowcounts", ())]
+
+    def ping(self) -> bool:
+        return bool(self._request({"op": "ping"}).get("ok"))
+
+
+class AsyncSQLClient:
+    """Asyncio client with pipelining support.
+
+    The request/response halves are split -- :meth:`send_nowait` queues
+    a frame on the socket without waiting, :meth:`recv_response` takes
+    the next response off the stream (the server answers strictly in
+    order, so FIFO matching is exact).  The plain ``await``-per-request
+    helpers (:meth:`execute`, :meth:`batch`, ...) compose the two.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        client_name: str = "async-client",
+        priority: int = 1,
+        max_frame: int = wire.MAX_FRAME_BYTES,
+    ):
+        self.host = host
+        self.port = port
+        self.client_name = client_name
+        self.priority = priority
+        self.max_frame = max_frame
+        self._reader: Optional[asyncio.StreamReader] = None
+        self._writer: Optional[asyncio.StreamWriter] = None
+        self._pending = 0
+        self.gtid: Optional[str] = None
+        self.n_shards: Optional[int] = None
+
+    @property
+    def connected(self) -> bool:
+        return self._writer is not None
+
+    @property
+    def pending(self) -> int:
+        """Requests sent but not yet matched with a response."""
+        return self._pending
+
+    async def connect(self) -> None:
+        if self._writer is not None:
+            return
+        self._reader, self._writer = await asyncio.open_connection(
+            self.host, self.port
+        )
+        try:
+            hello = await self.request(
+                {"op": "hello", "client": self.client_name,
+                 "priority": self.priority}
+            )
+        except BaseException:
+            # a rejected handshake (connection cap) must not leave a
+            # stale half-open client -- the caller retries with connect()
+            self.abort()
+            raise
+        self.n_shards = hello.get("n_shards")
+
+    async def close(self) -> None:
+        writer, self._writer = self._writer, None
+        self._reader = None
+        self._pending = 0
+        if writer is None:
+            return
+        try:
+            writer.write(wire.encode_frame({"op": "goodbye"}))
+            await writer.drain()
+        except (ConnectionError, OSError):
+            pass
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+
+    def abort(self) -> None:
+        """Drop the connection on the floor (simulates a client crash)."""
+        writer, self._writer = self._writer, None
+        self._reader = None
+        self._pending = 0
+        if writer is not None:
+            transport = writer.transport
+            if transport is not None:
+                transport.abort()
+
+    # -- pipelined halves ----------------------------------------------------
+
+    def send_nowait(self, frame: Dict[str, Any]) -> None:
+        """Queue one request frame without waiting for the response."""
+        if self._writer is None:
+            raise ClientError("client is not connected")
+        self._writer.write(wire.encode_frame(frame))
+        self._pending += 1
+
+    async def drain(self) -> None:
+        if self._writer is not None:
+            await self._writer.drain()
+
+    async def recv_response(self) -> Dict[str, Any]:
+        """Await the next response; raises the reconstructed exception
+        on an error frame."""
+        if self._reader is None:
+            raise ClientError("client is not connected")
+        frame = await wire.read_frame(self._reader, max_frame=self.max_frame)
+        self._pending = max(0, self._pending - 1)
+        return _unwrap(frame)
+
+    async def request(self, frame: Dict[str, Any]) -> Dict[str, Any]:
+        self.send_nowait(frame)
+        await self.drain()
+        return await self.recv_response()
+
+    # -- await-per-request helpers -------------------------------------------
+
+    async def execute(
+        self, sql: str, params: Sequence[Any] = ()
+    ) -> ResultSet:
+        return _result_set(await self.request(
+            {"op": "execute", "sql": sql, "params": list(params)}
+        ))
+
+    async def query(self, sql: str, params: Sequence[Any] = ()) -> ResultSet:
+        return _result_set(await self.request(
+            {"op": "query", "sql": sql, "params": list(params)}
+        ))
+
+    async def begin(self, isolation: Optional[object] = None) -> None:
+        level = coerce_isolation(isolation)
+        response = await self.request(
+            {"op": "begin",
+             "isolation": None if level is None else level.name}
+        )
+        self.gtid = response.get("gtid")
+
+    async def commit(self) -> None:
+        await self.request({"op": "commit"})
+
+    async def rollback(self) -> None:
+        await self.request({"op": "rollback"})
+
+    async def batch(
+        self, stmts: Sequence[Tuple[str, Sequence[Any]]]
+    ) -> List[int]:
+        response = await self.request(
+            {"op": "batch",
+             "stmts": [[sql, list(params)] for sql, params in stmts]}
+        )
+        self.gtid = response.get("gtid")
+        return [int(n) for n in response.get("rowcounts", ())]
+
+    async def ping(self) -> bool:
+        return bool((await self.request({"op": "ping"})).get("ok"))
+
+
+class AsyncClientPool:
+    """A bounded pool of connected :class:`AsyncSQLClient` instances."""
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        size: int = 8,
+        client_name: str = "pool",
+    ):
+        if size < 1:
+            raise ValueError("pool size must be >= 1")
+        self.host = host
+        self.port = port
+        self.size = size
+        self.client_name = client_name
+        self._idle: "asyncio.Queue[AsyncSQLClient]" = asyncio.Queue()
+        self._clients: List[AsyncSQLClient] = []
+
+    async def open(self) -> None:
+        for index in range(self.size):
+            client = AsyncSQLClient(
+                self.host, self.port,
+                client_name=f"{self.client_name}.{index}",
+            )
+            await client.connect()
+            self._clients.append(client)
+            self._idle.put_nowait(client)
+
+    async def close(self) -> None:
+        clients, self._clients = self._clients, []
+        self._idle = asyncio.Queue()
+        for client in clients:
+            await client.close()
+
+    def acquire(self) -> "_PoolLease":
+        """``async with pool.acquire() as client: ...``"""
+        return _PoolLease(self)
+
+    async def __aenter__(self) -> "AsyncClientPool":
+        await self.open()
+        return self
+
+    async def __aexit__(self, exc_type, exc, tb) -> None:
+        await self.close()
+
+
+class _PoolLease:
+    def __init__(self, pool: AsyncClientPool):
+        self.pool = pool
+        self.client: Optional[AsyncSQLClient] = None
+
+    async def __aenter__(self) -> AsyncSQLClient:
+        self.client = await self.pool._idle.get()
+        if not self.client.connected:
+            await self.client.connect()
+        return self.client
+
+    async def __aexit__(self, exc_type, exc, tb) -> None:
+        if self.client is not None:
+            self.pool._idle.put_nowait(self.client)
+            self.client = None

@@ -1,0 +1,173 @@
+"""The wire protocol: length-prefixed JSON frames.
+
+One frame is a 4-byte big-endian unsigned length followed by exactly
+that many bytes of UTF-8 JSON.  Requests are objects with an ``op``
+key; responses carry ``ok: true`` plus a result block, or ``ok: false``
+plus the error taxonomy object of :mod:`repro.serve.errors`.
+
+The request vocabulary:
+
+========  ==================================================
+op        payload
+========  ==================================================
+hello     ``client`` (name), ``priority`` (0 = highest)
+execute   ``sql``, ``params``
+query     ``sql``, ``params`` (read-only)
+begin     ``isolation`` (level name or null)
+commit    --
+rollback  --
+abandon   -- (drop txn affinity without rollback; post-crash)
+batch     ``stmts``: ``[[sql, params], ...]`` -- one whole
+          transaction, executed atomically server-side
+ping      --
+goodbye   --
+========  ==================================================
+
+Framing errors are *protocol* errors, not SQL errors: a malformed or
+oversized length prefix poisons the byte stream (there is no way to
+find the next frame boundary), so the decoder raises
+:class:`FrameError` and the server hangs up after one final error
+frame.  Partial reads are normal -- :class:`FrameDecoder` buffers
+fragments until a frame completes, which is what makes the protocol
+safe over real sockets that deliver bytes in arbitrary chunks.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from typing import Any, Dict, Iterator, List, Optional
+
+__all__ = [
+    "FrameDecoder",
+    "FrameError",
+    "HEADER_BYTES",
+    "MAX_FRAME_BYTES",
+    "encode_frame",
+    "read_frame",
+]
+
+#: bytes of the length prefix
+HEADER_BYTES = 4
+
+#: default ceiling on one frame's payload; a statement bigger than this
+#: is a client bug (or an attack), not a workload
+MAX_FRAME_BYTES = 1 << 20
+
+_HEADER = struct.Struct(">I")
+
+
+class FrameError(Exception):
+    """The byte stream violates the framing protocol (unrecoverable)."""
+
+
+def encode_frame(payload: Dict[str, Any]) -> bytes:
+    """One wire frame for ``payload``; raises :class:`FrameError` when
+    the encoded payload exceeds :data:`MAX_FRAME_BYTES`."""
+    body = json.dumps(payload, separators=(",", ":")).encode("utf-8")
+    if len(body) > MAX_FRAME_BYTES:
+        raise FrameError(
+            f"frame payload is {len(body)} bytes "
+            f"(limit {MAX_FRAME_BYTES})"
+        )
+    return _HEADER.pack(len(body)) + body
+
+
+class FrameDecoder:
+    """Incremental frame decoder for a byte stream.
+
+    Feed arbitrary chunks (including single bytes) with :meth:`feed`;
+    iterate completed frames with :meth:`frames`.  The decoder is
+    strict about the prefix: a zero or oversized length raises
+    :class:`FrameError` immediately -- once the prefix is wrong the
+    stream has no recoverable frame boundary.
+    """
+
+    def __init__(self, max_frame: int = MAX_FRAME_BYTES):
+        if max_frame < 1:
+            raise ValueError("max_frame must be >= 1")
+        self.max_frame = max_frame
+        self._buffer = bytearray()
+        self._needed: Optional[int] = None
+
+    @property
+    def pending_bytes(self) -> int:
+        """Bytes buffered but not yet consumed as a frame."""
+        return len(self._buffer)
+
+    def feed(self, data: bytes) -> List[Dict[str, Any]]:
+        """Absorb ``data``; return every frame it completed, in order."""
+        self._buffer.extend(data)
+        return list(self.frames())
+
+    def frames(self) -> Iterator[Dict[str, Any]]:
+        while True:
+            if self._needed is None:
+                if len(self._buffer) < HEADER_BYTES:
+                    return
+                (length,) = _HEADER.unpack_from(self._buffer)
+                if length == 0:
+                    raise FrameError("zero-length frame")
+                if length > self.max_frame:
+                    raise FrameError(
+                        f"frame of {length} bytes exceeds the "
+                        f"{self.max_frame}-byte limit"
+                    )
+                del self._buffer[:HEADER_BYTES]
+                self._needed = length
+            if len(self._buffer) < self._needed:
+                return
+            body = bytes(self._buffer[: self._needed])
+            del self._buffer[: self._needed]
+            self._needed = None
+            yield decode_body(body)
+
+
+def decode_body(body: bytes) -> Dict[str, Any]:
+    """Decode one frame body; malformed JSON is a protocol error."""
+    try:
+        payload = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as error:
+        raise FrameError(f"frame body is not valid JSON: {error}") from error
+    if not isinstance(payload, dict):
+        raise FrameError(
+            f"frame payload must be an object, got {type(payload).__name__}"
+        )
+    return payload
+
+
+async def read_frame(
+    reader, max_frame: int = MAX_FRAME_BYTES
+) -> Optional[Dict[str, Any]]:
+    """Read one frame from an :class:`asyncio.StreamReader`.
+
+    Returns ``None`` on clean EOF at a frame boundary; raises
+    :class:`FrameError` on a bad prefix or a stream truncated inside a
+    frame (the peer died mid-write).
+    """
+    import asyncio
+
+    try:
+        header = await reader.readexactly(HEADER_BYTES)
+    except asyncio.IncompleteReadError as error:
+        if not error.partial:
+            return None
+        raise FrameError(
+            f"stream truncated inside a frame header "
+            f"({len(error.partial)}/{HEADER_BYTES} bytes)"
+        ) from error
+    (length,) = _HEADER.unpack(header)
+    if length == 0:
+        raise FrameError("zero-length frame")
+    if length > max_frame:
+        raise FrameError(
+            f"frame of {length} bytes exceeds the {max_frame}-byte limit"
+        )
+    try:
+        body = await reader.readexactly(length)
+    except asyncio.IncompleteReadError as error:
+        raise FrameError(
+            f"stream truncated inside a frame body "
+            f"({len(error.partial)}/{length} bytes)"
+        ) from error
+    return decode_body(body)

@@ -40,7 +40,7 @@ class ShardRunResult:
     """Outcome of one fleet load-driver run."""
 
     n_shards: int
-    driver: str  # "inline" | "mp" | "mp-fallback"
+    driver: str  # "inline" | "socket" | "mp" | "mp-fallback"
     cross_ratio: float
     transactions: int
     committed: int
@@ -78,6 +78,7 @@ def run_inline(
     observer=None,
     chaos=None,
     arrival: str = "closed",
+    transport: str = "inline",
 ) -> ShardRunResult:
     """Drive one in-process fleet through ``transactions`` payments.
 
@@ -88,31 +89,61 @@ def run_inline(
     them against a seeded arrival schedule for the
     coordinated-omission-free sojourn percentiles.  An ``auto`` rate
     pins the offered load at the observed service rate (the knee).
+
+    ``transport`` picks the :class:`~repro.core.client.Client` the
+    workload speaks through: ``"inline"`` (default) is the in-process
+    :class:`~repro.core.client.FleetClient`; ``"socket"`` boots a
+    loopback :class:`~repro.serve.server.SQLServer` over the same fleet
+    and drives the identical workload through a
+    :class:`~repro.serve.client.SocketClient` -- same seeds, same
+    statement sequence, same counters, but every statement pays the
+    real wire.
     """
     from repro.perf.openloop import parse_arrival
 
     if transactions < 1:
         raise ValueError("transactions must be >= 1")
+    if transport not in ("inline", "socket"):
+        raise ValueError(
+            f"unknown transport {transport!r}; use 'inline' or 'socket'"
+        )
     spec = parse_arrival(arrival)
     fleet, _data = load_sales_fleet(
         n_shards, scale_factor=scale_factor, row_scale=row_scale,
         seed=seed, observer=observer, chaos=chaos,
     )
-    workload = ShardSalesWorkload(fleet, cross_ratio=cross_ratio, seed=seed)
-    fsyncs_before = fleet.fsyncs
-    service_s: List[float] = []
-    wall_start = time.perf_counter()
-    cpu_start = time.process_time()
-    if spec.is_open:
-        for _ in range(transactions):
-            begin = time.perf_counter()
-            workload.run_one()
-            service_s.append(time.perf_counter() - begin)
-    else:
-        for _ in range(transactions):
-            workload.run_one()
-    cpu_s = time.process_time() - cpu_start
-    wall_s = time.perf_counter() - wall_start
+    background = None
+    client = None
+    if transport == "socket":
+        from repro.serve.client import SocketClient
+        from repro.serve.driver import BackgroundServer
+
+        background = BackgroundServer(fleet, observer=observer)
+        host, port = background.start()
+        client = SocketClient(host, port, client_name="shard-inline")
+    try:
+        workload = ShardSalesWorkload(
+            fleet, cross_ratio=cross_ratio, seed=seed, client=client
+        )
+        fsyncs_before = fleet.fsyncs
+        service_s: List[float] = []
+        wall_start = time.perf_counter()
+        cpu_start = time.process_time()
+        if spec.is_open:
+            for _ in range(transactions):
+                begin = time.perf_counter()
+                workload.run_one()
+                service_s.append(time.perf_counter() - begin)
+        else:
+            for _ in range(transactions):
+                workload.run_one()
+        cpu_s = time.process_time() - cpu_start
+        wall_s = time.perf_counter() - wall_start
+        if client is not None:
+            client.close()
+    finally:
+        if background is not None:
+            background.stop()
     latency_ms: Dict[str, float] = {}
     openloop_ms: Dict[str, float] = {}
     if spec.is_open:
@@ -132,7 +163,7 @@ def run_inline(
                 observer.observe("shard.txn.service_s", duration)
     return ShardRunResult(
         n_shards=n_shards,
-        driver="inline",
+        driver="inline" if transport == "inline" else "socket",
         cross_ratio=cross_ratio,
         transactions=transactions,
         committed=workload.committed,
@@ -292,8 +323,14 @@ def run_scaleout(
     driver: str = "inline",
     observer=None,
     arrival: str = "closed",
+    transport: str = "inline",
 ) -> List[ShardRunResult]:
-    """Sweep shard counts with a fixed workload; one result per count."""
+    """Sweep shard counts with a fixed workload; one result per count.
+
+    ``transport`` only applies to the inline driver (the mp driver's
+    workers are already process-isolated); ``"socket"`` reruns the same
+    sweep through the serving tier's loopback socket.
+    """
     if driver not in ("inline", "mp"):
         raise ValueError(f"unknown driver {driver!r}; use 'inline' or 'mp'")
     results = []
@@ -307,6 +344,6 @@ def run_scaleout(
             results.append(run_inline(
                 n_shards, transactions, cross_ratio=cross_ratio, seed=seed,
                 scale_factor=scale_factor, row_scale=row_scale,
-                observer=observer, arrival=arrival,
+                observer=observer, arrival=arrival, transport=transport,
             ))
     return results

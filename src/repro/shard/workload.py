@@ -8,14 +8,23 @@ transactions picks the customer on a *different* shard, forcing the
 coordinator through full two-phase commit.  Sweeping the ratio is how
 the scale-out evaluator prices distributed transactions.
 
+Both workloads speak the transport-agnostic
+:class:`~repro.core.client.Client` protocol: by default they build an
+in-process :class:`~repro.core.client.FleetClient` /
+:class:`~repro.core.client.EngineClient`, but any client with the same
+verbs -- notably :class:`repro.serve.client.SocketClient` -- can be
+passed in, and the workload (statement sequence, RNG draws, outcome
+classification) is byte-identical over the wire.
+
 :class:`LocalShardWorkload` is the same transaction against one
 standalone shard -- what each multiprocess load-driver worker runs.
 """
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Optional
 
+from repro.core.client import Client, EngineClient, FleetClient
 from repro.engine.database import Database
 from repro.engine.errors import EngineError, SimulatedCrash
 from repro.sim.rng import RngRegistry, derive_seed
@@ -42,14 +51,36 @@ def _customer_keys(db: Database) -> List[int]:
     return sorted(row[index] for _rid, row in db.table("CUSTOMER").scan())
 
 
+def _quiet_rollback(client: Client) -> None:
+    """Roll back an open transaction without masking the real error."""
+    if not client.in_txn:
+        return
+    try:
+        client.rollback()
+    except EngineError:
+        pass
+    finally:
+        # a rollback a dead shard swallowed must not pin the client
+        if client.in_txn:
+            client.abandon()
+
+
 class ShardSalesWorkload:
     """Payment transactions against a :class:`ShardedDatabase`."""
 
-    def __init__(self, fleet: ShardedDatabase, cross_ratio: float = 0.0, seed: int = 42):
+    def __init__(
+        self,
+        fleet: ShardedDatabase,
+        cross_ratio: float = 0.0,
+        seed: int = 42,
+        client: Optional[Client] = None,
+    ):
         if not 0.0 <= cross_ratio <= 1.0:
             raise ValueError("cross_ratio must be in [0, 1]")
         self.fleet = fleet
         self.cross_ratio = cross_ratio
+        self.client: Client = client if client is not None else FleetClient(fleet)
+        self.client.connect()
         self._rng = RngRegistry(seed).stream("shard.workload")
         self._orders = [_order_keys(shard) for shard in fleet.shards]
         self._customers = [_customer_keys(shard) for shard in fleet.shards]
@@ -77,10 +108,22 @@ class ShardSalesWorkload:
         customer_id = rng.choice(self._customers[customer_shard])
         amount = round(rng.uniform(1.0, 100.0), 2)
         self._now += 1.0
+        client = self.client
         try:
-            with self.fleet.begin() as gtxn:
-                self.fleet.execute(UPDATE_ORDER, [self._now, order_id], gtxn=gtxn)
-                self.fleet.execute(UPDATE_CUSTOMER, [amount, customer_id], gtxn=gtxn)
+            client.begin()
+            try:
+                client.execute(UPDATE_ORDER, [self._now, order_id])
+                client.execute(UPDATE_CUSTOMER, [amount, customer_id])
+                client.commit()
+            except SimulatedCrash:
+                # Leave every branch exactly as the protocol left it --
+                # fleet crash recovery resolves that dangling state; the
+                # client only drops affinity so it can begin() afresh.
+                client.abandon()
+                raise
+            except BaseException:
+                _quiet_rollback(client)
+                raise
         except SimulatedCrash:
             # Not a transaction abort: the coordinator (or a shard) died
             # mid-protocol.  The caller owns fail-over (crash + recover).
@@ -104,8 +147,16 @@ class LocalShardWorkload:
     multiprocess driver measures pure single-shard throughput.
     """
 
-    def __init__(self, db: Database, shard_id: int, seed: int = 42):
+    def __init__(
+        self,
+        db: Database,
+        shard_id: int,
+        seed: int = 42,
+        client: Optional[Client] = None,
+    ):
         self.db = db
+        self.client: Client = client if client is not None else EngineClient(db)
+        self.client.connect()
         self._rng = RngRegistry(
             derive_seed(seed, f"shard.{shard_id}")
         ).stream("shard.workload")
@@ -123,10 +174,16 @@ class LocalShardWorkload:
         customer_id = rng.choice(self._customers)
         amount = round(rng.uniform(1.0, 100.0), 2)
         self._now += 1.0
+        client = self.client
         try:
-            with self.db.begin() as txn:
-                self.db.execute(UPDATE_ORDER, [self._now, order_id], txn=txn)
-                self.db.execute(UPDATE_CUSTOMER, [amount, customer_id], txn=txn)
+            client.begin()
+            try:
+                client.execute(UPDATE_ORDER, [self._now, order_id])
+                client.execute(UPDATE_CUSTOMER, [amount, customer_id])
+                client.commit()
+            except BaseException:
+                _quiet_rollback(client)
+                raise
         except EngineError as error:
             if not error.retryable:
                 raise

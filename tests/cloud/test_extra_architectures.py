@@ -64,7 +64,7 @@ def test_runs_through_the_full_testbed(registered):
     config = BenchConfig.quick()
     config.architectures = ["cdb4", "multi_primary"]
     bench = CloudyBench(config)
-    rows = {row.arch_name: row for row in bench.run_pscore()}
+    rows = {row.arch_name: row for row in bench.run("pscore").payload}
     assert rows["multi_primary"].p_avg > 0
     # the global-lock write path keeps its RW below CDB4's
     assert rows["multi_primary"].tps_by_mode["RW"] < rows["cdb4"].tps_by_mode["RW"] * 1.2

@@ -156,13 +156,13 @@ class TestRunnerIntegration:
         return CloudyBench(config)
 
     def test_throughput_matrix_keys(self, bench):
-        data = bench.run_throughput()
+        data = bench.run("throughput").payload
         assert ("aws_rds", 1, "RO", 50) in data
         assert len(data) == 2 * 1 * 3 * 2  # archs x sfs x modes x cons
         assert all(tps > 0 for tps in data.values())
 
     def test_pscore_rows(self, bench):
-        rows = bench.run_pscore()
+        rows = bench.run("pscore").payload
         assert [row.arch_name for row in rows] == ["aws_rds", "cdb3"]
         for row in rows:
             assert row.total_cost_per_minute > 0
@@ -173,13 +173,13 @@ class TestRunnerIntegration:
             bench.mix_for("HTAP")
 
     def test_elasticity_results_cached(self, bench):
-        first = bench.run_elasticity()
-        second = bench.run_elasticity()
+        first = bench.run("elasticity").payload
+        second = bench.run("elasticity").payload
         assert first is second
         assert set(first) == {"aws_rds", "cdb3"}
 
     def test_overall_scores_complete(self, bench):
-        scores = bench.overall()
+        scores = bench.run("overall").payload
         for name, perfect in scores.items():
             assert perfect.p > 0
             assert perfect.e1 > 0

@@ -118,29 +118,49 @@ class TestOutcomes:
 
 
 class TestLegacyWrappers:
-    """The old ``run_*`` surface keeps its return shapes and cache identity."""
+    """The old ``run_*`` shims still delegate, but warn on every call."""
 
     def test_throughput_shape(self, bench):
-        data = bench.run_throughput()
+        with pytest.deprecated_call():
+            data = bench.run_throughput()
         assert isinstance(data, dict)
         assert ("aws_rds", 1, "RO", 50) in data
         assert data is bench.run("throughput").payload
 
     def test_pscore_shape(self, bench):
-        rows = bench.run_pscore()
+        with pytest.deprecated_call():
+            rows = bench.run_pscore()
         assert [row.arch_name for row in rows] == ["aws_rds", "cdb3"]
 
     def test_elasticity_cache_identity(self, bench):
-        assert bench.run_elasticity() is bench.run_elasticity()
-        assert bench.run_elasticity() is bench.run("elasticity").payload
+        with pytest.deprecated_call():
+            first = bench.run_elasticity()
+        with pytest.deprecated_call():
+            second = bench.run_elasticity()
+        assert first is second
+        assert first is bench.run("elasticity").payload
 
     def test_failover_shape(self, bench):
-        results = bench.run_failover()
+        with pytest.deprecated_call():
+            results = bench.run_failover()
         assert set(results) == {"aws_rds", "cdb3"}
 
     def test_overall_wrapper(self, bench):
-        scores = bench.overall()
+        with pytest.deprecated_call():
+            scores = bench.overall()
         assert set(scores) == {"aws_rds", "cdb3"}
+
+    def test_warning_names_the_replacement(self, bench):
+        with pytest.warns(DeprecationWarning, match=r'run\("throughput"\)'):
+            bench.run_throughput()
+
+    def test_registry_api_does_not_warn(self, bench, recwarn):
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            bench.run("throughput")
+            bench.run("pscore")
 
 
 class TestCli:

@@ -1,0 +1,133 @@
+"""Transport parity: the ``Client`` protocol over sockets vs in-process.
+
+The same verbs against the same seeded data must produce the same
+rows, the same exception classes, and the same ``retryable``
+classification whether the transport is a function call
+(:class:`FleetClient`) or a real TCP socket (:class:`SocketClient`).
+"""
+
+import pytest
+
+from repro.core.client import (
+    Client,
+    ClientError,
+    EngineClient,
+    FleetClient,
+)
+from repro.engine.database import Database
+from repro.engine.errors import EngineError
+from repro.serve.client import SocketClient
+from repro.serve.driver import BackgroundServer, collect_keys
+from repro.shard.fleet import load_sales_fleet
+
+READ_CREDIT = "SELECT C_CREDIT FROM CUSTOMER WHERE C_ID = ?"
+BUMP_CREDIT = "UPDATE CUSTOMER SET C_CREDIT = C_CREDIT + ? WHERE C_ID = ?"
+
+
+def _fleet(name):
+    db, _data = load_sales_fleet(2, row_scale=0.001, seed=42, name=name)
+    return db
+
+
+class TestProtocolShape:
+    def test_every_transport_satisfies_the_protocol(self):
+        fleet = _fleet("proto-a")
+        assert isinstance(FleetClient(fleet), Client)
+        assert isinstance(EngineClient(Database("proto-db")), Client)
+        assert isinstance(SocketClient("127.0.0.1", 1), Client)
+
+
+class _ParityHarness:
+    """One in-process client and one socket client over twin fleets."""
+
+    def __init__(self):
+        self.inline_fleet = _fleet("parity-inline")
+        self.socket_fleet = _fleet("parity-socket")
+        self.keys = collect_keys(self.inline_fleet)
+        self.bg = BackgroundServer(self.socket_fleet)
+
+    def __enter__(self):
+        host, port = self.bg.start()
+        self.inline = FleetClient(self.inline_fleet)
+        self.inline.connect()
+        self.socket = SocketClient(host, port, client_name="parity")
+        self.socket.connect()
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        self.socket.close()
+        self.inline.close()
+        self.bg.stop()
+
+    @property
+    def clients(self):
+        return (self.inline, self.socket)
+
+
+class TestParity:
+    def test_identical_rows_and_rowcounts(self):
+        with _ParityHarness() as harness:
+            cids = harness.keys["customers"][:4]
+            for client in harness.clients:
+                for index, cid in enumerate(cids):
+                    result = client.execute(BUMP_CREDIT, [float(index), cid])
+                    assert result.rowcount == 1
+            rows_inline = [
+                harness.inline.query(READ_CREDIT, [cid]).rows for cid in cids
+            ]
+            rows_socket = [
+                harness.socket.query(READ_CREDIT, [cid]).rows for cid in cids
+            ]
+            assert rows_inline == rows_socket
+
+    def test_transactions_commit_identically(self):
+        with _ParityHarness() as harness:
+            cid = harness.keys["customers"][0]
+            for client in harness.clients:
+                client.begin()
+                assert client.in_txn
+                client.execute(BUMP_CREDIT, [7.5, cid])
+                client.commit()
+                assert not client.in_txn
+                assert client.gtid is not None  # both are fleet transports
+            assert (
+                harness.inline.query(READ_CREDIT, [cid]).rows
+                == harness.socket.query(READ_CREDIT, [cid]).rows
+            )
+
+    def test_sql_errors_match_class_and_retryable(self):
+        with _ParityHarness() as harness:
+            caught = {}
+            for label, client in zip(("inline", "socket"), harness.clients):
+                with pytest.raises(EngineError) as exc_info:
+                    client.query("SELECT * FROM NO_SUCH_TABLE", [])
+                caught[label] = exc_info.value
+            assert type(caught["inline"]) is type(caught["socket"])
+            assert (
+                caught["inline"].retryable == caught["socket"].retryable
+            )
+
+    def test_protocol_misuse_matches(self):
+        with _ParityHarness() as harness:
+            for client in harness.clients:
+                with pytest.raises(ClientError):
+                    client.commit()  # outside a transaction
+                client.begin()
+                with pytest.raises(ClientError):
+                    client.begin()  # inside an open transaction
+                client.rollback()
+
+    def test_abandon_then_begin_afresh(self):
+        """The post-crash convention works identically over the wire:
+        abandon() drops affinity without rollback, and the session can
+        begin the next transaction."""
+        with _ParityHarness() as harness:
+            cid = harness.keys["customers"][1]
+            for client in harness.clients:
+                client.begin()
+                client.execute(BUMP_CREDIT, [1.0, cid])
+                client.abandon()
+                assert not client.in_txn
+                client.abandon()  # idempotent outside a transaction
+                client.begin()
+                client.commit()

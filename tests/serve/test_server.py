@@ -1,0 +1,368 @@
+"""SQLServer behaviour over real sockets.
+
+Covers the ISSUE's serving-tier edge cases end-to-end: transaction
+affinity, pipelining order, connection limits, oversized statements,
+malformed length prefixes, partial reads, mid-pipeline connection
+drops, and server-side session cleanup after an abrupt disconnect.
+"""
+
+import asyncio
+import socket
+import struct
+import time
+
+import pytest
+
+from repro.chaos.plan import FaultKind, FaultPlan, FaultSpec
+from repro.engine.errors import (
+    DeadlineExceededError,
+    OverloadError,
+    SqlError,
+)
+from repro.qos.admission import AdmissionPolicy
+from repro.serve.client import AsyncSQLClient, SocketClient
+from repro.serve.driver import BackgroundServer, collect_keys
+from repro.serve.server import ServeFaultInjector, ServerConfig, SQLServer
+from repro.serve.wire import FrameDecoder
+from repro.shard.fleet import load_sales_fleet
+
+READ_CREDIT = "SELECT C_CREDIT FROM CUSTOMER WHERE C_ID = ?"
+BUMP_CREDIT = "UPDATE CUSTOMER SET C_CREDIT = C_CREDIT + ? WHERE C_ID = ?"
+
+
+@pytest.fixture
+def fleet():
+    db, _data = load_sales_fleet(
+        2, row_scale=0.001, seed=42, name="serve-test"
+    )
+    return db
+
+
+def _credit(client, cid):
+    return client.query(READ_CREDIT, [cid]).rows[0][0]
+
+
+class TestSessions:
+    def test_txn_affinity_commit_and_rollback(self, fleet):
+        keys = collect_keys(fleet)
+        cid = keys["customers"][0]
+        with BackgroundServer(fleet) as bg:
+            host, port = bg.server.address
+            client = SocketClient(host, port)
+            client.connect()
+            before = _credit(client, cid)
+
+            client.begin()
+            client.execute(BUMP_CREDIT, [5.0, cid])
+            # reads inside the transaction see its own writes
+            assert _credit(client, cid) == pytest.approx(before + 5.0)
+            client.rollback()
+            assert _credit(client, cid) == pytest.approx(before)
+
+            client.begin()
+            client.execute(BUMP_CREDIT, [5.0, cid])
+            client.commit()
+            assert _credit(client, cid) == pytest.approx(before + 5.0)
+            assert not client.in_txn
+            client.close()
+
+    def test_clean_goodbye_is_not_abrupt(self, fleet):
+        with BackgroundServer(fleet) as bg:
+            host, port = bg.server.address
+            client = SocketClient(host, port)
+            client.connect()
+            assert client.ping()
+            client.close()
+            time.sleep(0.05)
+            assert bg.server.accepted == 1
+            assert bg.server.abrupt_disconnects == 0
+            assert bg.server.orphan_rollbacks == 0
+
+    def test_unknown_op_is_a_protocol_error(self, fleet):
+        with BackgroundServer(fleet) as bg:
+            host, port = bg.server.address
+            client = SocketClient(host, port)
+            client.connect()
+            with pytest.raises(SqlError, match="protocol: unknown op"):
+                client._request({"op": "transmogrify"})
+            client.close()
+
+    def test_abandon_drops_affinity_without_rollback(self, fleet):
+        keys = collect_keys(fleet)
+        cid = keys["customers"][0]
+        with BackgroundServer(fleet) as bg:
+            host, port = bg.server.address
+            client = SocketClient(host, port)
+            client.connect()
+            client.begin()
+            client.execute(BUMP_CREDIT, [1.0, cid])
+            client.abandon()
+            assert not client.in_txn
+            # the session can begin afresh (fresh gtid, clean commit)
+            client.begin()
+            first = client.gtid
+            client.commit()
+            assert first is not None
+            client.close()
+
+
+class TestPipelining:
+    def test_responses_come_back_in_request_order(self, fleet):
+        keys = collect_keys(fleet)
+        cids = keys["customers"][:8]
+
+        async def scenario():
+            async with SQLServer(fleet, ServerConfig(qos=False)) as server:
+                host, port = server.address
+                client = AsyncSQLClient(host, port)
+                await client.connect()
+                expected = []
+                for cid in cids:
+                    result = await client.query(READ_CREDIT, [cid])
+                    expected.append(result.rows[0][0])
+                # now pipeline all eight without awaiting any response
+                for cid in cids:
+                    client.send_nowait(
+                        {"op": "query", "sql": READ_CREDIT, "params": [cid]}
+                    )
+                await client.drain()
+                assert client.pending == len(cids)
+                got = []
+                for _ in cids:
+                    frame = await client.recv_response()
+                    got.append(frame["rows"][0][0])
+                assert got == expected
+                assert client.pending == 0
+                await client.close()
+
+        asyncio.run(scenario())
+
+    def test_mid_pipeline_connection_drop(self, fleet):
+        """CONN_DROP mid-pipeline: the client sees a dead connection,
+        the server counts the abrupt disconnect, the injector fired."""
+        plan = FaultPlan(
+            [FaultSpec(kind=FaultKind.CONN_DROP, target="serve",
+                       start_s=0.2, duration_s=3600.0, intensity=1.0)],
+            seed=7, name="drop-everything",
+        )
+        injector = ServeFaultInjector(plan, seed=7)
+
+        async def scenario():
+            server = SQLServer(
+                fleet, ServerConfig(qos=False), fault_injector=injector
+            )
+            await server.start()
+            try:
+                client = AsyncSQLClient(host=server.address[0],
+                                        port=server.address[1])
+                await client.connect()  # before the drop window opens
+                await asyncio.sleep(0.25)
+                for _ in range(4):
+                    client.send_nowait({"op": "ping"})
+                await client.drain()
+                with pytest.raises(
+                    (ConnectionError, OSError, asyncio.IncompleteReadError)
+                ):
+                    for _ in range(4):
+                        await client.recv_response()
+                client.abort()
+                for _ in range(100):
+                    if server.abrupt_disconnects:
+                        break
+                    await asyncio.sleep(0.01)
+            finally:
+                await server.stop()
+            assert injector.drops >= 1
+            assert server.abrupt_disconnects >= 1
+
+        asyncio.run(scenario())
+
+
+class TestSessionCleanup:
+    def test_abrupt_disconnect_rolls_back_the_orphan_txn(self, fleet):
+        keys = collect_keys(fleet)
+        cid = keys["customers"][0]
+
+        async def scenario():
+            async with SQLServer(fleet, ServerConfig(qos=False)) as server:
+                host, port = server.address
+                probe = AsyncSQLClient(host, port, client_name="probe")
+                await probe.connect()
+                before = (await probe.query(READ_CREDIT, [cid])).rows[0][0]
+
+                victim = AsyncSQLClient(host, port, client_name="victim")
+                await victim.connect()
+                await victim.begin()
+                await victim.execute(BUMP_CREDIT, [9.0, cid])
+                # the client dies mid-write: half a frame, then the
+                # connection is gone -- a truncated stream, not a clean
+                # EOF at a frame boundary
+                victim._writer.write(struct.pack(">I", 64) + b'{"op')
+                await victim.drain()
+                await asyncio.sleep(0.05)
+                victim.abort()
+
+                for _ in range(200):
+                    if server.orphan_rollbacks:
+                        break
+                    await asyncio.sleep(0.01)
+                assert server.abrupt_disconnects == 1
+                assert server.orphan_rollbacks == 1
+
+                # the write was rolled back and the lock released: a new
+                # transaction on the same row commits cleanly
+                after = (await probe.query(READ_CREDIT, [cid])).rows[0][0]
+                assert after == pytest.approx(before)
+                await probe.begin()
+                await probe.execute(BUMP_CREDIT, [1.0, cid])
+                await probe.commit()
+                await probe.close()
+
+        asyncio.run(scenario())
+
+
+class TestFraming:
+    def test_oversized_statement_errors_then_hangs_up(self, fleet):
+        config = ServerConfig(qos=False, max_frame=512)
+        with BackgroundServer(fleet, config) as bg:
+            host, port = bg.server.address
+            client = SocketClient(host, port)
+            client.connect()
+            with pytest.raises(SqlError, match="protocol.*exceeds"):
+                client.execute(
+                    "SELECT C_CREDIT FROM CUSTOMER WHERE C_ID = ? "
+                    + "-- " + "x" * 2000,
+                    [1],
+                )
+            # the stream is poisoned: the server hung up after the
+            # error frame, so the next request finds a dead connection
+            with pytest.raises((ConnectionError, OSError)):
+                client.ping()
+            time.sleep(0.05)
+            assert bg.server.abrupt_disconnects == 1
+
+    def test_malformed_length_prefix_gets_one_error_frame(self, fleet):
+        with BackgroundServer(fleet) as bg:
+            host, port = bg.server.address
+            raw = socket.create_connection((host, port), timeout=5.0)
+            try:
+                raw.sendall(b"\x00\x00\x00\x00")  # zero-length prefix
+                decoder = FrameDecoder()
+                frames = []
+                while not frames:
+                    data = raw.recv(65536)
+                    if not data:
+                        break
+                    frames.extend(decoder.feed(data))
+                assert frames, "expected a final error frame before close"
+                assert frames[0]["ok"] is False
+                assert "protocol" in frames[0]["error"]["message"]
+                assert frames[0]["error"]["retryable"] is False
+                # and then the hang-up
+                assert raw.recv(65536) == b""
+            finally:
+                raw.close()
+
+    def test_partial_reads_assemble_into_whole_frames(self, fleet):
+        """A frame delivered one byte at a time still gets served."""
+        from repro.serve.wire import encode_frame
+
+        with BackgroundServer(fleet) as bg:
+            host, port = bg.server.address
+            raw = socket.create_connection((host, port), timeout=5.0)
+            try:
+                hello = encode_frame({"op": "hello", "client": "dribble"})
+                for index in range(len(hello)):
+                    raw.sendall(hello[index:index + 1])
+                decoder = FrameDecoder()
+                frames = []
+                while not frames:
+                    frames.extend(decoder.feed(raw.recv(65536)))
+                assert frames[0]["ok"] is True
+                assert frames[0]["n_shards"] == 2
+
+                ping = encode_frame({"op": "ping"})
+                raw.sendall(ping[:3])
+                time.sleep(0.02)
+                raw.sendall(ping[3:])
+                frames = []
+                while not frames:
+                    frames.extend(decoder.feed(raw.recv(65536)))
+                assert frames[0] == {"ok": True}
+            finally:
+                raw.close()
+
+
+class TestAdmission:
+    def test_connection_limit_sheds_with_a_retryable_error(self, fleet):
+        config = ServerConfig(qos=False, max_connections=1)
+        with BackgroundServer(fleet, config) as bg:
+            host, port = bg.server.address
+            first = SocketClient(host, port, client_name="first")
+            first.connect()
+            second = SocketClient(host, port, client_name="second")
+            with pytest.raises(OverloadError) as exc_info:
+                second.connect()
+            assert exc_info.value.retryable is True
+            assert bg.server.rejected == 1
+            assert not second.connected  # rejected handshake tore down
+
+            first.close()
+            # the slot frees as the server finishes the first session
+            for _ in range(200):
+                try:
+                    second.connect()
+                    break
+                except OverloadError:
+                    time.sleep(0.01)
+            assert second.connected
+            second.close()
+
+    def test_full_admission_queue_sheds_statements(self, fleet):
+        config = ServerConfig(
+            qos=True, policy=AdmissionPolicy(max_queue=0)
+        )
+        with BackgroundServer(fleet, config) as bg:
+            host, port = bg.server.address
+            client = SocketClient(host, port)
+            client.connect()  # control ops bypass statement admission
+            with pytest.raises(OverloadError) as exc_info:
+                client.query(READ_CREDIT, [1])
+            assert exc_info.value.retryable is True
+            assert client.ping()  # the connection survived the shed
+            client.close()
+            assert bg.server.shed == 1
+            assert bg.server.errors == 0
+
+    def test_deadline_expires_queued_work_unexecuted(self, fleet):
+        config = ServerConfig(qos=True, deadline_s=1e-9)
+        with BackgroundServer(fleet, config) as bg:
+            host, port = bg.server.address
+            client = SocketClient(host, port)
+            client.connect()
+            with pytest.raises(DeadlineExceededError):
+                client.query(READ_CREDIT, [1])
+            client.close()
+            assert bg.server.expired == 1
+            assert bg.server.statements == 0  # never executed
+
+
+class TestFaultInjector:
+    def test_actions_follow_the_plan_windows(self):
+        plan = FaultPlan(
+            [
+                FaultSpec(kind=FaultKind.CONN_DROP, target="serve",
+                          start_s=1.0, duration_s=1.0, intensity=1.0),
+                FaultSpec(kind=FaultKind.CONN_STALL, target="serve",
+                          start_s=3.0, duration_s=1.0, intensity=0.5),
+            ],
+            seed=3,
+        )
+        injector = ServeFaultInjector(plan, seed=3, stall_scale_s=0.05)
+        assert injector.action(0.5) == ("none", 0.0)
+        assert injector.action(1.5) == ("drop", 0.0)
+        action, stall_s = injector.action(3.5)
+        assert action == "stall"
+        assert stall_s == pytest.approx(0.5 * 0.05)
+        assert injector.drops == 1
+        assert injector.stalls == 1

@@ -1,0 +1,139 @@
+"""Wire framing edge cases: partial reads, bad prefixes, truncation."""
+
+import asyncio
+import struct
+
+import pytest
+
+from repro.serve.wire import (
+    HEADER_BYTES,
+    FrameDecoder,
+    FrameError,
+    decode_body,
+    encode_frame,
+    read_frame,
+)
+
+
+def _frame(payload):
+    return encode_frame(payload)
+
+
+class TestEncodeFrame:
+    def test_roundtrip(self):
+        data = _frame({"op": "ping", "n": 1})
+        (length,) = struct.unpack(">I", data[:HEADER_BYTES])
+        assert length == len(data) - HEADER_BYTES
+        assert decode_body(data[HEADER_BYTES:]) == {"op": "ping", "n": 1}
+
+    def test_oversized_payload_raises(self):
+        with pytest.raises(FrameError, match="limit"):
+            encode_frame({"sql": "x" * (1 << 21)})
+
+
+class TestFrameDecoder:
+    def test_whole_frame(self):
+        decoder = FrameDecoder()
+        frames = decoder.feed(_frame({"op": "ping"}))
+        assert frames == [{"op": "ping"}]
+        assert decoder.pending_bytes == 0
+
+    def test_byte_at_a_time(self):
+        """Partial reads are normal: single-byte feeds still decode."""
+        decoder = FrameDecoder()
+        data = _frame({"op": "execute", "sql": "SELECT 1", "params": []})
+        frames = []
+        for index in range(len(data)):
+            got = decoder.feed(data[index:index + 1])
+            if index < len(data) - 1:
+                assert got == []
+            frames.extend(got)
+        assert frames == [{"op": "execute", "sql": "SELECT 1", "params": []}]
+
+    def test_many_frames_in_one_chunk(self):
+        decoder = FrameDecoder()
+        chunk = b"".join(_frame({"i": i}) for i in range(5))
+        assert decoder.feed(chunk) == [{"i": i} for i in range(5)]
+
+    def test_chunk_spanning_a_frame_boundary(self):
+        decoder = FrameDecoder()
+        data = _frame({"a": 1}) + _frame({"b": 2})
+        cut = len(_frame({"a": 1})) + 2  # two bytes into frame 2's header
+        assert decoder.feed(data[:cut]) == [{"a": 1}]
+        assert decoder.pending_bytes == 2
+        assert decoder.feed(data[cut:]) == [{"b": 2}]
+
+    def test_zero_length_prefix_poisons_the_stream(self):
+        decoder = FrameDecoder()
+        with pytest.raises(FrameError, match="zero-length"):
+            decoder.feed(b"\x00\x00\x00\x00")
+
+    def test_oversized_prefix_poisons_the_stream(self):
+        decoder = FrameDecoder(max_frame=256)
+        with pytest.raises(FrameError, match="exceeds"):
+            decoder.feed(struct.pack(">I", 257))
+
+    def test_malformed_json_body(self):
+        decoder = FrameDecoder()
+        body = b"{not json"
+        with pytest.raises(FrameError, match="not valid JSON"):
+            decoder.feed(struct.pack(">I", len(body)) + body)
+
+    def test_non_object_json_body(self):
+        decoder = FrameDecoder()
+        body = b"[1,2,3]"
+        with pytest.raises(FrameError, match="must be an object"):
+            decoder.feed(struct.pack(">I", len(body)) + body)
+
+    def test_max_frame_validation(self):
+        with pytest.raises(ValueError):
+            FrameDecoder(max_frame=0)
+
+
+def _reader_with(data, eof=True):
+    reader = asyncio.StreamReader()
+    reader.feed_data(data)
+    if eof:
+        reader.feed_eof()
+    return reader
+
+
+class TestReadFrame:
+    def test_one_frame(self):
+        async def scenario():
+            reader = _reader_with(_frame({"op": "ping"}))
+            assert await read_frame(reader) == {"op": "ping"}
+            assert await read_frame(reader) is None  # clean EOF after
+
+        asyncio.run(scenario())
+
+    def test_clean_eof_at_boundary_is_none(self):
+        async def scenario():
+            return await read_frame(_reader_with(b""))
+
+        assert asyncio.run(scenario()) is None
+
+    def test_truncated_header(self):
+        async def scenario():
+            with pytest.raises(FrameError, match="inside a frame header"):
+                await read_frame(_reader_with(b"\x00\x00"))
+
+        asyncio.run(scenario())
+
+    def test_truncated_body(self):
+        async def scenario():
+            data = _frame({"op": "ping"})
+            with pytest.raises(FrameError, match="inside a frame body"):
+                await read_frame(_reader_with(data[:-2]))
+
+        asyncio.run(scenario())
+
+    def test_oversized_prefix(self):
+        async def scenario():
+            with pytest.raises(FrameError, match="exceeds"):
+                await read_frame(
+                    _reader_with(struct.pack(">I", 512) + b"x" * 512),
+                    max_frame=256,
+                )
+
+        asyncio.run(scenario())

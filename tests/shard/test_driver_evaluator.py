@@ -73,7 +73,7 @@ class TestScaleoutEvaluator:
     def test_registered_with_options(self):
         spec = get_evaluator("scaleout-real")
         assert {option.name for option in spec.options} == {
-            "shards", "cross", "txns", "driver", "arrival"
+            "shards", "cross", "txns", "driver", "arrival", "transport"
         }
 
     def test_outcome_shape_and_scores(self):
