@@ -14,7 +14,13 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Set, Tuple
 
-from repro.chaos.plan import HA_KINDS, FaultKind, FaultPlan, FaultSpec
+from repro.chaos.plan import (
+    DR_CRASH_KINDS,
+    HA_KINDS,
+    FaultKind,
+    FaultPlan,
+    FaultSpec,
+)
 from repro.obs import NULL_OBSERVER, Observer
 
 #: cap on the modelled retransmit blow-up of a lossy link
@@ -37,6 +43,9 @@ class ChaosInjector:
         self._coord_fired: Set[Tuple] = set()
         #: one-shot PRIMARY_CRASH / REPLICA_CRASH specs that already fired
         self._node_fired: Set[Tuple] = set()
+        #: one-shot DR specs (BACKUP/RESTORE_CRASH, ARCHIVE_CORRUPT)
+        #: that already fired
+        self._dr_fired: Set[Tuple] = set()
         # The scheduled fault windows are known up-front: emit them as
         # complete spans so the timeline shows fault -> degradation ->
         # recovery causality even before anything consults the injector.
@@ -165,6 +174,55 @@ class ChaosInjector:
                 self._node_fired.add(key)
                 self._note(spec, now)
                 return True
+        return False
+
+    # -- DR (backup/archive/restore) faults ----------------------------------
+
+    def take_dr_crash(self, kind: FaultKind, phase: str) -> bool:
+        """One-shot: should the backup/restore job die at ``phase``?
+
+        ``kind`` is :data:`~repro.chaos.plan.FaultKind.BACKUP_CRASH` or
+        ``RESTORE_CRASH``; ``target`` names the job phase boundary (see
+        ``repro.dr.backup.BACKUP_PHASES`` / ``repro.dr.restore.
+        RESTORE_PHASES``).  Each spec fires at most once, mirroring
+        :meth:`take_coordinator_crash` -- the retried job after recovery
+        must not re-trip the same fault.
+        """
+        if kind not in DR_CRASH_KINDS:
+            raise ValueError(f"not a DR crash fault kind: {kind!r}")
+        for spec in self.plan.by_kind(kind):
+            key = spec.canonical()
+            if spec.target == phase and key not in self._dr_fired:
+                self._dr_fired.add(key)
+                self._note(spec)
+                return True
+        return False
+
+    def take_archive_corrupt(self, target: str, now: float) -> bool:
+        """One-shot: should a bit flip land in ``target``'s archive now?
+
+        A corruption is an event, not a window: the spec fires once its
+        ``start_s`` has passed and never again, so the scrub-and-repair
+        pass that follows cannot re-corrupt the segment it just healed.
+        """
+        for spec in self.plan.by_kind(FaultKind.ARCHIVE_CORRUPT):
+            key = spec.canonical()
+            if spec.target == target and now >= spec.start_s and key not in self._dr_fired:
+                self._dr_fired.add(key)
+                self._note(spec, now)
+                return True
+        return False
+
+    def archive_lagging(self, target: str, now: float) -> bool:
+        """Is ``target``'s archiver forced into lagged (buffering) mode?
+
+        Window semantics, not one-shot: while active the archiver
+        buffers instead of shipping synchronously, so a disaster inside
+        the window loses the buffered tail (RPO > 0).
+        """
+        for spec in self.plan.active(now, kind=FaultKind.ARCHIVE_LAG, target=target):
+            self._note(spec, now)
+            return True
         return False
 
     # -- engine-layer faults -------------------------------------------------

@@ -57,6 +57,16 @@ class FaultKind(enum.Enum):
     # ``intensity``-scaled pauses inside the window.
     CONN_DROP = "conn_drop"
     CONN_STALL = "conn_stall"
+    # DR layer.  ARCHIVE_CORRUPT flips a bit in an archived segment of
+    # ``target`` (one-shot at ``start_s``); ARCHIVE_LAG makes the
+    # archiver of ``target`` buffer instead of shipping inside the
+    # window (an RPO > 0 disaster surface); BACKUP_CRASH/RESTORE_CRASH
+    # kill the backup/restore job at a phase boundary (``target`` names
+    # the phase, e.g. "after_image", one-shot like COORD_CRASH).
+    ARCHIVE_CORRUPT = "archive_corrupt"
+    ARCHIVE_LAG = "archive_lag"
+    BACKUP_CRASH = "backup_crash"
+    RESTORE_CRASH = "restore_crash"
 
 
 #: kinds applied to the engine's WAL rather than the DES substrate
@@ -71,6 +81,15 @@ NETWORK_KINDS = (FaultKind.PARTITION, FaultKind.DELAY, FaultKind.LOSS, FaultKind
 NODE_KINDS = (FaultKind.STALL, FaultKind.GRAY)
 #: kinds injected at the SQL-over-socket serving tier
 SERVE_KINDS = (FaultKind.CONN_DROP, FaultKind.CONN_STALL)
+#: kinds injected into the backup/archive/restore (DR) layer
+DR_KINDS = (
+    FaultKind.ARCHIVE_CORRUPT,
+    FaultKind.ARCHIVE_LAG,
+    FaultKind.BACKUP_CRASH,
+    FaultKind.RESTORE_CRASH,
+)
+#: the DR kinds that are one-shot crash points at a job phase boundary
+DR_CRASH_KINDS = (FaultKind.BACKUP_CRASH, FaultKind.RESTORE_CRASH)
 
 
 @dataclass(frozen=True)

@@ -178,9 +178,19 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                     bench_record(seed=bench.config.seed), args.bench_out
                 )
                 print(f"bench record written to {path}")
+            elif evaluation == "dr":
+                # same pinned-shape rule as serve: the record comes
+                # from the canonical builder
+                from repro.dr.bench import bench_record
+                from repro.perf.trajectory import write_bench
+
+                path = write_bench(
+                    bench_record(seed=bench.config.seed), args.bench_out
+                )
+                print(f"bench record written to {path}")
             else:
                 raise SystemExit(
-                    "--bench-out only applies to --eval perf or --eval serve"
+                    "--bench-out only applies to --eval perf, serve or dr"
                 )
 
     if args.trace:

@@ -127,6 +127,12 @@ class BenchConfig:
     ha_lease_s: float = 0.5
     ha_heartbeat_s: float = 0.1
 
+    # -- disaster recovery (the DR-Score run)
+    dr_shards: int = 2
+    dr_txns: int = 160
+    dr_pairs: int = 4
+    dr_archive_mode: str = "sync"
+
     def __post_init__(self) -> None:
         if not self.architectures:
             raise ValueError("configure at least one architecture")
@@ -201,6 +207,12 @@ class BenchConfig:
             raise ValueError("ha_ack_mode must be 'sync' or 'semisync'")
         if not 0.0 < self.ha_heartbeat_s < self.ha_lease_s:
             raise ValueError("need 0 < ha_heartbeat_s < ha_lease_s")
+        if self.dr_shards < 2:
+            raise ValueError("dr_shards must be >= 2 (transfers are cross-shard)")
+        if self.dr_pairs < 1 or self.dr_txns < 1:
+            raise ValueError("dr_pairs and dr_txns must be >= 1")
+        if self.dr_archive_mode not in ("sync", "lagged"):
+            raise ValueError("dr_archive_mode must be 'sync' or 'lagged'")
         if self.isolation not in ISOLATION_NAMES:
             raise ValueError(
                 f"isolation must be one of {sorted(ISOLATION_NAMES)}, "
@@ -270,6 +282,8 @@ class BenchConfig:
             serve_txns_per_conn=8,
             ha_txns=80,
             ha_pairs=4,
+            dr_txns=80,
+            dr_pairs=3,
             perf_pilot_txns=16,
             perf_txns=256,
         )

@@ -363,6 +363,53 @@ def _ha(bench: "CloudyBench", ack_mode=None, arrival=None) -> EvalOutcome:
     )
 
 
+def _parse_archive_mode(value) -> str:
+    mode = str(value)
+    if mode not in ("sync", "lagged"):
+        raise ValueError(f"unknown archive mode {mode!r}; use 'sync' or 'lagged'")
+    return mode
+
+
+@evaluator(
+    "dr",
+    title="Disaster recovery (backup + PITR restore)",
+    summary="RPO/RTO through backup-under-load, disaster and "
+            "point-in-time restore (the DR-Score)",
+    options=(
+        EvalOption("archive_mode", _parse_archive_mode, None,
+                   "WAL archiving mode: sync (RPO=0 expected) | lagged "
+                   "(buffered tail lost at disaster, RPO priced in); "
+                   "default: config dr_archive_mode"),
+    ),
+)
+def _dr(bench: "CloudyBench", archive_mode=None) -> EvalOutcome:
+    result = bench._compute_dr(archive_mode=archive_mode)
+    rows = [(
+        result.archive_mode, result.txns, result.acked,
+        result.archived_records, result.lag_lost_records,
+        result.rpo_txns,
+        round(result.rto_wall_s * 1000, 1),
+        round(result.rto_virtual_s * 1000, 1),
+        len(result.violations),
+        round(result.dr_score, 4),
+    )]
+    scores = {
+        "dr": result.dr_score,
+        "dr.rpo_txns": float(result.rpo_txns),
+        "dr.rto_virtual_ms": result.rto_virtual_s * 1000.0,
+    }
+    return _outcome(
+        bench, name="dr",
+        title="Disaster recovery (backup + PITR restore)",
+        headers=("archive", "txns", "acked", "archived", "lag lost",
+                 "RPO txns", "RTO wall ms", "RTO virt ms", "violations",
+                 "DR-Score"),
+        rows=rows,
+        scores=scores,
+        payload=result,
+    )
+
+
 def _parse_counts(value) -> list:
     """Parse a comma-separated shard-count list (``"1,2,4"``)."""
     if isinstance(value, (list, tuple)):
@@ -678,10 +725,11 @@ def _overall(bench: "CloudyBench", duration_s: float = 300.0) -> EvalOutcome:
                "C(ms)", "T", "T*", "O", "O*"]
     # extra score columns append after O* when the corresponding
     # evaluator has run: "D" is the overload D-Score, "R-HA" the shard
-    # HA R-Score ("R" proper is the failover recovery time)
+    # HA R-Score ("R" proper is the failover recovery time), "DR" the
+    # disaster-recovery score
     extra_columns = [
         (key, header)
-        for key, header in (("d", "D"), ("r", "R-HA"))
+        for key, header in (("d", "D"), ("r", "R-HA"), ("dr", "DR"))
         if any(key in scores.extras for scores in data.values())
     ]
     headers.extend(header for _key, header in extra_columns)

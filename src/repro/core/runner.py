@@ -100,6 +100,8 @@ class CloudyBench:
         self._overload: Dict[Tuple, Dict[str, OverloadResult]] = {}
         #: HA availability runs, cached per "ack_mode/arrival"
         self._ha: Dict[str, "HAResult"] = {}
+        #: DR (backup/restore) runs, cached per archive mode
+        self._dr: Dict[str, "DRResult"] = {}
         #: real scale-out runs, cached per (counts, cross, txns, driver)
         self._scaleout: Dict[Tuple, Dict[int, object]] = {}
         #: serve sweeps, cached per (counts, txns, qos, workers, ...)
@@ -527,6 +529,33 @@ class CloudyBench:
         self._ha[key] = result
         return result
 
+    # -- disaster recovery (the DR-Score) ------------------------------------------
+
+    def _compute_dr(self, archive_mode: Optional[str] = None) -> "DRResult":
+        """One backup-under-load, disaster, PITR-restore run.
+
+        Testbed-level like the HA run: it exercises the engine's own
+        archive/backup/restore stack (:mod:`repro.dr`), so a single run
+        covers every architecture row.  Cached per archive mode.
+        """
+        from repro.dr.evaluator import DREvaluator
+
+        mode = archive_mode or self.config.dr_archive_mode
+        cached = self._dr.get(mode)
+        if cached is not None:
+            return cached
+        evaluator = DREvaluator(
+            n_shards=self.config.dr_shards,
+            txns=self.config.dr_txns,
+            n_pairs=self.config.dr_pairs,
+            archive_mode=mode,
+            seed=self.config.seed,
+            observer=self.observer,
+        )
+        result = evaluator.run()
+        self._dr[mode] = result
+        return result
+
     # -- real scale-out (sharded fleet) -------------------------------------------
 
     def _compute_scaleout_real(
@@ -751,6 +780,13 @@ class CloudyBench:
                 ha = next(iter(self._ha.values()))
             if ha is not None:
                 extras["r"] = ha.r_score
+            # ...and the DR-Score (RPO-discounted restore fidelity),
+            # also testbed-level and shared by every row.
+            dr = self._dr.get(self.config.dr_archive_mode)
+            if dr is None and self._dr:
+                dr = next(iter(self._dr.values()))
+            if dr is not None:
+                extras["dr"] = dr.dr_score
 
             scores[name] = PerfectScores(
                 arch_name=name,

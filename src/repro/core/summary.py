@@ -29,6 +29,7 @@ _SECTIONS = (
     ("overload", "Overload protection (D-Score)"),
     ("scaleout-real", "Real scale-out (sharded fleet)"),
     ("ha", "Shard HA (R-Score)"),
+    ("dr", "Disaster recovery (RPO/RTO)"),
     ("overall", "Overall (Table IX)"),
 )
 

@@ -1,0 +1,58 @@
+"""Disaster recovery: WAL archiving, online backup, point-in-time restore.
+
+The HA layer (:mod:`repro.ha`) answers *node* loss: a standby holds
+every acked record and promotion is fast.  This package answers
+*fleet* loss -- the disaster half of cloud-native durability:
+
+* :mod:`repro.dr.archive` -- a WAL archiver hooked on the engine's
+  append/pre-truncate listeners, shipping every record (CRC carried
+  through) into a redundant :class:`~repro.dr.archive.ShardArchive`
+  before checkpoint truncation can drop it;
+* :mod:`repro.dr.backup` -- online fuzzy backups: per-shard MVCC
+  snapshot images cut at a 2PC-aware global barrier LSN, taken under
+  live load without blocking writers;
+* :mod:`repro.dr.restore` -- point-in-time restore of a fresh fleet
+  from image + archived WAL, with in-doubt 2PC branches resolved by
+  the same decision-union rule as fleet recovery, and optional HA
+  re-bootstrap of standbys;
+* :mod:`repro.dr.scrub` -- CRC verification of archives and live WAL,
+  repairing from the redundant copy;
+* :mod:`repro.dr.crashmatrix` -- the backup/restore crash-point sweep
+  (every phase boundary x {coordinator, shard}), zero tolerated
+  violations;
+* :mod:`repro.dr.evaluator` -- the ``--eval dr`` RPO/RTO evaluator.
+
+See ``docs/robustness.md`` for the semantics and the RPO/RTO
+definitions.
+"""
+
+from repro.dr.archive import FleetArchiver, ShardArchive, WalArchiver
+from repro.dr.backup import BACKUP_PHASES, BackupCrash, BackupJob, BackupManifest
+from repro.dr.evaluator import DREvaluator, DRResult
+from repro.dr.restore import (
+    RESTORE_PHASES,
+    RestoreCrash,
+    RestoreJob,
+    RestoreReport,
+    rebootstrap_standbys,
+)
+from repro.dr.scrub import ScrubReport, scrub_fleet
+
+__all__ = [
+    "BACKUP_PHASES",
+    "RESTORE_PHASES",
+    "BackupCrash",
+    "BackupJob",
+    "BackupManifest",
+    "DREvaluator",
+    "DRResult",
+    "FleetArchiver",
+    "RestoreCrash",
+    "RestoreJob",
+    "RestoreReport",
+    "ScrubReport",
+    "ShardArchive",
+    "WalArchiver",
+    "rebootstrap_standbys",
+    "scrub_fleet",
+]

@@ -1,0 +1,201 @@
+"""The DR BENCH baseline builder.
+
+``python -m repro.dr.bench --quick --out DIR`` measures one pinned DR
+run -- online backup under the PAIRS workload, disaster, scrub,
+point-in-time restore, checked post-traffic -- and writes it as a
+``BENCH_dr.json`` trajectory record (schema of
+:mod:`repro.perf.trajectory`).  CI regenerates the record and gates it
+against the committed baseline with ``python -m repro.perf.compare``.
+
+The shape is pinned so the record stays comparable across commits:
+
+* ``archive_mode = "sync"`` -- every acked transaction is archived
+  before the disaster, so ``committed``/``aborted``/``fsyncs`` are
+  exact machine-independent integers and the expected RPO is zero
+  (any drift in those counters is a real behavior change, which is
+  exactly what the comparator's exact-counter gate is for);
+* the latency distribution is the *RTO* distribution: the restore is
+  re-run :data:`BENCH_RESTORE_REPEATS` times from the same manifest
+  and archives (read-only inputs, so repeats are free of side
+  effects) and the per-restore wall times become the percentiles.
+"""
+
+from __future__ import annotations
+
+import argparse
+import resource
+import sys
+import time
+from typing import Dict, List, Optional
+
+from repro.dr.evaluator import DREvaluator, DRResult
+from repro.dr.restore import RestoreJob
+from repro.perf.trajectory import (
+    TrajectoryRecord,
+    env_fingerprint,
+    validate_bench,
+    workload_fingerprint,
+    write_bench,
+)
+
+__all__ = [
+    "BENCH_PAIRS",
+    "BENCH_RESTORE_REPEATS",
+    "BENCH_SHARDS",
+    "BENCH_TXNS",
+    "bench_record",
+    "dr_record",
+    "main",
+]
+
+#: the pinned shape: matches the evaluator's full defaults
+BENCH_SHARDS = 2
+BENCH_TXNS = 160
+BENCH_PAIRS = 4
+#: restores measured for the RTO latency percentiles
+BENCH_RESTORE_REPEATS = 5
+
+
+def _percentile(sorted_samples: List[float], pct: float) -> float:
+    if not sorted_samples:
+        return 0.0
+    index = min(
+        len(sorted_samples) - 1,
+        int(round(pct / 100.0 * (len(sorted_samples) - 1))),
+    )
+    return sorted_samples[index]
+
+
+def dr_record(
+    result: DRResult,
+    restore_wall_s: List[float],
+    seed: int,
+    wall_s: float,
+    cpu_s: float,
+    peak_rss_kb: float,
+    spin_s: Optional[float] = None,
+) -> TrajectoryRecord:
+    """Shape one measured :class:`DRResult` as a BENCH record.
+
+    ``restore_wall_s`` holds one wall time per measured restore (the
+    evaluator's own plus the repeats); they become the latency -- i.e.
+    RTO -- percentiles.
+    """
+    params = {
+        "n_shards": BENCH_SHARDS,
+        "txns": result.txns,
+        "n_pairs": BENCH_PAIRS,
+        "archive_mode": result.archive_mode,
+        "restore_repeats": len(restore_wall_s),
+    }
+    samples = sorted(s * 1000.0 for s in restore_wall_s)
+    latency: Dict[str, float] = {
+        "p50": _percentile(samples, 50.0),
+        "p95": _percentile(samples, 95.0),
+        "p99": _percentile(samples, 99.0),
+        "p999": _percentile(samples, 99.9),
+    }
+    tps = result.acked / wall_s if wall_s > 0 else 0.0
+    return TrajectoryRecord(
+        eval_name="dr",
+        workload={
+            "name": "dr-pairs",
+            "seed": seed,
+            "arrival": "closed",
+            "params": params,
+            "fingerprint": workload_fingerprint(params),
+        },
+        env=env_fingerprint(spin_s),
+        # no pilot stage: the iteration count is pinned and the
+        # "observed rate" is the measured throughput
+        pilot={"txns": result.txns, "rate_tps": tps},
+        metrics={
+            "txns": result.txns,
+            "committed": result.acked,
+            "aborted": result.failed,
+            "fsyncs": result.fsyncs,
+            "wall_s": wall_s,
+            "cpu_s": cpu_s,
+            "peak_rss_kb": peak_rss_kb,
+            "tps": tps,
+            "latency_ms": latency,
+            # DR-specific exact counters, carried for the human reader
+            # (the comparator gates the standard set above)
+            "rpo_txns": result.rpo_txns,
+            "archived_records": result.archived_records,
+            "rows_restored": (
+                result.restore.rows_loaded if result.restore else 0
+            ),
+            "records_replayed": (
+                result.restore.records_replayed if result.restore else 0
+            ),
+        },
+    )
+
+
+def bench_record(seed: int = 42, spin_s: Optional[float] = None) -> TrajectoryRecord:
+    """Measure the pinned DR shape and return its BENCH record."""
+    cpu_start = time.process_time()
+    wall_start = time.perf_counter()
+    result = DREvaluator(
+        n_shards=BENCH_SHARDS, txns=BENCH_TXNS, n_pairs=BENCH_PAIRS,
+        archive_mode="sync", seed=seed,
+    ).run()
+    wall_s = time.perf_counter() - wall_start
+    restore_wall_s = [result.rto_wall_s]
+    # Repeat the restore from the same (read-only) manifest + archives
+    # to turn the RTO into a distribution instead of one sample.
+    archiver = result.archiver
+    target = [archive.last_lsn for archive in archiver.archives]
+    for repeat in range(BENCH_RESTORE_REPEATS - 1):
+        _, report = RestoreJob(
+            result.manifest, archiver, name=f"dr-bench-{repeat}",
+        ).run(target=target)
+        restore_wall_s.append(report.wall_s)
+    cpu_s = time.process_time() - cpu_start
+    peak_rss_kb = float(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss)
+    return dr_record(
+        result, restore_wall_s, seed=seed, wall_s=wall_s,
+        cpu_s=cpu_s, peak_rss_kb=peak_rss_kb, spin_s=spin_s,
+    )
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.dr.bench",
+        description="Measure the pinned DR shape; write BENCH_dr.json.",
+    )
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="accepted for CI symmetry; the DR shape is always pinned",
+    )
+    parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument(
+        "--out", default=None, metavar="DIR",
+        help="write BENCH_dr.json to DIR (default: print a summary only)",
+    )
+    args = parser.parse_args(argv)
+
+    record = bench_record(seed=args.seed)
+    problems = validate_bench(record.to_doc())
+    if problems:
+        print("BENCH record is invalid:")
+        for problem in problems:
+            print(f"  - {problem}")
+        return 1
+    metrics = record.metrics
+    print(
+        f"dr bench: {metrics['committed']}/{metrics['txns']} committed, "
+        f"RPO={metrics['rpo_txns']} txns, "
+        f"RTO p50 {metrics['latency_ms']['p50']:.2f} ms / "
+        f"p99 {metrics['latency_ms']['p99']:.2f} ms, "
+        f"{metrics['fsyncs']} fsyncs"
+    )
+    if args.out:
+        path = write_bench(record, args.out)
+        print(f"wrote {path}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

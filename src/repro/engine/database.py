@@ -653,6 +653,32 @@ class Database:
         self.checkpoint_lsn = checkpoint_lsn
         self.wal.start_from(checkpoint_lsn + 1)
 
+    def reset_for_restore(self) -> None:
+        """Blank the instance so a backup image can be loaded into it.
+
+        Point-in-time restore entry point: drops every table, wipes the
+        WAL back to pristine (so :meth:`install_checkpoint` /
+        ``wal.start_from`` apply), clears checkpoint images, and resets
+        transaction/lock state.  Requires quiescence -- a restore over
+        live transactions would tear them.
+        """
+        if self.txns.active:
+            raise EngineError(
+                f"reset_for_restore requires quiescence; active txns: "
+                f"{sorted(self.txns.active)}"
+            )
+        self._tables = {}
+        self._checkpoint_snapshots = {}
+        self.checkpoint_lsn = 0
+        self.snapshot_floor = 0
+        if self.buffer is not None:
+            self.buffer.clear()
+        self.wal.reset_for_restore()
+        self.locks = LockManager(observer=self.obs)
+        self.txns = TransactionManager()
+        self._txn_records.clear()
+        self._prepared.clear()
+
     def crash(self) -> None:
         """Simulate an instance crash: lose all volatile state.
 

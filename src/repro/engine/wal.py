@@ -149,6 +149,16 @@ class WriteAheadLog:
         #: is durable locally but unacked, exactly the suffix a promoted
         #: standby is allowed to discard.
         self.on_append: Optional[Any] = None
+        #: secondary append listeners (WAL archivers).  ``on_append`` is
+        #: exclusively owned by the HA shipper; archivers subscribe here
+        #: instead so shipping and archiving can coexist on one primary.
+        #: Same clean-path-only semantics as ``on_append``.
+        self._append_listeners: List[Any] = []
+        #: pre-truncate listeners: called with the contiguous prefix of
+        #: records about to be dropped, *before* they are discarded.
+        #: This is the archiver's completeness guarantee -- no retained
+        #: record can leave the log without passing through the hook.
+        self._truncate_listeners: List[Any] = []
 
     @property
     def last_lsn(self) -> int:
@@ -170,6 +180,34 @@ class WriteAheadLog:
     @property
     def retained_records(self) -> int:
         return len(self._records)
+
+    def in_flight_txns(self) -> set:
+        """Transaction ids with logged work but no COMMIT/ABORT yet.
+
+        CHECKPOINT records are logged under the reserved txn id 0 and
+        never commit, so id 0 is excluded.  Includes settled pre-crash
+        losers (their undo is logical, never logged), so liveness-aware
+        callers -- the online-backup barrier -- intersect this with the
+        transaction manager's active set and union :meth:`in_doubt_txns`.
+        """
+        return {txn_id for txn_id in self._last_lsn_of_txn if txn_id != 0}
+
+    def in_doubt_txns(self) -> Dict[int, int]:
+        """``{txn_id: last_lsn}`` of chains left open at a PREPARE.
+
+        A chain whose newest record is a PREPARE with no local decision
+        is an in-doubt 2PC branch: it may still commit, so no consistent
+        cut (online backup, checkpoint barrier) may straddle it.  Chains
+        whose PREPARE fell below the truncation boundary are settled by
+        definition -- truncation only drops decided prefixes.
+        """
+        out: Dict[int, int] = {}
+        for txn_id, lsn in self._last_lsn_of_txn.items():
+            if txn_id == 0 or lsn < self._truncated_before:
+                continue
+            if self._records[lsn - self._truncated_before].kind is LogKind.PREPARE:
+                out[txn_id] = lsn
+        return out
 
     def append(
         self,
@@ -252,6 +290,8 @@ class WriteAheadLog:
             raise SimulatedCrash(f"crash point: instance died writing LSN {lsn}")
         if self.on_append is not None:
             self.on_append(record)
+        for listener in self._append_listeners:
+            listener(record)
         return record
 
     def append_shipped(self, record: LogRecord) -> None:
@@ -314,6 +354,35 @@ class WriteAheadLog:
                 self._group_pending = 0
                 self._count_fsync()
 
+    # -- listeners -----------------------------------------------------------
+
+    def add_append_listener(self, listener: Any) -> None:
+        """Subscribe to clean-path appends (in addition to ``on_append``).
+
+        Unlike ``on_append`` -- which the HA shipper claims exclusively --
+        any number of listeners may subscribe here.  A listener is called
+        with each :class:`LogRecord` appended through the clean path;
+        records written by a firing crash point are durable-but-unacked
+        and are *not* delivered (archivers heal the gap from the
+        pre-truncate hook or by pulling ``records_from``).
+        """
+        self._append_listeners.append(listener)
+
+    def remove_append_listener(self, listener: Any) -> None:
+        self._append_listeners = [
+            fn for fn in self._append_listeners if fn is not listener
+        ]
+
+    def add_truncate_listener(self, listener: Any) -> None:
+        """Subscribe to truncation: called with the list of records about
+        to be dropped, before :meth:`truncate` discards them."""
+        self._truncate_listeners.append(listener)
+
+    def remove_truncate_listener(self, listener: Any) -> None:
+        self._truncate_listeners = [
+            fn for fn in self._truncate_listeners if fn is not listener
+        ]
+
     # -- 2PC bookkeeping -----------------------------------------------------
 
     def decided_gtids(self) -> set:
@@ -374,11 +443,35 @@ class WriteAheadLog:
         sequence from there.  Only valid before anything was appended.
         """
         if self._records or self._next_lsn != 1:
-            raise ValueError("start_from requires a pristine log")
+            raise ValueError(
+                "start_from requires a pristine log (records were already "
+                "appended or the LSN sequence already advanced); call "
+                "reset_for_restore() first to reuse this instance"
+            )
         if lsn < 1:
             raise ValueError(f"LSN must be >= 1, got {lsn}")
         self._next_lsn = lsn
         self._truncated_before = lsn
+
+    def reset_for_restore(self) -> None:
+        """Wipe the log back to pristine so :meth:`start_from` applies.
+
+        Point-in-time restore reuses an existing engine instead of
+        rebuilding one from scratch: the restore path blanks the log,
+        repositions it at the backup's barrier LSN with
+        :meth:`start_from`, and replays archived records through
+        :meth:`append_shipped`.  Everything is dropped -- records, the
+        LSN sequence, per-transaction chains, armed crash points, group
+        state -- and a dead instance is revived.
+        """
+        self._records = []
+        self._next_lsn = 1
+        self._truncated_before = 1
+        self._last_lsn_of_txn = {}
+        self._armed_crash = None
+        self._dead = False
+        self._group_depth = 0
+        self._group_pending = 0
 
     def flip_bit(self, lsn: int, bit: int = 0) -> LogRecord:
         """Corrupt a retained record in place (a bit flip on the tail).
@@ -397,6 +490,22 @@ class WriteAheadLog:
             corrupted = replace(record, crc=record.crc ^ (1 << (bit % 32)))
         self._records[index] = corrupted
         return corrupted
+
+    def repair_record(self, record: LogRecord) -> None:
+        """Overwrite a retained record with a verified replacement copy.
+
+        The scrubber calls this to heal a bit-flipped record from a
+        redundant (archive) copy.  The replacement must carry the same
+        LSN and pass its own CRC.
+        """
+        index = record.lsn - self._truncated_before
+        if index < 0 or index >= len(self._records):
+            raise ValueError(f"LSN {record.lsn} is not retained")
+        if not record.is_intact:
+            raise WalCorruptionError(
+                f"replacement for LSN {record.lsn} fails its CRC"
+            )
+        self._records[index] = record
 
     def first_corrupt_lsn(self, from_lsn: int = 0) -> Optional[int]:
         """LSN of the first retained record failing its CRC, if any."""
@@ -445,10 +554,21 @@ class WriteAheadLog:
         return self._records[lsn - self._truncated_before]
 
     def transaction_chain(self, txn_id: int, from_lsn: int) -> List[LogRecord]:
-        """The records of one transaction ending at ``from_lsn``, newest first."""
+        """The records of one transaction ending at ``from_lsn``, newest first.
+
+        Raises :class:`ValueError` if the chain crosses the truncation
+        boundary: a silently shortened chain would undo only part of a
+        transaction, which is corruption, not recovery.
+        """
         chain: List[LogRecord] = []
         lsn = from_lsn
-        while lsn >= self._truncated_before and lsn > 0:
+        while lsn > 0:
+            if lsn < self._truncated_before:
+                raise ValueError(
+                    f"transaction {txn_id} chain crosses the truncation "
+                    f"boundary: LSN {lsn} is below first_retained_lsn "
+                    f"{self._truncated_before}"
+                )
             record = self.record_at(lsn)
             if record.txn_id == txn_id:
                 chain.append(record)
@@ -463,6 +583,10 @@ class WriteAheadLog:
             return 0
         keep_from = min(before_lsn, self._next_lsn)
         dropped = keep_from - self._truncated_before
+        if self._truncate_listeners:
+            doomed = self._records[:dropped]
+            for listener in self._truncate_listeners:
+                listener(doomed)
         self._records = self._records[dropped:]
         self._truncated_before = keep_from
         return dropped

@@ -74,7 +74,9 @@ def _worker_main(
         await server.start(sock=_reuseport_socket(host, port))
         queue.put({"event": "ready", "worker": worker_id})
         await stop.wait()
-        await server.stop()
+        # graceful handover: finish admitted statements, shed the rest
+        # retryably, then close
+        await server.stop(drain=True)
         queue.put({
             "event": "stats",
             "worker": worker_id,

@@ -69,6 +69,11 @@ __all__ = ["ServeFaultInjector", "ServerConfig", "SQLServer"]
 #: ops answered inline by the session (no admission, no engine work)
 _CONTROL_OPS = frozenset({"hello", "ping", "goodbye"})
 
+#: backoff hint shipped with drain-shed errors: long enough for the
+#: replacement server to take the socket over, short enough that a
+#: retrying client barely notices the handover
+DRAIN_RETRY_AFTER_S = 0.05
+
 
 @dataclass(frozen=True)
 class ServerConfig:
@@ -223,6 +228,10 @@ class SQLServer:
         self.expired = 0
         self.abrupt_disconnects = 0
         self.orphan_rollbacks = 0
+        #: graceful-shutdown state: while draining, queued statements
+        #: finish and reach their clients; new work is shed retryably
+        self._draining = False
+        self._pending_stmts = 0
         self._g_active = (
             self.obs.metrics.gauge("serve.conn.active")
             if self.obs.enabled else None
@@ -253,6 +262,7 @@ class SQLServer:
         if self._server is not None:
             raise RuntimeError("server is already started")
         self._started_at = time.monotonic()
+        self._draining = False
         self._queue = asyncio.Queue()
         self._wake = asyncio.Event()
         if sock is not None:
@@ -264,11 +274,24 @@ class SQLServer:
         self._drainer = asyncio.ensure_future(self._drain())
         return self.address
 
-    async def stop(self) -> None:
-        """Stop accepting and close; idempotent."""
+    async def stop(self, drain: bool = False) -> None:
+        """Stop accepting and close; idempotent.
+
+        With ``drain`` the shutdown is graceful: every statement
+        already admitted finishes and its response reaches the client
+        before the sockets go down, while *new* statements (and new
+        connections) are shed with a retryable
+        :class:`~repro.engine.errors.OverloadError` carrying a
+        ``retry_after_s`` hint -- so a well-behaved client loses
+        nothing, it just lands its retry on the replacement server.
+        """
         server, self._server = self._server, None
         if server is None:
             return
+        if drain:
+            self._draining = True
+            while self._pending_stmts > 0:
+                await asyncio.sleep(0)
         drainer, self._drainer = self._drainer, None
         if drainer is not None:
             drainer.cancel()
@@ -278,6 +301,10 @@ class SQLServer:
                 pass
         server.close()
         await server.wait_closed()
+        # Retired servers shed: a session that outlives the listener
+        # must not queue work for the dead drainer (its future would
+        # never resolve).  start() clears the flag.
+        self._draining = True
 
     async def __aenter__(self) -> "SQLServer":
         await self.start()
@@ -292,6 +319,8 @@ class SQLServer:
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
         try:
+            if self._draining:
+                raise self._drain_error()
             self._conn_gate.try_acquire(self._now())
         except OverloadError as error:
             self.rejected += 1
@@ -392,8 +421,20 @@ class SQLServer:
 
     # -- the admission queue and its drainer ----------------------------------
 
+    def _drain_error(self) -> OverloadError:
+        return OverloadError(
+            f"{self.config.name}: draining for shutdown; retry against "
+            f"the replacement server",
+            retry_after_s=DRAIN_RETRY_AFTER_S,
+        )
+
     async def _submit(self, session: _Session, frame) -> Dict[str, Any]:
         """Queue one SQL frame for the drainer; await its response."""
+        if self._draining:
+            self.shed += 1
+            if self.obs.enabled:
+                self.obs.count("serve.stmt.shed")
+            return {"ok": False, "error": to_wire(self._drain_error())}
         future = asyncio.get_running_loop().create_future()
         work = _Work(session, frame, future, self._now())
         if self.controller is not None:
@@ -409,6 +450,7 @@ class SQLServer:
             self._wake.set()
         else:
             self._queue.put_nowait(work)
+        self._pending_stmts += 1
         return await future
 
     async def _drain(self) -> None:
@@ -441,6 +483,7 @@ class SQLServer:
                     self.controller.release(
                         now, now - started, ok=bool(response.get("ok"))
                     )
+            self._pending_stmts -= 1
             if not work.future.done():
                 work.future.set_result(response)
 

@@ -1,0 +1,61 @@
+"""The backup/restore crash-point sweep, pinned.
+
+CI runs the quick (coordinator-only) matrix; the full 16-cell sweep is
+the ``python -m repro.dr.crashmatrix`` smoke job.  What the tests pin:
+every cell passes with zero history violations, the fault actually
+fires, and the fingerprint is identical across runs at a fixed seed --
+the determinism contract regressions show up against.
+"""
+
+import pytest
+
+from repro.dr.crashmatrix import CELLS, TARGETS, run_cell, run_matrix
+
+
+class TestSingleCells:
+    def test_backup_coordinator_crash_cell(self):
+        cell = run_cell("backup", "after_pin", "coordinator")
+        assert cell.fault_fired
+        assert cell.retried
+        assert cell.passed
+
+    def test_backup_shard_kill_cell(self):
+        cell = run_cell("backup", "after_image", "shard")
+        assert cell.fault_fired
+        assert cell.passed
+
+    def test_restore_coordinator_crash_cell(self):
+        cell = run_cell("restore", "after_replay", "coordinator")
+        assert cell.fault_fired
+        assert cell.retried
+        assert cell.passed
+        assert cell.rows_restored > 0
+        assert cell.records_replayed > 0
+
+    def test_restore_shard_kill_cell(self):
+        cell = run_cell("restore", "after_load", "shard")
+        assert cell.fault_fired
+        assert cell.passed
+
+    def test_unknown_cell_and_target_rejected(self):
+        with pytest.raises(ValueError, match="unknown cell"):
+            run_cell("backup", "mid_flight", "coordinator")
+        with pytest.raises(ValueError, match="unknown target"):
+            run_cell("backup", "after_pin", "operator")
+
+
+class TestQuickMatrix:
+    def test_quick_matrix_passes_and_is_deterministic(self):
+        first = run_matrix(seed=7, quick=True)
+        assert len(first.cells) == len(CELLS)
+        assert first.passed, "\n".join(first.describe())
+        assert not first.violations
+        second = run_matrix(seed=7, quick=True)
+        assert first.fingerprint() == second.fingerprint()
+
+    def test_cells_cover_every_phase_boundary(self):
+        result = run_matrix(seed=7, quick=True)
+        swept = {(cell.stage, cell.phase) for cell in result.cells}
+        assert swept == set(CELLS)
+        assert {cell.target for cell in result.cells} == {"coordinator"}
+        assert set(TARGETS) == {"coordinator", "shard"}
