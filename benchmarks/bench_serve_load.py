@@ -31,9 +31,11 @@ from repro.serve.driver import ServeRunResult, run_serve
 
 #: the calibrated past-the-knee shape: ~2.5x the closed-loop service
 #: rate offered open-loop with a deadline much tighter than the backlog
+#: (recalibrated after the engine hot-path overhaul raised the socket
+#: tier's service rate -- 2500 tps no longer cleared the knee)
 KNEE_CONNECTIONS = 256
 KNEE_TXNS_PER_CONN = 24
-KNEE_RATE_TPS = 2500.0
+KNEE_RATE_TPS = 4000.0
 KNEE_DEADLINE_S = 0.1
 KNEE_MAX_QUEUE = 8
 

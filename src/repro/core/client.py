@@ -201,13 +201,15 @@ class FleetClient:
         return self._gtxn is not None and self._gtxn.is_active
 
     def execute(self, sql: str, params: Sequence[Any] = ()) -> ResultSet:
-        if self.in_txn:
-            return self.fleet.execute(sql, params, gtxn=self._gtxn)
+        gtxn = self._gtxn  # in_txn inlined: one statement per OLTP txn op
+        if gtxn is not None and gtxn.is_active:
+            return self.fleet.execute(sql, params, gtxn=gtxn)
         return self.fleet.execute(sql, params)
 
     def query(self, sql: str, params: Sequence[Any] = ()) -> ResultSet:
-        if self.in_txn:
-            return self.fleet.execute(sql, params, gtxn=self._gtxn)
+        gtxn = self._gtxn
+        if gtxn is not None and gtxn.is_active:
+            return self.fleet.execute(sql, params, gtxn=gtxn)
         return self.fleet.query(sql, params)
 
     def begin(self, isolation: Optional[object] = None) -> None:

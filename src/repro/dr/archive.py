@@ -36,6 +36,7 @@ from typing import Dict, List, Optional
 from repro.engine.database import Database
 from repro.engine.errors import EngineError, WalCorruptionError
 from repro.engine.wal import LogRecord
+from repro.engine.walcodec import records_equivalent
 from repro.obs import NULL_OBSERVER, Observer
 
 #: supported archiver modes
@@ -99,10 +100,16 @@ class ShardArchive:
             )
         existing = self._records.get(record.lsn)
         if existing is not None:
-            if existing == record:
+            # Value-identity, not field identity: a re-offered record
+            # that round-tripped through a wire frame or backup may
+            # carry a list where a tuple was archived (or 1.0 for 1);
+            # treating that as divergence would trigger a spurious
+            # timeline rewind.
+            if records_equivalent(existing, record):
                 self.duplicates += 1
                 return False
-            if not existing.is_intact and self._mirror.get(record.lsn) == record:
+            mirror = self._mirror.get(record.lsn)
+            if not existing.is_intact and mirror is not None and records_equivalent(mirror, record):
                 # The primary copy rotted in place and the re-offer
                 # matches the intact mirror: heal the primary.  This is
                 # storage rot, not a timeline rewind -- rewinding here

@@ -32,7 +32,7 @@ from repro.engine.errors import (
 from repro.engine.executor import Executor, Prepared, ResultSet
 from repro.engine.locks import LockManager, LockMode, LockOutcome
 from repro.engine.recovery import RecoveryReport, recover
-from repro.engine.table import RowVersion, Table, TableSnapshot
+from repro.engine.table import RowVersion, Table, TableSnapshot, VersionStore
 from repro.engine.txn import (
     MVCC_LEVELS,
     IsolationLevel,
@@ -99,6 +99,10 @@ class Database:
         self.txns = TransactionManager()
         self.default_isolation = default_isolation
         self._tables: Dict[str, Table] = {}
+        #: flat view of every table's version store -- the auto-vacuum
+        #: check in :meth:`_commit` sums these once per commit, and the
+        #: dict-values walk was measurable there
+        self._version_stores: Tuple[VersionStore, ...] = ()
         self._executor = Executor(self)
         if plan_cache_size < 1:
             raise ValueError("plan_cache_size must be >= 1")
@@ -133,6 +137,7 @@ class Database:
             raise SchemaError(f"table {schema.table!r} already exists")
         table = Table(schema, self.buffer)
         self._tables[schema.table] = table
+        self._version_stores = tuple(t.versions for t in self._tables.values())
         return table
 
     def table(self, name: str) -> Table:
@@ -354,6 +359,15 @@ class Database:
         self, prepared: Prepared, params: Sequence[Any], txn: Transaction, deadline
     ) -> ResultSet:
         """Run one statement with its deadline visible to the buffer pool."""
+        if deadline is None and self._stmt_deadline is None:
+            # No deadline anywhere: skip the save/restore (try/except
+            # without finally is free until it raises).
+            try:
+                return self._executor.execute(prepared, params, txn)
+            except DeadlineExceededError:
+                if txn.is_active:
+                    self._rollback(txn)
+                raise
         prior = self._stmt_deadline
         self._stmt_deadline = deadline
         try:
@@ -436,7 +450,10 @@ class Database:
             )
 
     def _lock_row(self, txn: Transaction, table: str, key: Any, mode: LockMode) -> None:
-        self._deadline_guard(txn, f"lock wait on {table}[{key!r}]")
+        if txn.deadline is not None:
+            # Guard only when a deadline exists -- the cancellation
+            # message formats key reprs, too costly to build per lock.
+            self._deadline_guard(txn, f"lock wait on {table}[{key!r}]")
         outcome = self.locks.acquire(
             txn.txn_id, (table, key), mode, queue_on_conflict=False
         )
@@ -494,7 +511,10 @@ class Database:
 
     def live_versions(self) -> int:
         """Total version-chain entries across all tables."""
-        return sum(table.versions.live_versions for table in self._tables.values())
+        total = 0
+        for store in self._version_stores:
+            total += store.live_versions
+        return total
 
     def vacuum(self) -> int:
         """Trim version history invisible to every live snapshot.
@@ -552,27 +572,35 @@ class Database:
         rid,
         before: Tuple[Any, ...],
         after: Tuple[Any, ...],
+        keys_unchanged: bool = False,
     ) -> None:
         schema = table.schema
-        after = schema.coerce_row(after)
+        if not keys_unchanged:
+            after = schema.coerce_row(after)
+            # Validate unique constraints before the WAL record exists.
+            table.check_unique(after, exclude_rid=rid)
         key = before[schema.primary_key_index]
-        # Validate unique constraints before the WAL record exists.
-        table.check_unique(after, exclude_rid=rid)
         self._lock_row(txn, table.name, key, LockMode.EXCLUSIVE)
         self._check_write_conflict(txn, table, key)
-        self._deadline_guard(txn, "WAL append")
+        if txn.deadline is not None:
+            self._deadline_guard(txn, "WAL append")
         record = self.wal.append(
-            txn.txn_id,
-            LogKind.UPDATE,
-            table=table.name,
-            key=key,
-            before=before,
-            after=after,
+            txn.txn_id, LogKind.UPDATE, table.name, key, before, after,
         )
-        table.update_row(rid, after)
-        self._chain_base(table, key, before)
-        self._chain_supersede(txn, table, key)
-        self._chain_append(txn, table, after[schema.primary_key_index], after)
+        if keys_unchanged:
+            table.overwrite_row(rid, after)
+        else:
+            table.update_row(rid, after)
+        ended, created = table.versions.transition(
+            key,
+            key if keys_unchanged else after[schema.primary_key_index],
+            before, after, txn.txn_id,
+        )
+        if ended is not None:
+            txn.ended_versions.append(ended)
+        txn.created_versions.append(created)
+        if self._c_mvcc is not None:
+            self._c_mvcc["versions_created"].value += 1.0
         txn.last_lsn = record.lsn
         txn.writes += 1
         self._txn_records[txn.txn_id].append(record)
@@ -668,6 +696,7 @@ class Database:
                 f"{sorted(self.txns.active)}"
             )
         self._tables = {}
+        self._version_stores = ()
         self._checkpoint_snapshots = {}
         self.checkpoint_lsn = 0
         self.snapshot_floor = 0

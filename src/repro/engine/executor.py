@@ -1,10 +1,20 @@
 """Statement planning and execution.
 
-A prepared statement resolves its access path once:
+A prepared statement is **compiled** once (see
+:mod:`repro.engine.compiler`): the access-path shape, residual
+predicates with resolved column indexes, SET programs and INSERT row
+sources are all derived from the statement shape at prepare time, so
+per-execution work is reduced to binding parameter values and running
+the row loop.  The access shapes:
 
 * equality on the primary key        -> point lookup
 * equalities covering a secondary    -> index lookup + residual filter
+* range predicate on an ordered key  -> index range scan
 * otherwise                          -> full scan
+
+The row loop is batched: candidates are materialised once per index
+probe or scan and each residual predicate filters the whole batch in
+one comprehension pass instead of a per-row closure call.
 
 Reads take shared locks (exclusive under ``FOR UPDATE``), writes take
 exclusive locks.  Under READ COMMITTED shared locks are released at the
@@ -17,6 +27,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Sequence, Tuple, TYPE_CHECKING
 
+from repro.engine.compiler import (
+    CompiledStatement,
+    compile_statement,
+    resolve_residual,
+)
 from repro.engine.errors import SchemaError, SqlError
 from repro.engine.locks import LockMode
 from repro.engine.sql import (
@@ -78,7 +93,7 @@ class AccessPlan:
         return "full table scan"
 
 
-@dataclass
+@dataclass(slots=True)
 class ResultSet:
     """Rows produced by a statement plus the affected-row count."""
 
@@ -133,6 +148,15 @@ class Prepared:
                 schema.column_index(clause.column)
                 if clause.delta_column is not None:
                     schema.column_index(clause.delta_column)
+        self.db = db
+        self.compiled = compile_statement(self.table, self.statement)
+        #: route-plan cache slot for the shard router (set lazily there)
+        self.route_plan = None
+
+    def recompile(self):
+        """Re-derive the compiled plan (the index set changed)."""
+        self.compiled = compile_statement(self.table, self.statement)
+        return self.compiled
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<Prepared {self.sql!r}>"
@@ -165,38 +189,76 @@ class Executor:
                 f"{prepared.sql!r} expects {prepared.param_count} parameters, "
                 f"got {len(params)}"
             )
-        statement = prepared.statement
-        if isinstance(statement, SelectStatement):
-            return self._select(prepared, statement, params, txn)
-        if isinstance(statement, InsertStatement):
-            return self._insert(prepared, statement, params, txn)
-        if isinstance(statement, UpdateStatement):
-            return self._update(prepared, statement, params, txn)
-        if isinstance(statement, DeleteStatement):
-            return self._delete(prepared, statement, params, txn)
-        raise SqlError(f"unsupported statement type {type(statement).__name__}")
+        compiled = prepared.compiled
+        table = prepared.table
+        if compiled.epoch != table.plan_epoch:
+            # An index was created after this statement was prepared;
+            # the cached plan may no longer be the best (or even refer
+            # to the right access path).
+            compiled = prepared.recompile()
+        kind = compiled.kind
+        if kind == "select":
+            return self._select(prepared, compiled, params, txn)
+        if kind == "update":
+            return self._update(prepared, compiled, params, txn)
+        if kind == "insert":
+            return self._insert(prepared, compiled, params, txn)
+        return self._delete(prepared, compiled, params, txn)
 
     # -- planning and row matching -----------------------------------------------
 
     @staticmethod
-    def _range_bounds(bound, column: str):
-        """(low, incl_low, high, incl_high) from the range predicates on
-        ``column``, or ``None`` when there are none."""
-        low, incl_low, high, incl_high = None, True, None, True
-        found = False
-        for col, op, value in bound:
-            if col != column or op in ("=", "<>"):
-                continue
-            found = True
+    def _merge_bound(op: str, value, column: str, merged):
+        """Fold one resolved range predicate into ``(low, incl_low,
+        high, incl_high)``, with a typed comparison guard.
+
+        A NULL bound or a bound whose type cannot be ordered against an
+        earlier bound used to escape as a bare ``TypeError``; both are
+        statement errors and surface as :class:`SqlError`.
+        """
+        low, incl_low, high, incl_high = merged
+        if value is None:
+            raise SqlError(
+                f"range predicate on {column} compares against NULL; "
+                f"use an equality or drop the bound"
+            )
+        try:
             if op in (">", ">="):
                 if low is None or value > low or (value == low and op == ">"):
                     low, incl_low = value, op == ">="
             else:  # < or <=
                 if high is None or value < high or (value == high and op == "<"):
                     high, incl_high = value, op == "<="
-        if not found:
-            return None
+        except TypeError:
+            other = low if op in (">", ">=") else high
+            raise SqlError(
+                f"range predicates on {column} mix incomparable types "
+                f"{type(value).__name__} and {type(other).__name__}"
+            ) from None
         return low, incl_low, high, incl_high
+
+    @classmethod
+    def _range_bounds(cls, bound, column: str):
+        """(low, incl_low, high, incl_high) from the range predicates on
+        ``column``, or ``None`` when there are none."""
+        merged = (None, True, None, True)
+        found = False
+        for col, op, value in bound:
+            if col != column or op in ("=", "<>"):
+                continue
+            found = True
+            merged = cls._merge_bound(op, value, column, merged)
+        return merged if found else None
+
+    @classmethod
+    def _resolve_bounds(cls, access, params):
+        """Bind params into a compiled range access's bounds."""
+        merged = (None, True, None, True)
+        column = access.range_column
+        for op, (is_param, payload) in access.range_ops:
+            value = params[payload] if is_param else payload
+            merged = cls._merge_bound(op, value, column, merged)
+        return merged
 
     def choose_plan(
         self,
@@ -240,53 +302,86 @@ class Executor:
                 return AccessPlan("index_range", index.name, bound, bounds=bounds)
         return AccessPlan("table_scan", None, bound)
 
+    @staticmethod
+    def _filter_batch(pairs, residual):
+        """Apply each resolved residual predicate to the whole candidate
+        batch in one comprehension pass (no per-row closure calls).
+
+        A predicate comparing incomparable types is a statement error,
+        not an internal crash: the bare ``TypeError`` becomes
+        :class:`SqlError`.
+        """
+        try:
+            for idx, fn, value in residual:
+                pairs = [
+                    pair for pair in pairs
+                    if (cell := pair[1][idx]) is not None and fn(cell, value)
+                ]
+        except TypeError as exc:
+            raise SqlError(f"predicate comparison failed: {exc}") from None
+        return pairs
+
+    @staticmethod
+    def _row_passes(row, residual):
+        """Residual check for a single point-looked-up row."""
+        try:
+            for idx, fn, value in residual:
+                cell = row[idx]
+                if cell is None or not fn(cell, value):
+                    return False
+        except TypeError as exc:
+            raise SqlError(f"predicate comparison failed: {exc}") from None
+        return True
+
     def _match_rows(
         self,
         table: Table,
-        where: Tuple[Condition, ...],
+        access,
         params: Sequence[Any],
     ) -> List[Tuple[Any, Tuple[Any, ...]]]:
-        """Return (rid, row) pairs satisfying ``where``, via the best path."""
-        schema = table.schema
-        plan = self.choose_plan(table, where, params)
-        bound = plan.bound
-
-        def residual(row: Tuple[Any, ...]) -> bool:
-            for column, op, value in bound:
-                cell = row[schema.column_index(column)]
-                if cell is None or not _OPS[op](cell, value):
-                    return False
-            return True
-
-        if plan.kind == "pk_point":
-            rid = table.find_by_key(plan.key)
+        """Return (rid, row) pairs satisfying the compiled access path."""
+        shape = access.shape
+        if shape == "pk_point":
+            is_param, payload = access.key_source
+            rid = table.find_by_key(params[payload] if is_param else payload)
             if rid is None:
                 return []
             row = table.read_row(rid)
-            return [(rid, row)] if residual(row) else []
-        if plan.kind == "index_eq":
-            index = table.index_for_name(plan.index_name)
-            matches = []
-            for rid in index.lookup(plan.key):
-                row = table.read_row(rid)
-                if residual(row):
-                    matches.append((rid, row))
-            return matches
-        if plan.kind == "index_range":
-            index = table.index_for_name(plan.index_name)
-            low, incl_low, high, incl_high = plan.bounds
-            matches = []
-            for _key, rid in index.range(low, high, incl_low, incl_high):
-                row = table.read_row(rid)
-                if residual(row):
-                    matches.append((rid, row))
-            return matches
-        return [(rid, row) for rid, row in table.scan() if residual(row)]
+            raw = access.residual
+            if raw and not self._row_passes(
+                row, resolve_residual(raw, params)
+            ):
+                return []
+            return [(rid, row)]
+        residual = resolve_residual(access.residual, params)
+        if shape == "index_eq":
+            index = table.index_for_name(access.index_name)
+            if access.key_source is not None:
+                is_param, payload = access.key_source
+                key = params[payload] if is_param else payload
+            else:
+                key = tuple(
+                    params[payload] if is_param else payload
+                    for is_param, payload in access.key_sources
+                )
+            read = table.read_row
+            pairs = [(rid, read(rid)) for rid in index.lookup(key)]
+        elif shape == "index_range":
+            low, incl_low, high, incl_high = self._resolve_bounds(access, params)
+            index = table.index_for_name(access.index_name)
+            read = table.read_row
+            pairs = [
+                (rid, read(rid))
+                for _key, rid in index.range(low, high, incl_low, incl_high)
+            ]
+        else:
+            pairs = list(table.scan())
+        return self._filter_batch(pairs, residual)
 
     def _match_rows_snapshot(
         self,
         table: Table,
-        where: Tuple[Condition, ...],
+        access,
         params: Sequence[Any],
         txn: Transaction,
     ) -> List[Tuple[Any, Tuple[Any, ...]]]:
@@ -297,91 +392,82 @@ class Executor:
         secondary indexes track only the current heap and may miss rows
         the snapshot still sees (updated or deleted after it was taken).
         """
-        schema = table.schema
-        plan = self.choose_plan(table, where, params)
-        bound = plan.bound
-
-        def residual(row: Tuple[Any, ...]) -> bool:
-            for column, op, value in bound:
-                cell = row[schema.column_index(column)]
-                if cell is None or not _OPS[op](cell, value):
-                    return False
-            return True
-
-        if plan.kind == "pk_point":
-            row = table.visible_by_key(plan.key, txn.snapshot_lsn, txn.txn_id)
-            if row is None or not residual(row):
+        if access.shape == "pk_point":
+            is_param, payload = access.key_source
+            key = params[payload] if is_param else payload
+            row = table.visible_by_key(key, txn.snapshot_lsn, txn.txn_id)
+            if row is None:
+                return []
+            raw = access.residual
+            if raw and not self._row_passes(
+                row, resolve_residual(raw, params)
+            ):
                 return []
             return [(None, row)]
-        return [
-            (rid, row)
-            for rid, row in table.snapshot_scan(txn.snapshot_lsn, txn.txn_id)
-            if residual(row)
-        ]
+        residual = resolve_residual(access.residual, params)
+        pairs = list(table.snapshot_scan(txn.snapshot_lsn, txn.txn_id))
+        return self._filter_batch(pairs, residual)
 
     # -- SELECT ----------------------------------------------------------------
 
     def _select(
         self,
         prepared: Prepared,
-        statement: SelectStatement,
+        compiled: CompiledStatement,
         params: Sequence[Any],
         txn: Transaction,
     ) -> ResultSet:
         table = prepared.table
-        schema = table.schema
+        pk_index = compiled.pk_index
         shared_keys: List[Any] = []
-        snapshot_read = txn.uses_mvcc and not statement.for_update
+        snapshot_read = txn.uses_mvcc and not compiled.for_update
         if snapshot_read:
             # Snapshot read: resolve versions, take no locks at all.
             matches = self._match_rows_snapshot(
-                table, statement.where, params, txn
+                table, compiled.access, params, txn
             )
             if self._db._c_mvcc is not None:
                 self._db._c_mvcc["snapshot_reads"].value += 1.0
         else:
             # Current read (lock-based levels, or FOR UPDATE under any
             # level, which needs the latest committed image plus a lock).
-            matches = self._match_rows(table, statement.where, params)
-            if statement.for_update:
+            matches = self._match_rows(table, compiled.access, params)
+            if compiled.for_update:
                 # FOR UPDATE declares write intent over the whole
                 # candidate set, before ordering -- the rows that lose
                 # the LIMIT cut must not change under the winner.
                 for _rid, row in matches:
                     self._db._lock_row(
-                        txn, table.name, row[schema.primary_key_index],
-                        LockMode.EXCLUSIVE,
+                        txn, table.name, row[pk_index], LockMode.EXCLUSIVE,
                     )
         # Row-level ORDER BY / LIMIT only apply to ungrouped selects;
         # grouped output is ordered by the group key.  Both run before
         # the shared locks are taken: a plain LIMIT-1 range read must
         # lock one row, not the whole candidate set.
-        if statement.group_by is None:
-            if statement.order_by:
-                order_index = schema.column_index(statement.order_by)
+        if not compiled.has_group:
+            if compiled.order_index is not None:
                 matches = self._order_matches(
-                    matches, order_index, statement.order_desc
+                    matches, compiled.order_index, compiled.order_desc
                 )
-            if statement.limit is not None:
-                matches = matches[: statement.limit]
-        if not snapshot_read and not statement.for_update:
+            if compiled.limit is not None:
+                matches = matches[: compiled.limit]
+        if not snapshot_read and not compiled.for_update:
             for _rid, row in matches:
-                key = row[schema.primary_key_index]
+                key = row[pk_index]
                 self._db._lock_row(txn, table.name, key, LockMode.SHARED)
                 shared_keys.append(key)
         rows = [row for _rid, row in matches]
         txn.reads += len(rows)
-        if statement.group_by is not None:
-            result = self._grouped(schema, statement, rows)
-        elif statement.items and statement.items[0].is_aggregate:
-            result = self._aggregate(schema, statement, rows)
-        elif statement.star:
-            result = ResultSet(schema.column_names, rows, len(rows))
+        if compiled.has_group:
+            result = self._grouped(table.schema, prepared.statement, rows)
+        elif compiled.has_aggregate:
+            result = self._aggregate(table.schema, prepared.statement, rows)
+        elif compiled.star_columns is not None:
+            result = ResultSet(compiled.star_columns, rows, len(rows))
         else:
-            indexes = [schema.column_index(item.column) for item in statement.items]
+            indexes = compiled.proj_indexes
             projected = [tuple(row[i] for i in indexes) for row in rows]
-            columns = tuple(item.column for item in statement.items)
-            result = ResultSet(columns, projected, len(projected))
+            result = ResultSet(compiled.proj_columns, projected, len(projected))
         if txn.isolation is IsolationLevel.READ_COMMITTED:
             for key in shared_keys:
                 self._db._unlock_row(txn, table.name, key)
@@ -468,25 +554,15 @@ class Executor:
     def _insert(
         self,
         prepared: Prepared,
-        statement: InsertStatement,
+        compiled: CompiledStatement,
         params: Sequence[Any],
         txn: Transaction,
     ) -> ResultSet:
-        table = prepared.table
-        schema = table.schema
-        provided = [_resolve(value, params) for value in statement.values]
-        if statement.columns:
-            by_name = dict(zip(statement.columns, provided))
-            full = []
-            for column in schema.columns:
-                if column.name in by_name:
-                    full.append(by_name[column.name])
-                elif column.autoincrement:
-                    full.append(DEFAULT)
-                else:
-                    full.append(column.default)
-            provided = full
-        self._db._insert(txn, table, provided)
+        provided = [
+            params[payload] if is_param else payload
+            for is_param, payload in compiled.row_sources
+        ]
+        self._db._insert(txn, prepared.table, provided)
         return ResultSet((), [], 1)
 
     # -- UPDATE ----------------------------------------------------------------
@@ -494,28 +570,41 @@ class Executor:
     def _update(
         self,
         prepared: Prepared,
-        statement: UpdateStatement,
+        compiled: CompiledStatement,
         params: Sequence[Any],
         txn: Transaction,
     ) -> ResultSet:
         table = prepared.table
-        schema = table.schema
-        matches = self._match_rows(table, statement.where, params)
+        matches = self._match_rows(table, compiled.access, params)
+        program = compiled.set_program
+        db_update = self._db._update
+        # Narrow updates (no SET target is the primary key or any
+        # indexed column) coerce just the assigned cells here and skip
+        # the full-row re-validation, uniqueness checks and index
+        # maintenance downstream -- the unchanged cells came out of the
+        # table already coerced.
+        fast = not compiled.set_touches_keys
+        schema_name = table.schema.table
         updated = 0
         for rid, row in matches:
             new_row = list(row)
-            for clause in statement.sets:
-                target = schema.column_index(clause.column)
-                operand = _resolve(clause.value, params)
-                if clause.delta_column is not None:
-                    base = row[schema.column_index(clause.delta_column)]
+            for target, (is_param, payload), delta_idx, sign, delta_col, column in program:
+                operand = params[payload] if is_param else payload
+                if delta_idx is not None:
+                    base = row[delta_idx]
                     if base is None:
                         raise SchemaError(
-                            f"{table.name}.{clause.delta_column} is NULL in arithmetic"
+                            f"{table.name}.{delta_col} is NULL in arithmetic"
                         )
-                    operand = base + clause.delta_sign * operand
+                    operand = base + sign * operand
+                if fast:
+                    operand = column.type.coerce(operand)
+                    if operand is None and not column.nullable:
+                        raise SchemaError(
+                            f"column {schema_name}.{column.name} is NOT NULL"
+                        )
                 new_row[target] = operand
-            self._db._update(txn, table, rid, row, tuple(new_row))
+            db_update(txn, table, rid, row, tuple(new_row), fast)
             updated += 1
         return ResultSet((), [], updated)
 
@@ -524,12 +613,12 @@ class Executor:
     def _delete(
         self,
         prepared: Prepared,
-        statement: DeleteStatement,
+        compiled: CompiledStatement,
         params: Sequence[Any],
         txn: Transaction,
     ) -> ResultSet:
         table = prepared.table
-        matches = self._match_rows(table, statement.where, params)
+        matches = self._match_rows(table, compiled.access, params)
         for rid, row in matches:
             self._db._delete(txn, table, rid, row)
         return ResultSet((), [], len(matches))

@@ -70,6 +70,12 @@ class LockManager:
             self._h_wait = self._h_hold = None
         self._locks: Dict[LockKey, _Lock] = {}
         self._held_by_txn: Dict[int, Set[LockKey]] = {}
+        #: free lists for the per-row lock objects and per-txn key sets
+        #: -- the OLTP hot path creates and destroys one of each per
+        #: row touch, and recycling them beats re-allocating (pooled
+        #: objects are only ever parked empty)
+        self._lock_pool: List[_Lock] = []
+        self._set_pool: List[Set[LockKey]] = []
         #: wait-for graph: waiter txn -> set of holder txns
         self._waits_for: Dict[int, Set[int]] = {}
         self.deadlocks_detected = 0
@@ -106,7 +112,23 @@ class LockManager:
         false) after deadlock screening; closing a wait-for cycle raises
         :class:`DeadlockError` with the requester as victim.
         """
-        lock = self._locks.setdefault(key, _Lock())
+        lock = self._locks.get(key)
+        if lock is None:
+            # Uncontended first touch -- the overwhelmingly common case.
+            pool = self._lock_pool
+            lock = self._locks[key] = pool.pop() if pool else _Lock()
+            lock.holders[txn_id] = mode
+            held_keys = self._held_by_txn.get(txn_id)
+            if held_keys is None:
+                sets = self._set_pool
+                held_keys = self._held_by_txn[txn_id] = (
+                    sets.pop() if sets else set()
+                )
+            held_keys.add(key)
+            if self._c_granted is not None:
+                self._c_granted.value += 1.0
+                self._held_since.setdefault((txn_id, key), self.obs.now())
+            return LockOutcome.GRANTED
         held = lock.holders.get(txn_id)
         if held is not None and (held is LockMode.EXCLUSIVE or held is mode):
             return LockOutcome.GRANTED  # re-entrant
@@ -200,6 +222,8 @@ class LockManager:
         granted = self._promote(key, lock)
         if not lock.holders and not lock.queue:
             del self._locks[key]
+            if len(self._lock_pool) < 4096:
+                self._lock_pool.append(lock)
         return granted
 
     def release_all(self, txn_id: int) -> List[Tuple[int, LockKey]]:
@@ -208,16 +232,40 @@ class LockManager:
         Returns the ``(txn_id, key)`` grants promoted from wait queues so a
         cooperative scheduler can resume them.
         """
-        granted: List[Tuple[int, LockKey]] = self.cancel_wait(txn_id)
-        for key in self._held_by_txn.pop(txn_id, set()):
+        # A txn appears in a wait queue iff it is in the waits-for graph
+        # (queueing installs the edge, promotion removes both), so a
+        # non-waiting committer can skip the queue sweep entirely.  The
+        # ``_wait_since`` check keeps the wait-histogram flush for txns
+        # that waited earlier and were promoted.
+        if txn_id in self._waits_for or txn_id in self._wait_since:
+            granted: List[Tuple[int, LockKey]] = self.cancel_wait(txn_id)
+        else:
+            granted = []
+        held = self._held_by_txn.pop(txn_id, None)
+        if held is None:
+            return granted
+        observe = self._h_hold is not None
+        pool = self._lock_pool
+        for key in held:
             lock = self._locks.get(key)
             if lock is None:  # pragma: no cover - defensive
                 continue
             lock.holders.pop(txn_id, None)
-            self._observe_release(txn_id, key)
-            granted.extend(self._promote(key, lock))
-            if not lock.holders and not lock.queue:
+            if observe:
+                self._observe_release(txn_id, key)
+            if lock.queue:
+                granted.extend(self._promote(key, lock))
+                if not lock.holders and not lock.queue:
+                    del self._locks[key]
+                    if len(pool) < 4096:
+                        pool.append(lock)
+            elif not lock.holders:
                 del self._locks[key]
+                if len(pool) < 4096:
+                    pool.append(lock)
+        held.clear()
+        if len(self._set_pool) < 4096:
+            self._set_pool.append(held)
         return granted
 
     def _observe_release(self, txn_id: int, key: LockKey) -> None:

@@ -111,6 +111,43 @@ class VersionStore:
         chain = self._chains.get(key)
         return chain[-1] if chain else None
 
+    def transition(
+        self,
+        key: Any,
+        new_key: Any,
+        before: Tuple[Any, ...],
+        after: Tuple[Any, ...],
+        txn_id: int,
+    ) -> Tuple[Optional[RowVersion], RowVersion]:
+        """Fused update-path mutation: base + supersede + append.
+
+        One chain lookup instead of three (the separate helpers each
+        re-resolved the chain dict on the OLTP hot path): ensure a
+        bootstrap base version exists for ``key``, mark the chain head
+        as ended by ``txn_id`` (unless already ended), and append the
+        new version under ``new_key``.  Returns ``(ended_or_None,
+        created)`` for the caller's commit/rollback bookkeeping.
+        """
+        chains = self._chains
+        chain = chains.get(key)
+        if chain is None:
+            # First write to a bootstrap row: capture the committed heap
+            # image as an always-visible base version (begin LSN 0).
+            chain = chains[key] = [RowVersion(before, begin_lsn=0)]
+            self.live_versions += 1
+        head = chain[-1]
+        ended = None
+        if head.end_txn is None and head.end_lsn is None:
+            head.end_txn = txn_id
+            ended = head
+        created = RowVersion(after, begin_txn=txn_id)
+        if new_key == key:
+            chain.append(created)
+        else:  # primary-key update: the new version starts its own chain
+            chains.setdefault(new_key, []).append(created)
+        self.live_versions += 1
+        return ended, created
+
     def remove_newest(self, key: Any) -> Optional[RowVersion]:
         """Drop the newest version of ``key`` (undo of an insert/update)."""
         chain = self._chains.get(key)
@@ -221,6 +258,9 @@ class Table:
             f"{self.name}_pkey", (schema.primary_key,), unique=True
         )
         self.secondary_indexes: Dict[str, HashIndex] = {}
+        #: bumped whenever the index set changes; compiled statements
+        #: pin the epoch they were planned under and recompile on drift
+        self.plan_epoch = 0
         #: MVCC version chains for keys with post-bootstrap history
         self.versions = VersionStore()
 
@@ -242,6 +282,7 @@ class Table:
         for rid, row in self.scan():
             index.insert(self._index_key(columns, row), rid)
         self.secondary_indexes[name] = index
+        self.plan_epoch += 1
 
     @property
     def row_count(self) -> int:
@@ -313,14 +354,25 @@ class Table:
         self._touch(rid.page_no, dirty=False)
         return page.read(rid.slot)
 
-    def update_row(self, rid: RowId, new_row: Tuple[Any, ...]) -> Tuple[Any, ...]:
+    def update_row(
+        self, rid: RowId, new_row: Tuple[Any, ...], keys_unchanged: bool = False
+    ) -> Tuple[Any, ...]:
         """Overwrite a row in place; returns the before image.
 
         All unique constraints are validated before any mutation, so a
         :class:`DuplicateKeyError` leaves the table untouched.
+
+        ``keys_unchanged=True`` is the caller asserting that no primary
+        key or indexed column differs from the stored row (the compiled
+        executor proves this from the SET clause shape); the uniqueness
+        check and index maintenance are then skipped.
         """
         page = self._page(rid.page_no)
         before = page.read(rid.slot)
+        if keys_unchanged:
+            page.write(rid.slot, new_row)
+            self._touch(rid.page_no, dirty=True)
+            return before
         new_key = new_row[self.schema.primary_key_index]
         old_key = before[self.schema.primary_key_index]
         self.check_unique(new_row, exclude_rid=rid)
@@ -336,6 +388,16 @@ class Table:
                 index.delete(old_entry, rid)
                 index.insert(new_entry, rid)
         return before
+
+    def overwrite_row(self, rid: RowId, new_row: Tuple[Any, ...]) -> None:
+        """Narrow-update write: the caller proved no key or indexed
+        column changes (from the compiled SET shape) and already holds
+        the before image, so the re-read, uniqueness check and index
+        maintenance of :meth:`update_row` are all skipped.
+        """
+        self._pages[rid.page_no].write(rid.slot, new_row)
+        if self._buffer is not None:
+            self._buffer.access(self.name, rid.page_no, dirty=True)
 
     def delete_row(self, rid: RowId) -> Tuple[Any, ...]:
         """Remove a row; returns the before image."""

@@ -57,6 +57,12 @@ class TxnState(enum.Enum):
 class Transaction:
     """One unit of work against a :class:`Database`."""
 
+    __slots__ = (
+        "_db", "txn_id", "isolation", "state", "first_lsn", "last_lsn",
+        "reads", "writes", "start_s", "snapshot_lsn", "created_versions",
+        "ended_versions", "gtid", "deadline",
+    )
+
     def __init__(
         self,
         db: "Database",

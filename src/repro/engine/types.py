@@ -85,6 +85,7 @@ class Schema:
     columns: Tuple[Column, ...]
     primary_key: str
     _index: Dict[str, int] = field(init=False, repr=False, compare=False, hash=False, default=None)
+    _pk_index: int = field(init=False, repr=False, compare=False, hash=False, default=0)
 
     def __post_init__(self) -> None:
         if not self.table or not self.table.isidentifier():
@@ -97,6 +98,7 @@ class Schema:
                 f"primary key {self.primary_key!r} is not a column of {self.table!r}"
             )
         object.__setattr__(self, "_index", {name: i for i, name in enumerate(names)})
+        object.__setattr__(self, "_pk_index", names.index(self.primary_key))
 
     # -- lookup helpers ----------------------------------------------------
 
@@ -115,7 +117,7 @@ class Schema:
 
     @property
     def primary_key_index(self) -> int:
-        return self.column_index(self.primary_key)
+        return self._pk_index
 
     def row_byte_size(self) -> int:
         """Nominal bytes per row, used to size pages and working sets."""

@@ -18,12 +18,15 @@ what a real engine does with a torn tail.
 from __future__ import annotations
 
 import enum
-import zlib
 from contextlib import contextmanager
 from dataclasses import dataclass, replace
 from typing import Any, Dict, Iterator, List, Optional, Tuple
 
+from marshal import dumps as _marshal_dumps
+from zlib import crc32 as _crc32
+
 from repro.engine.errors import SimulatedCrash, WalCorruptionError
+from repro.engine.walcodec import _FOLDABLE, _fold, legacy_payload_crc, payload_crc
 from repro.obs import NULL_OBSERVER, Observer
 
 
@@ -55,6 +58,28 @@ FSYNC_KINDS = (LogKind.COMMIT, LogKind.PREPARE, LogKind.DECISION)
 #: Crash-point modes accepted by :meth:`WriteAheadLog.arm_crash`.
 CRASH_MODES = ("before", "after", "torn")
 
+#: Kinds that close a transaction's undo chain (hoisted: ``append``
+#: tests membership once per record).
+_TXN_END_KINDS = (LogKind.COMMIT, LogKind.ABORT)
+
+#: member -> ``.value`` string, resolved once.  The enum descriptor
+#: costs a dynamic lookup per access, and ``append`` needs the string
+#: for every record's CRC.
+_KIND_VALUE = {kind: kind.value for kind in LogKind}
+
+#: member -> ``(value, ends_txn, fsyncs, is_data)``: one dict probe in
+#: ``append`` replaces the value lookup plus three membership tests.
+_KIND_INFO = {
+    kind: (
+        kind.value,
+        kind in _TXN_END_KINDS,
+        kind in FSYNC_KINDS,
+        kind in DATA_KINDS,
+    )
+    for kind in LogKind
+}
+
+
 
 def record_crc(
     lsn: int,
@@ -66,12 +91,35 @@ def record_crc(
     after: Optional[Tuple[Any, ...]],
     prev_lsn: int,
 ) -> int:
-    """CRC32 over the canonical encoding of one record's logical payload."""
-    payload = repr((lsn, txn_id, kind.value, table, key, before, after, prev_lsn))
-    return zlib.crc32(payload.encode("utf-8"))
+    """CRC32 over the canonical binary encoding of the logical payload.
+
+    Canonical means value-identity, not type-identity: a key that
+    round-trips through archive ingest as ``1.0`` instead of ``1``, or
+    an image rebuilt as a list instead of a tuple, still checksums
+    identically (see :mod:`repro.engine.walcodec`).
+    """
+    return payload_crc(
+        lsn, txn_id, kind.value, table, key, before, after, prev_lsn
+    )
 
 
-@dataclass(frozen=True)
+def legacy_record_crc(
+    lsn: int,
+    txn_id: int,
+    kind: LogKind,
+    table: Optional[str],
+    key: Any,
+    before: Optional[Tuple[Any, ...]],
+    after: Optional[Tuple[Any, ...]],
+    prev_lsn: int,
+) -> int:
+    """The pre-codec ``repr`` checksum (wire format v1)."""
+    return legacy_payload_crc(
+        lsn, txn_id, kind.value, table, key, before, after, prev_lsn
+    )
+
+
+@dataclass(slots=True)
 class LogRecord:
     """One WAL entry.
 
@@ -80,6 +128,12 @@ class LogRecord:
     to the previous record of the same transaction, enabling undo chains.
     ``crc`` is the CRC32 the record was written with; :attr:`is_intact`
     re-computes it from the current field values.
+
+    Slots, not frozen: records are allocated on every append, and the
+    plain-``setattr`` ``__init__`` of a slots dataclass is measurably
+    cheaper on the hot path.  Nothing in the engine mutates a record
+    after construction; corruption injection goes through
+    ``dataclasses.replace``.
     """
 
     lsn: int
@@ -93,15 +147,26 @@ class LogRecord:
     crc: int = 0
 
     def expected_crc(self) -> int:
-        return record_crc(
-            self.lsn, self.txn_id, self.kind, self.table,
+        return payload_crc(
+            self.lsn, self.txn_id, self.kind.value, self.table,
             self.key, self.before, self.after, self.prev_lsn,
         )
 
     @property
     def is_intact(self) -> bool:
-        """Does the stored checksum match the payload?"""
-        return self.crc == self.expected_crc()
+        """Does the stored checksum match the payload?
+
+        Records stamped before the binary codec carry the legacy
+        ``repr`` CRC; they verify through the fallback so old archives
+        and shipped streams stay readable.
+        """
+        crc = self.crc
+        if crc == self.expected_crc():
+            return True
+        return crc == legacy_payload_crc(
+            self.lsn, self.txn_id, self.kind.value, self.table,
+            self.key, self.before, self.after, self.prev_lsn,
+        )
 
     def byte_size(self) -> int:
         """Nominal record size used by the replication bandwidth model."""
@@ -221,12 +286,13 @@ class WriteAheadLog:
     ) -> LogRecord:
         if self._dead:
             raise SimulatedCrash("instance is down: append rejected until restart")
-        if deadline is not None and kind in DATA_KINDS:
+        kind_value, ends_txn, needs_fsync, is_data = _KIND_INFO[kind]
+        if deadline is not None and is_data:
             # Cancellation point: the append is the last moment a data
             # record can be abandoned without undo work.  Control records
             # (COMMIT/ABORT) are never blocked -- an expired transaction
             # must still be able to log its own rollback.
-            deadline.check(f"WAL append ({kind.value})")
+            deadline.check(f"WAL append ({kind_value})")
         if self._armed_crash is not None and self._next_lsn >= self._armed_crash[0]:
             mode = self._armed_crash[1]
             self._armed_crash = None
@@ -242,30 +308,35 @@ class WriteAheadLog:
         else:
             mode = None
         lsn = self._next_lsn
-        prev_lsn = self._last_lsn_of_txn.get(txn_id, 0)
+        last_of_txn = self._last_lsn_of_txn
+        prev_lsn = last_of_txn.get(txn_id, 0)
+        # Inlined walcodec.payload_crc (one call frame per record saved,
+        # plus the _fold frames for fields already in canonical form --
+        # int/str/None fold to themselves).  Must stay byte-equivalent
+        # to walcodec.canonical_payload; test_walcodec pins that.
         record = LogRecord(
-            lsn=lsn,
-            txn_id=txn_id,
-            kind=kind,
-            table=table,
-            key=key,
-            before=before,
-            after=after,
-            prev_lsn=prev_lsn,
-            crc=record_crc(lsn, txn_id, kind, table, key, before, after, prev_lsn),
+            lsn, txn_id, kind, table, key, before, after, prev_lsn,
+            _crc32(_marshal_dumps(
+                (lsn, txn_id, kind_value, table,
+                 _fold(key) if key.__class__ in _FOLDABLE else key,
+                 _fold(before) if before is not None else None,
+                 _fold(after) if after is not None else None,
+                 prev_lsn),
+                2,
+            )),
         )
         if mode == "torn":
             # Half the after image reached storage before the crash; the
             # stored CRC is the full record's, so verification fails.
             torn_after = record.after[: len(record.after) // 2] if record.after else None
             record = replace(record, after=torn_after)
-        self._next_lsn += 1
+        self._next_lsn = lsn + 1
         self._records.append(record)
-        if kind in (LogKind.COMMIT, LogKind.ABORT):
-            self._last_lsn_of_txn.pop(txn_id, None)
+        if ends_txn:
+            last_of_txn.pop(txn_id, None)
         else:
-            self._last_lsn_of_txn[record.txn_id] = record.lsn
-        if kind in FSYNC_KINDS:
+            last_of_txn[txn_id] = lsn
+        if needs_fsync:
             # Durability point.  Inside a group_commit() batch the flush
             # is deferred: the whole batch costs one fsync at exit.
             if self._group_depth > 0:
@@ -290,8 +361,9 @@ class WriteAheadLog:
             raise SimulatedCrash(f"crash point: instance died writing LSN {lsn}")
         if self.on_append is not None:
             self.on_append(record)
-        for listener in self._append_listeners:
-            listener(record)
+        if self._append_listeners:
+            for listener in self._append_listeners:
+                listener(record)
         return record
 
     def append_shipped(self, record: LogRecord) -> None:
@@ -314,7 +386,7 @@ class WriteAheadLog:
             raise WalCorruptionError(f"shipped LSN {record.lsn} fails its CRC")
         self._records.append(record)
         self._next_lsn = record.lsn + 1
-        if record.kind in (LogKind.COMMIT, LogKind.ABORT):
+        if record.kind in _TXN_END_KINDS:
             self._last_lsn_of_txn.pop(record.txn_id, None)
         elif record.kind is not LogKind.CHECKPOINT:
             self._last_lsn_of_txn[record.txn_id] = record.lsn

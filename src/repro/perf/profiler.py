@@ -56,12 +56,14 @@ SUBSYSTEMS = (
 SUBSYSTEM_MODULES: Dict[str, str] = {
     "engine/sql.py": "parser",
     "engine/executor.py": "executor",
+    "engine/compiler.py": "executor",
     "engine/database.py": "executor",
     "engine/index.py": "executor",
     "engine/locks.py": "locks",
     "engine/buffer.py": "buffer",
     "engine/page.py": "buffer",
     "engine/wal.py": "wal",
+    "engine/walcodec.py": "wal",
     "engine/recovery.py": "wal",
     "engine/table.py": "mvcc",
     "engine/txn.py": "mvcc",

@@ -72,6 +72,11 @@ class GlobalTransaction:
     happens to touch one shard commits with zero 2PC overhead.
     """
 
+    __slots__ = (
+        "_coordinator", "gtid", "isolation", "deadline", "state",
+        "is_retry", "locals",
+    )
+
     def __init__(
         self,
         coordinator: "TxnCoordinator",

@@ -152,17 +152,15 @@ class ShardedDatabase:
         outside a global transaction are wrapped in one, so a scattered
         UPDATE is still atomic across shards via 2PC.
         """
-        # Shard 0 parses and validates; each shard re-prepares the text
-        # against its own (identical) catalog through its LRU plan cache.
+        # Shard 0 parses and validates; other shards re-prepare the text
+        # against their own (identical) catalog through the LRU plan cache.
         prepared = self.shards[0].prepare(sql)
         statement = prepared.statement
-        shard_id = self.router.route_statement(
-            statement, params, prepared.table.schema
-        )
+        shard_id = self.router.route_prepared(prepared, params)
         if shard_id is not None:
             if self.obs.enabled:
                 self.obs.count("shard.stmt.single_shard")
-            return self._run_on_shard(shard_id, sql, params, gtxn)
+            return self._run_on_shard(shard_id, sql, params, gtxn, prepared)
         if self.obs.enabled:
             self.obs.count("shard.stmt.fanout")
         if gtxn is None and not isinstance(statement, SelectStatement):
@@ -192,8 +190,15 @@ class ShardedDatabase:
         sql: str,
         params: Sequence[Any],
         gtxn: Optional[GlobalTransaction],
+        prepared=None,
     ) -> ResultSet:
         """Run one routed statement on one shard.
+
+        When the routing :class:`~repro.engine.executor.Prepared` was
+        built against the very database object serving the shard, it is
+        handed over directly, skipping a plan-cache probe.  A promoted
+        standby is a *different* database object, so after failover the
+        text path (and the shard's own plan cache) takes over.
 
         A dead shard's WAL raises the engine-internal
         :class:`~repro.engine.errors.SimulatedCrash` on the first append
@@ -204,9 +209,10 @@ class ShardedDatabase:
         """
         try:
             shard = self._shard_db(shard_id)
+            stmt = prepared if (prepared is not None and shard is prepared.db) else sql
             if gtxn is None:
-                return shard.execute(sql, params)
-            return shard.execute(sql, params, txn=gtxn.local(shard_id))
+                return shard.execute(stmt, params)
+            return shard.execute(stmt, params, txn=gtxn.local(shard_id))
         except SimulatedCrash as crash:
             if self.obs.enabled:
                 self.obs.count("shard.stmt.unavailable")

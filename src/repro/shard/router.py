@@ -45,10 +45,14 @@ class ShardRouter:
             raise ShardError("a fleet needs at least one shard")
         self.n_shards = n_shards
         self._partition_keys: Dict[str, str] = {}
+        #: bumped on every (re-)registration; cached route plans carry
+        #: the version they were compiled under and miss when it moves
+        self._version = 0
 
     def register(self, table: str, column: str) -> None:
         """Declare ``column`` as the partition key of ``table``."""
         self._partition_keys[table.upper()] = column.upper()
+        self._version += 1
 
     def partition_column(self, table: str) -> str:
         try:
@@ -90,24 +94,80 @@ class ShardRouter:
         route, so an INSERT without a concrete partition value raises.
         """
         partition = self.partition_column(statement.table)
+        plan = self._compile_route(statement, schema, partition)
+        return self._run_route(plan, statement.table, partition, params)
+
+    def route_prepared(
+        self, prepared, params: Sequence[Any]
+    ) -> Optional[int]:
+        """Route a prepared statement, caching its route plan.
+
+        The plan -- which statement value pins the partition key -- is
+        a function of the statement shape alone, so it compiles once
+        and is memoised on the prepared object.  Parameter values stay
+        run-time: the same plan hashes a different key per call.
+        """
+        cached = prepared.route_plan
+        if cached is None or cached[0] != self._version:
+            statement = prepared.statement
+            partition = self.partition_column(statement.table)
+            plan = self._compile_route(
+                statement, prepared.table.schema, partition
+            )
+            cached = (self._version, plan, statement.table, partition)
+            prepared.route_plan = cached
+        return self._run_route(cached[1], cached[2], cached[3], params)
+
+    @staticmethod
+    def _compile_route(statement: Statement, schema: Schema, partition: str):
+        """Find the statement value that pins the partition key.
+
+        Returns ``("value", is_param, payload)`` when one exists,
+        ``("candidates", [...])`` for a WHERE clause whose equality
+        values must be inspected per call (a NULL falls through to the
+        next candidate), ``("fanout",)`` or ``("unroutable",)``.
+        """
         if isinstance(statement, InsertStatement):
             columns = statement.columns or schema.column_names
             for column, value in zip(columns, statement.values):
                 if column.upper() == partition:
-                    concrete = self._concrete(value, params)
-                    if concrete is None:
-                        break
-                    return self.shard_for(statement.table, concrete)
-            raise ShardError(
-                f"INSERT into {statement.table} carries no concrete value for "
-                f"partition key {partition}; sharded inserts must supply one "
-                f"(autoincrement would mint conflicting ids per shard)"
-            )
+                    if value.kind == "param":
+                        return ("insert", True, value.param_index)
+                    if value.kind == "literal":
+                        return ("insert", False, value.literal)
+                    break  # DEFAULT: decided by the shard, unknowable here
+            return ("unroutable",)
         if isinstance(statement, (SelectStatement, UpdateStatement, DeleteStatement)):
+            candidates = []
             for condition in statement.where:
                 if condition.column.upper() == partition and condition.op == "=":
-                    concrete = self._concrete(condition.value, params)
-                    if concrete is not None:
-                        return self.shard_for(statement.table, concrete)
-            return None
+                    value = condition.value
+                    if value.kind == "param":
+                        candidates.append((True, value.param_index))
+                    elif value.kind == "literal":
+                        candidates.append((False, value.literal))
+            return ("where", candidates)
         raise ShardError(f"cannot route statement type {type(statement).__name__}")
+
+    def _run_route(
+        self, plan, table: str, partition: str, params: Sequence[Any]
+    ) -> Optional[int]:
+        kind = plan[0]
+        n = self.n_shards
+        if kind == "where":
+            for is_param, payload in plan[1]:
+                value = params[payload] if is_param else payload
+                if value is not None:
+                    # one shard: any pinned value routes there, unhashed
+                    return 0 if n == 1 else stable_hash(value) % n
+            return None
+        if kind == "insert":
+            _kind, is_param, payload = plan
+            value = params[payload] if is_param else payload
+            if value is not None:
+                return 0 if n == 1 else stable_hash(value) % n
+        raise ShardError(
+            f"INSERT into {table} carries no concrete value for "
+            f"partition key {partition}; sharded inserts must supply one "
+            f"(autoincrement would mint conflicting ids per shard)"
+        )

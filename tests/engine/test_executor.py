@@ -172,3 +172,40 @@ def test_for_update_takes_exclusive_lock(db):
     holders = db.locks.holders(("ACCOUNTS", 1))
     assert holders[txn.txn_id].value == "X"
     txn.rollback()
+
+
+class TestRangeBoundTypeGuard:
+    """Range predicates with NULL or cross-type bounds are statement
+    errors (SqlError), never a bare TypeError out of the comparator."""
+
+    def test_null_range_bound_raises_sql_error(self, db):
+        with pytest.raises(SqlError, match="NULL|NoneType"):
+            db.query("SELECT A_ID FROM accounts WHERE BALANCE > ?", [None])
+
+    def test_cross_type_bounds_raise_sql_error(self, db):
+        with pytest.raises(SqlError, match="incomparable|not supported"):
+            db.query(
+                "SELECT A_ID FROM accounts WHERE BALANCE > ? AND BALANCE < ?",
+                [0, "high"],
+            )
+
+    def test_cross_type_bounds_on_indexed_column(self, db):
+        with pytest.raises(SqlError, match="incomparable|not supported"):
+            db.query(
+                "SELECT A_ID FROM accounts WHERE BRANCH >= ? AND BRANCH <= ?",
+                [1, "two"],
+            )
+
+    def test_null_bound_in_update_raises_sql_error(self, db):
+        with pytest.raises(SqlError, match="NULL|NoneType"):
+            db.execute("UPDATE accounts SET BALANCE = ? WHERE BALANCE < ?",
+                       [0.0, None])
+
+    def test_valid_mixed_numeric_bounds_still_work(self, db):
+        # int vs float bounds are comparable; the guard must not
+        # over-reject legitimate numeric ranges.
+        result = db.query(
+            "SELECT A_ID FROM accounts WHERE BALANCE > ? AND BALANCE < ?",
+            [0, 80.5],
+        )
+        assert sorted(result.rows) == [(2,), (3,)]

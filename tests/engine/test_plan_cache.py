@@ -94,3 +94,58 @@ class TestPlanCacheObservability:
         assert counters["engine.sql.plan_cache.hit"].value == 1
         assert counters["engine.sql.plan_cache.miss"].value == 3
         assert counters["engine.sql.plan_cache.evict"].value == 1
+
+
+class TestCompiledPlanAliasing:
+    """One cache entry serves every isolation level and parameter shape.
+
+    The cache is keyed by SQL text.  That is only sound because nothing
+    execution-specific leaks into the compiled closure: the snapshot-vs-
+    locking read path is chosen from the *transaction* at execute time,
+    and the parameter count is a function of the text itself (a mismatch
+    is an error, not a different plan).  These tests prove both.
+    """
+
+    def test_one_entry_serves_all_isolation_levels(self):
+        from repro.engine.txn import IsolationLevel
+
+        db = fresh_db()
+        db.execute("INSERT INTO kv (K, V) VALUES (?, ?)", [1, 10])
+        sql = "SELECT V FROM kv WHERE K = ?"
+        db.query(sql, [1])  # populate the cache under autocommit
+        db.prepare("UPDATE kv SET V = ? WHERE K = ?")  # pre-warm the writer
+        misses_after_first = db.plan_cache_misses
+
+        snap = db.begin(isolation=IsolationLevel.SNAPSHOT)
+        assert db.execute(sql, [1], txn=snap).rows == [(10,)]
+
+        # A concurrent commit the snapshot must not see -- but a
+        # READ_COMMITTED reader using the SAME cached plan must.
+        db.execute("UPDATE kv SET V = ? WHERE K = ?", [20, 1])
+        rc = db.begin(isolation=IsolationLevel.READ_COMMITTED)
+        assert db.execute(sql, [1], txn=rc).rows == [(20,)]
+        assert db.execute(sql, [1], txn=snap).rows == [(10,)]
+        rc.commit()
+        snap.commit()
+
+        ser = db.begin(isolation=IsolationLevel.SERIALIZABLE)
+        assert db.execute(sql, [1], txn=ser).rows == [(20,)]
+        ser.commit()
+
+        # every execution after the first was a cache hit
+        assert db.plan_cache_misses == misses_after_first
+
+    def test_param_count_is_checked_per_execution(self):
+        from repro.engine.errors import SqlError
+
+        db = fresh_db()
+        db.execute("INSERT INTO kv (K, V) VALUES (?, ?)", [1, 10])
+        sql = "SELECT V FROM kv WHERE K = ?"
+        assert db.query(sql, [1]).rows == [(10,)]
+        # The cached plan must not absorb a differently-shaped call.
+        with pytest.raises(SqlError, match="parameter"):
+            db.query(sql, [1, 2])
+        with pytest.raises(SqlError, match="parameter"):
+            db.query(sql, [])
+        # and the entry still works afterwards
+        assert db.query(sql, [1]).rows == [(10,)]
